@@ -1,0 +1,91 @@
+"""Shared fixtures for the benchmark harness.
+
+Two dataset scales are built once per session and shared across benches:
+
+- ``snapshot_dataset`` — a one-day, all-PoPs snapshot for the
+  characterization figures (1, 2, 3, 5, 6, 7) and the ablation;
+- ``routing_dataset`` — a multi-day trace with hourly aggregations for the
+  temporal/routing analyses (Figures 8–10, Tables 1–2). Hourly (rather than
+  the paper's 15-minute) windows are a documented scale substitution: the
+  paper's statistical machinery needs hundreds of samples per aggregation,
+  which production traffic provides and a laptop-scale generator supplies
+  by widening the window (see DESIGN.md).
+
+Scale knobs (environment variables):
+
+- ``REPRO_BENCH_DAYS``   — routing-trace length in days (default 6);
+- ``REPRO_BENCH_RATE``   — base sessions per 15-minute window (default 90);
+- ``REPRO_BENCH_SNAPSHOT_RATE`` — snapshot density (default 25).
+
+Every bench writes its reported rows to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can quote actual measured output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+
+import pytest
+
+from repro.pipeline import StudyDataset
+from repro.workload import EdgeScenario, ScenarioConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a named result blob under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def snapshot_dataset() -> StudyDataset:
+    # Three networks per metro: per-continent statistics (Figure 6) need to
+    # average over several networks' (random) dominant access classes.
+    config = dataclasses.replace(
+        ScenarioConfig.snapshot(seed=101),
+        networks_per_metro=3,
+        base_sessions_per_window=_env_float("REPRO_BENCH_SNAPSHOT_RATE", 9.0),
+        include_figure5_network=True,
+    )
+    scenario = EdgeScenario(config)
+    dataset = StudyDataset(
+        study_windows=config.total_windows, compute_naive=True
+    )
+    dataset.ingest(scenario.generate())
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def routing_dataset() -> StudyDataset:
+    days = _env_int("REPRO_BENCH_DAYS", 6)
+    config = ScenarioConfig(
+        seed=202,
+        days=days,
+        base_sessions_per_window=_env_float("REPRO_BENCH_RATE", 130.0),
+    )
+    scenario = EdgeScenario(config)
+    dataset = StudyDataset(
+        study_windows=days * 24,
+        keep_response_sizes=False,
+        window_seconds=3600.0,
+    )
+    dataset.ingest(scenario.generate())
+    return dataset

@@ -1,0 +1,98 @@
+"""Figure 10 — MinRTT_P50 differences by peering relationship.
+
+Paper anchors: distributions concentrate around zero; peering-vs-transit is
+clearly left-skewed (peer routes usually have lower MinRTT — they are
+direct); ~10% of peer traffic beats the transit alternate by >= 10 ms;
+transit-vs-transit is closer to symmetric, slightly favouring the more
+policy-preferred transit.
+"""
+
+from repro.pipeline import fig10_relationship_comparison
+from repro.pipeline.report import format_table
+from repro.stats.weighted import weighted_fraction_at_most
+
+
+def test_fig10_relationship_comparison(benchmark, routing_dataset, record_result):
+    result = benchmark.pedantic(
+        fig10_relationship_comparison,
+        args=(routing_dataset,),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for pair, acc in result.by_pair.items():
+        if not acc.differences:
+            rows.append((pair, "0", "-", "-", "-"))
+            continue
+        # Differences are preferred − alternate: negative = preferred
+        # faster.
+        preferred_better = weighted_fraction_at_most(
+            acc.differences, acc.weights, -1e-9
+        )
+        beats_by_10 = weighted_fraction_at_most(
+            acc.differences, acc.weights, -10.0
+        )
+        rows.append(
+            (
+                pair,
+                f"{len(acc.differences)}",
+                f"{result.median_difference(pair):+.2f}",
+                f"{preferred_better:.2f}",
+                f"{beats_by_10:.2f}",
+            )
+        )
+    hd_rows = []
+    for pair, acc in result.hd_by_pair.items():
+        if not acc.differences:
+            hd_rows.append((pair, "0", "-"))
+            continue
+        hd_rows.append(
+            (pair, f"{len(acc.differences)}",
+             f"{result.median_hd_difference(pair):+.3f}")
+        )
+    record_result(
+        "fig10_relationships",
+        format_table(
+            (
+                "pair",
+                "comparisons",
+                "median diff (ms)",
+                "preferred better",
+                "by >=10 ms",
+            ),
+            rows,
+            title=(
+                "Figure 10 — MinRTT_P50 difference (preferred − alternate); "
+                "negative = preferred faster:"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ("pair", "comparisons", "median HDratio diff"),
+            hd_rows,
+            title=(
+                "§6.3 HDratio_P50 difference (alternate − preferred); the "
+                "paper reports these concentrated at 0 and symmetric:"
+            ),
+        ),
+    )
+
+    # §6.3's HDratio claim: the distributions sit on ~0.
+    for pair, acc in result.hd_by_pair.items():
+        if acc.differences:
+            assert abs(result.median_hd_difference(pair)) < 0.1
+
+    peer_transit = result.by_pair["peering-vs-transit"]
+    assert peer_transit.differences, "no peer-vs-transit comparisons produced"
+    # Left skew: peer (preferred) usually at least as fast as transit.
+    assert result.median_difference("peering-vs-transit") <= 0.5
+    preferred_better = weighted_fraction_at_most(
+        peer_transit.differences, peer_transit.weights, 0.0
+    )
+    assert preferred_better > 0.5
+
+    transit_transit = result.by_pair["transit-vs-transit"]
+    if transit_transit.differences:
+        # Closer to symmetric than peer-vs-transit.
+        assert abs(result.median_difference("transit-vs-transit")) < 6.0

@@ -1,0 +1,51 @@
+"""Figure 1 — session duration and busy-time CDFs.
+
+Paper anchors: 7.4% of sessions < 1 s, 33% < 1 min, 20% > 3 min; HTTP/1.1
+sessions shorter than HTTP/2 (44% vs 26% under a minute); most sessions
+idle for most of their lifetime (75–80% active < 10% of the time).
+"""
+
+from repro.pipeline import fig1_session_behaviour
+from repro.pipeline.report import format_cdf_checkpoints, format_percent
+
+
+def test_fig1_session_behaviour(benchmark, snapshot_dataset, record_result):
+    result = benchmark.pedantic(
+        fig1_session_behaviour, args=(snapshot_dataset,), rounds=1, iterations=1
+    )
+
+    lines = [
+        format_cdf_checkpoints(
+            "Figure 1(a) — session duration (fraction of sessions):",
+            [
+                ("< 1 s   (paper 0.074)", result.under_one_second),
+                ("< 60 s  (paper 0.33)", result.under_one_minute),
+                ("> 180 s (paper 0.20)", result.over_three_minutes),
+                (
+                    "HTTP/1.1 < 60 s (paper 0.44)",
+                    result.duration_h1.fraction_at_most(60.0),
+                ),
+                (
+                    "HTTP/2   < 60 s (paper 0.26)",
+                    result.duration_h2.fraction_at_most(60.0),
+                ),
+            ],
+        ),
+        format_cdf_checkpoints(
+            "Figure 1(b) — busy time:",
+            [
+                ("sessions active < 10% of lifetime (paper 0.75-0.80)",
+                 result.mostly_idle_fraction),
+            ],
+        ),
+    ]
+    record_result("fig1_sessions", "\n".join(lines))
+
+    # Shape assertions against the paper.
+    assert 0.04 < result.under_one_second < 0.12
+    assert 0.25 < result.under_one_minute < 0.50
+    assert 0.12 < result.over_three_minutes < 0.35
+    assert result.duration_h1.fraction_at_most(60.0) > (
+        result.duration_h2.fraction_at_most(60.0)
+    )
+    assert result.mostly_idle_fraction > 0.6

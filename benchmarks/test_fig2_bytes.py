@@ -1,0 +1,39 @@
+"""Figure 2 — bytes per session, per response, per media response.
+
+Paper anchors: >58% of sessions transfer < 10 KB; 6% of sessions > 1 MB;
+median response < 6 KB; media responses larger (median ≈ 19 KB).
+"""
+
+from repro.pipeline import fig2_transfer_sizes
+from repro.pipeline.report import format_cdf_checkpoints
+
+
+def test_fig2_transfer_sizes(benchmark, snapshot_dataset, record_result):
+    result = benchmark.pedantic(
+        fig2_transfer_sizes, args=(snapshot_dataset,), rounds=1, iterations=1
+    )
+
+    record_result(
+        "fig2_bytes",
+        format_cdf_checkpoints(
+            "Figure 2 — transfer sizes:",
+            [
+                ("sessions < 10 KB (paper >0.58)", result.sessions_under_10kb),
+                ("sessions > 1 MB (paper 0.06)", result.sessions_over_1mb),
+                ("median response bytes (paper <6000)", result.median_response),
+                (
+                    "median media response (paper ~19000)",
+                    result.media_response_bytes.quantile(0.5),
+                ),
+                (
+                    "sessions median bytes",
+                    result.session_bytes.quantile(0.5),
+                ),
+            ],
+        ),
+    )
+
+    assert result.sessions_under_10kb > 0.40
+    assert 0.01 < result.sessions_over_1mb < 0.12
+    assert result.median_response < 6000
+    assert result.media_response_bytes.quantile(0.5) > result.median_response * 2

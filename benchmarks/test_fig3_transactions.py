@@ -1,0 +1,40 @@
+"""Figure 3 — transactions per session.
+
+Paper anchors: 87% of HTTP/1.1 and 75% of HTTP/2 sessions have < 5
+transactions; sessions with >= 50 transactions carry more than half of all
+network traffic.
+"""
+
+from repro.pipeline import fig3_transaction_counts
+from repro.pipeline.report import format_cdf_checkpoints
+
+
+def test_fig3_transaction_counts(benchmark, snapshot_dataset, record_result):
+    result = benchmark.pedantic(
+        fig3_transaction_counts, args=(snapshot_dataset,), rounds=1, iterations=1
+    )
+
+    record_result(
+        "fig3_transactions",
+        format_cdf_checkpoints(
+            "Figure 3 — transactions per session:",
+            [
+                ("HTTP/1.1 < 5 txns (paper 0.87)", result.h1_under_5),
+                ("HTTP/2   < 5 txns (paper 0.75)", result.h2_under_5),
+                (
+                    "single-transaction sessions",
+                    result.count_all.fraction_at_most(1.0),
+                ),
+                (
+                    "byte share of >=50-txn sessions (paper >0.5)",
+                    result.heavy_session_byte_share,
+                ),
+            ],
+        ),
+    )
+
+    assert abs(result.h1_under_5 - 0.87) < 0.08
+    assert abs(result.h2_under_5 - 0.75) < 0.08
+    assert result.h1_under_5 > result.h2_under_5
+    assert result.count_all.fraction_at_most(1.0) > 0.45  # "most sessions"
+    assert result.heavy_session_byte_share > 0.40

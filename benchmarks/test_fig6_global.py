@@ -1,0 +1,63 @@
+"""Figure 6 — global and per-continent MinRTT / HDratio distributions.
+
+Paper anchors: 50% of sessions have MinRTT < 39 ms and 80% < 78 ms;
+continent medians AF 58 / AS 51 / SA 40 / EU-NA-OC ≈ 25 ms or less; over
+82% of HD-testable sessions have HDratio > 0; HDratio = 0 shares AF 36%,
+AS 24%, SA 27%.
+"""
+
+from repro.pipeline import fig6_global_performance
+from repro.pipeline.report import format_table
+
+
+def test_fig6_global_performance(benchmark, snapshot_dataset, record_result):
+    result = benchmark.pedantic(
+        fig6_global_performance, args=(snapshot_dataset,), rounds=1, iterations=1
+    )
+
+    paper_medians = {"AF": 58, "AS": 51, "SA": 40, "EU": 25, "NA": 25, "OC": 25}
+    paper_zero_hd = {"AF": 0.36, "AS": 0.24, "SA": 0.27}
+    rows = []
+    for code in ("AF", "AS", "SA", "EU", "NA", "OC"):
+        rows.append(
+            (
+                code,
+                f"{result.continent_median_minrtt(code):.1f}",
+                f"{paper_medians[code]}",
+                f"{result.continent_zero_hd_fraction(code):.2f}",
+                f"{paper_zero_hd.get(code, '-')}",
+            )
+        )
+    record_result(
+        "fig6_global",
+        format_table(
+            ("continent", "MinRTT p50 (ms)", "paper", "HDratio=0", "paper"),
+            rows,
+            title="Figure 6 — per continent:",
+        )
+        + "\n"
+        + f"global MinRTT p50 {result.median_minrtt:.1f} ms (paper 39); "
+        + f"p80 {result.p80_minrtt:.1f} ms (paper 78); "
+        + f"HDratio>0 {result.hdratio_positive_fraction:.2f} (paper 0.82); "
+        + f"HDratio=1 {result.hdratio_full_fraction:.2f} (paper 0.60)",
+    )
+
+    # Global anchors.
+    assert 28.0 < result.median_minrtt < 50.0
+    assert 55.0 < result.p80_minrtt < 100.0
+    assert result.hdratio_positive_fraction > 0.75
+
+    # Continent ordering: AF worst, then AS, then SA; EU/NA best.
+    af = result.continent_median_minrtt("AF")
+    asia = result.continent_median_minrtt("AS")
+    sa = result.continent_median_minrtt("SA")
+    eu = result.continent_median_minrtt("EU")
+    na = result.continent_median_minrtt("NA")
+    assert af > asia > sa > max(eu, na)
+    assert eu < 35.0 and na < 35.0
+
+    # HDratio=0 concentration in AF/AS/SA.
+    for code, expected in (("AF", 0.36), ("AS", 0.24), ("SA", 0.27)):
+        measured = result.continent_zero_hd_fraction(code)
+        assert abs(measured - expected) < 0.12, (code, measured)
+    assert result.continent_zero_hd_fraction("EU") < 0.12

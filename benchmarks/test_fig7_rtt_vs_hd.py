@@ -1,0 +1,47 @@
+"""Figure 7 — relationship between MinRTT and HDratio.
+
+Paper: HDratio degrades as latency rises, but MinRTT does not *determine*
+HDratio — higher-latency buckets still contain sessions achieving HD.
+"""
+
+from repro.pipeline import fig7_rtt_vs_hdratio
+from repro.pipeline.report import format_table
+
+
+def test_fig7_rtt_vs_hdratio(benchmark, snapshot_dataset, record_result):
+    result = benchmark.pedantic(
+        fig7_rtt_vs_hdratio, args=(snapshot_dataset,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for label in ("0-30", "31-50", "51-80", "81+"):
+        series = result.hdratio_by_bucket[label]
+        rows.append(
+            (
+                label,
+                f"{len(series.xs)}",
+                f"{1 - series.fraction_at_most(0.0):.2f}",
+                f"{1 - series.fraction_at_most(0.999):.2f}",
+            )
+        )
+    record_result(
+        "fig7_rtt_vs_hd",
+        format_table(
+            ("MinRTT bucket (ms)", "sessions", "HDratio>0", "HDratio=1"),
+            rows,
+            title="Figure 7 — HDratio by MinRTT bucket:",
+        ),
+    )
+
+    def hd_positive(label):
+        return 1 - result.hdratio_by_bucket[label].fraction_at_most(0.0)
+
+    def hd_full(label):
+        return 1 - result.hdratio_by_bucket[label].fraction_at_most(0.999)
+
+    # Monotone degradation with latency …
+    assert hd_full("0-30") > hd_full("31-50") > hd_full("51-80") > hd_full("81+")
+    # … but high-latency sessions still achieve HD sometimes (the paper's
+    # point that latency alone does not determine goodput).
+    assert hd_positive("81+") > 0.05
+    assert hd_positive("51-80") > 0.35

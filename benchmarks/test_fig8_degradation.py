@@ -1,0 +1,54 @@
+"""Figure 8 — degradation of MinRTT_P50 and HDratio_P50 vs baseline.
+
+Paper anchors: the vast majority of traffic sees minimal degradation over
+the study: only ~10% of traffic experiences >= 4 ms MinRTT_P50 degradation
+(>= 0.065 for HDratio_P50); the tail has 1.1% at >= 20 ms and 2.3% at
+>= 0.4 HDratio degradation.
+"""
+
+from repro.pipeline import fig8_degradation
+from repro.pipeline.report import format_cdf_checkpoints
+
+
+def test_fig8_degradation(benchmark, routing_dataset, record_result):
+    result = benchmark.pedantic(
+        fig8_degradation, args=(routing_dataset,), rounds=1, iterations=1
+    )
+
+    record_result(
+        "fig8_degradation",
+        format_cdf_checkpoints(
+            "Figure 8 — traffic-weighted degradation vs baseline:",
+            [
+                ("valid-aggregation traffic share, MinRTT (paper 0.948)",
+                 result.minrtt.valid_traffic_fraction),
+                ("valid-aggregation traffic share, HDratio (paper 0.895)",
+                 result.hdratio.valid_traffic_fraction),
+                ("traffic with MinRTT_P50 degradation >= 4 ms (paper ~0.10)",
+                 result.minrtt.traffic_fraction_at_least(4.0)),
+                ("traffic with MinRTT_P50 degradation >= 20 ms (paper ~0.011)",
+                 result.minrtt.traffic_fraction_at_least(20.0)),
+                ("traffic with HDratio_P50 degradation >= 0.065 (paper ~0.10)",
+                 result.hdratio.traffic_fraction_at_least(0.065)),
+                ("traffic with HDratio_P50 degradation >= 0.4 (paper ~0.023)",
+                 result.hdratio.traffic_fraction_at_least(0.4)),
+            ],
+        ),
+    )
+
+    # Shape: most traffic sees little degradation; tails shrink with the
+    # threshold.
+    deg4 = result.minrtt.traffic_fraction_at_least(4.0)
+    deg20 = result.minrtt.traffic_fraction_at_least(20.0)
+    assert 0.02 < deg4 < 0.30
+    assert deg20 < deg4
+    assert deg20 < 0.06
+
+    hd_small = result.hdratio.traffic_fraction_at_least(0.065)
+    hd_large = result.hdratio.traffic_fraction_at_least(0.4)
+    assert hd_large <= hd_small
+    assert hd_small < 0.30
+
+    # Statistical machinery produced a usable share of valid comparisons.
+    assert result.minrtt.valid_traffic_fraction > 0.40
+    assert result.hdratio.valid_traffic_fraction > 0.30

@@ -1,0 +1,101 @@
+"""Table 1 — temporal behaviour classes by metric, threshold, continent.
+
+Paper anchors (overall row structure): most traffic is uneventful at every
+threshold; among eventful groups, *diurnal* dominates degradation (peak-hour
+congestion), episodic groups are common but their event traffic is tiny
+(blue >> orange), and the eventful shares shrink as thresholds grow.
+"""
+
+from repro.core.classification import TemporalClass
+from repro.pipeline import table1_temporal_classes
+from repro.pipeline.report import format_table
+
+
+def test_table1_temporal_classes(benchmark, routing_dataset, record_result):
+    result = benchmark.pedantic(
+        table1_temporal_classes, args=(routing_dataset,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for kind, metric, thresholds in (
+        ("degradation", "minrtt", (5.0, 10.0, 20.0)),
+        ("degradation", "hdratio", (0.05, 0.2)),
+        ("opportunity", "minrtt", (5.0,)),
+        ("opportunity", "hdratio", (0.05,)),
+    ):
+        for threshold in thresholds:
+            for cls in TemporalClass:
+                blue, orange = result.fractions(kind, metric, threshold, cls)
+                rows.append(
+                    (
+                        kind,
+                        metric,
+                        f"{threshold}",
+                        cls.value,
+                        f"{blue:.3f}",
+                        f"{orange:.4f}",
+                    )
+                )
+    continent_rows = []
+    for continent in ("AF", "AS", "EU", "NA", "OC", "SA"):
+        for cls in TemporalClass:
+            blue, orange = result.fractions(
+                "degradation", "minrtt", 5.0, cls, continent=continent
+            )
+            if blue > 0:
+                continent_rows.append(
+                    (continent, cls.value, f"{blue:.3f}", f"{orange:.4f}")
+                )
+    record_result(
+        "table1_classes",
+        format_table(
+            ("kind", "metric", "threshold", "class", "class traffic", "event traffic"),
+            rows,
+            title="Table 1 — temporal classes (overall):",
+        )
+        + "\n\n"
+        + format_table(
+            ("continent", "class", "class traffic", "event traffic"),
+            continent_rows,
+            title="Table 1 — MinRTT degradation at 5 ms, by continent:",
+        ),
+    )
+
+    # Uneventful dominates at every threshold (the paper's headline).
+    for kind, metric, threshold in (
+        ("degradation", "minrtt", 5.0),
+        ("degradation", "hdratio", 0.05),
+        ("opportunity", "minrtt", 5.0),
+        ("opportunity", "hdratio", 0.05),
+    ):
+        blue, _ = result.fractions(kind, metric, threshold, TemporalClass.UNEVENTFUL)
+        eventful = sum(
+            result.fractions(kind, metric, threshold, cls)[0]
+            for cls in (
+                TemporalClass.CONTINUOUS,
+                TemporalClass.DIURNAL,
+                TemporalClass.EPISODIC,
+            )
+        )
+        assert blue > eventful, (kind, metric, threshold, blue, eventful)
+
+    # Higher thresholds flag less traffic.
+    deg5 = 1.0 - result.fractions(
+        "degradation", "minrtt", 5.0, TemporalClass.UNEVENTFUL
+    )[0]
+    deg20 = 1.0 - result.fractions(
+        "degradation", "minrtt", 20.0, TemporalClass.UNEVENTFUL
+    )[0]
+    assert deg20 <= deg5 + 1e-9
+
+    # Event traffic (orange) never exceeds class traffic (blue).
+    for cls in TemporalClass:
+        blue, orange = result.fractions("degradation", "minrtt", 5.0, cls)
+        assert orange <= blue + 1e-9
+
+    # Diurnal degradation exists (the injected peak-hour congestion).
+    diurnal_blue, diurnal_orange = result.fractions(
+        "degradation", "minrtt", 5.0, TemporalClass.DIURNAL
+    )
+    assert diurnal_blue > 0.0
+    assert diurnal_orange < diurnal_blue

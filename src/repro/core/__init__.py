@@ -1,0 +1,107 @@
+"""Core methodology of "Internet Performance from Facebook's Edge" (§3).
+
+The subpackage implements, from scratch, the paper's measurement and
+analysis machinery:
+
+- :mod:`repro.core.goodput` — Gtestable / Tmodel(R) / delivery-rate
+  estimation (the novel server-side goodput method, §3.2.2–3.2.3);
+- :mod:`repro.core.coalesce` — HTTP/2 and back-to-back coalescing and
+  bytes-in-flight eligibility (§3.2.5);
+- :mod:`repro.core.hdratio` — the per-session HDratio metric (§3.2.4);
+- :mod:`repro.core.minrtt` — windowed MinRTT / smoothed RTT (§3.1);
+- :mod:`repro.core.aggregation` — user groups and 15-minute windows (§3.3);
+- :mod:`repro.core.comparison` — CI-gated degradation and opportunity
+  verdicts (§3.4, §§5–6);
+- :mod:`repro.core.classification` — temporal behaviour classes (§3.4.2).
+"""
+
+from repro.core.aggregation import Aggregation, AggregationStore, window_index
+from repro.core.classification import (
+    GroupClassification,
+    TemporalClass,
+    classify_group,
+)
+from repro.core.coalesce import (
+    CoalescedTransaction,
+    coalesce_transactions,
+    eligible_transactions,
+)
+from repro.core.comparison import (
+    GroupBaseline,
+    WindowVerdict,
+    compute_baseline,
+    degradation_series,
+    opportunity_series,
+)
+from repro.core.constants import (
+    AGGREGATION_WINDOW_SECONDS,
+    HD_GOODPUT_BPS,
+    HD_GOODPUT_BYTES_PER_SEC,
+    MINRTT_WINDOW_SECONDS,
+)
+from repro.core.goodput import (
+    GoodputAssessment,
+    assess_transaction,
+    estimate_delivery_rate,
+    ideal_round_trips,
+    ideal_wstart,
+    max_testable_goodput,
+    model_transfer_time,
+    naive_goodput,
+)
+from repro.core.hdratio import (
+    SessionGoodput,
+    compute_hdratio,
+    naive_hdratio,
+    session_goodput,
+)
+from repro.core.minrtt import MinRttEstimator, SmoothedRttEstimator
+from repro.core.records import (
+    HttpVersion,
+    Relationship,
+    RouteInfo,
+    SessionSample,
+    TransactionRecord,
+    UserGroupKey,
+)
+
+__all__ = [
+    "AGGREGATION_WINDOW_SECONDS",
+    "Aggregation",
+    "AggregationStore",
+    "CoalescedTransaction",
+    "GoodputAssessment",
+    "GroupBaseline",
+    "GroupClassification",
+    "HD_GOODPUT_BPS",
+    "HD_GOODPUT_BYTES_PER_SEC",
+    "HttpVersion",
+    "MINRTT_WINDOW_SECONDS",
+    "MinRttEstimator",
+    "Relationship",
+    "RouteInfo",
+    "SessionGoodput",
+    "SessionSample",
+    "SmoothedRttEstimator",
+    "TemporalClass",
+    "TransactionRecord",
+    "UserGroupKey",
+    "WindowVerdict",
+    "assess_transaction",
+    "classify_group",
+    "coalesce_transactions",
+    "compute_baseline",
+    "compute_hdratio",
+    "degradation_series",
+    "eligible_transactions",
+    "estimate_delivery_rate",
+    "ideal_round_trips",
+    "ideal_wstart",
+    "max_testable_goodput",
+    "model_transfer_time",
+    "naive_goodput",
+    "naive_hdratio",
+    "opportunity_series",
+    "session_goodput",
+    "window_index",
+]

@@ -1,0 +1,210 @@
+"""Aggregation of session samples into user groups and time windows (§3.3).
+
+A **user group** is (PoP, client BGP prefix, client country); an
+**aggregation** is one user group's samples for one egress route within one
+15-minute window. Each aggregation summarizes its sessions as:
+
+- ``MinRTT_P50`` — median of the sessions' MinRTTs (milliseconds);
+- ``HDratio_P50`` — median HDratio across sessions that had at least one
+  transaction test for HD goodput;
+- traffic weight — total bytes carried, used to weight every reported
+  distribution (§3.3's argument that prefixes are arbitrary units).
+
+Medians (not means) are used to track shifts of the distribution without
+being skewed by second-scale tail RTTs or HDratio's bimodality. The raw
+per-session values are retained inside each aggregation because the
+comparison layer (§3.4) needs them to compute distribution-free confidence
+intervals; a t-digest is maintained alongside as the streaming-production
+analogue (paper footnote 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.constants import AGGREGATION_WINDOW_SECONDS, MIN_AGGREGATION_SAMPLES
+from repro.core.hdratio import compute_hdratio
+from repro.core.records import RouteInfo, SessionSample, UserGroupKey
+from repro.stats.tdigest import TDigest
+from repro.stats.weighted import percentile
+
+__all__ = ["Aggregation", "AggregationStore", "window_index"]
+
+
+def window_index(timestamp: float, window_seconds: float = AGGREGATION_WINDOW_SECONDS) -> int:
+    """Index of the fixed time window containing ``timestamp``."""
+    return int(math.floor(timestamp / window_seconds))
+
+
+@dataclass
+class Aggregation:
+    """Samples for one (user group, route preference rank, window).
+
+    ``route_rank`` is 0 for the policy-preferred route and 1+ for the
+    alternates measured in parallel (§2.2.3): keeping ranks separate is what
+    makes the §6 preferred-vs-alternate comparison possible.
+    """
+
+    group: UserGroupKey
+    route_rank: int
+    window: int
+    min_rtts_ms: List[float] = field(default_factory=list)
+    hdratios: List[float] = field(default_factory=list)
+    traffic_bytes: int = 0
+    session_count: int = 0
+    route: Optional["RouteInfo"] = None
+    _rtt_digest: Optional[TDigest] = field(default=None, repr=False)
+    _hd_digest: Optional[TDigest] = field(default=None, repr=False)
+
+    def add(self, sample: SessionSample, hdratio: Optional[float]) -> None:
+        """Add one session sample (HDratio may be None: not testable)."""
+        self.min_rtts_ms.append(sample.min_rtt_ms)
+        if self.route is None:
+            self.route = sample.route
+        if self._rtt_digest is not None:
+            self._rtt_digest.add(sample.min_rtt_ms)
+        if hdratio is not None:
+            self.hdratios.append(hdratio)
+            if self._hd_digest is not None:
+                self._hd_digest.add(hdratio)
+        self.traffic_bytes += sample.bytes_sent
+        self.session_count += 1
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def minrtt_p50(self) -> float:
+        if not self.min_rtts_ms:
+            raise ValueError("empty aggregation has no MinRTT_P50")
+        return percentile(self.min_rtts_ms, 50.0)
+
+    @property
+    def hdratio_p50(self) -> Optional[float]:
+        if not self.hdratios:
+            return None
+        return percentile(self.hdratios, 50.0)
+
+    def minrtt_p50_streaming(self) -> float:
+        """The t-digest estimate of MinRTT_P50 (production-analytics path)."""
+        if self._rtt_digest is None:
+            raise ValueError("aggregation was built without streaming digests")
+        return self._rtt_digest.median()
+
+    def hdratio_p50_streaming(self) -> Optional[float]:
+        if self._hd_digest is None:
+            raise ValueError("aggregation was built without streaming digests")
+        if self._hd_digest.total_weight == 0:
+            return None
+        return self._hd_digest.median()
+
+    @property
+    def has_min_samples(self) -> bool:
+        return self.session_count >= MIN_AGGREGATION_SAMPLES
+
+    @property
+    def has_min_hd_samples(self) -> bool:
+        return len(self.hdratios) >= MIN_AGGREGATION_SAMPLES
+
+
+class AggregationStore:
+    """Groups a stream of session samples into aggregations.
+
+    The store is keyed by (user group, route rank, window index). Samples
+    without a route annotation are rejected — the measurement pipeline
+    guarantees route annotation at session close (§2.2.2).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = AGGREGATION_WINDOW_SECONDS,
+        with_digests: bool = True,
+    ):
+        self.window_seconds = window_seconds
+        self.with_digests = with_digests
+        self._store: Dict[Tuple[UserGroupKey, int, int], Aggregation] = {}
+
+    def add(self, sample: SessionSample, hdratio: Optional[float] = None) -> Aggregation:
+        """Route one sample into its aggregation; returns the aggregation.
+
+        If ``hdratio`` is not supplied it is computed from the sample's
+        transaction records.
+        """
+        if sample.route is None:
+            raise ValueError("sample is missing its egress route annotation")
+        if hdratio is None and sample.transactions:
+            hdratio = compute_hdratio(sample)
+        group = UserGroupKey(
+            pop=sample.pop, prefix=sample.route.prefix, country=sample.client_country
+        )
+        window = window_index(sample.end_time, self.window_seconds)
+        key = (group, sample.route.preference_rank, window)
+        aggregation = self._store.get(key)
+        if aggregation is None:
+            aggregation = Aggregation(
+                group=group, route_rank=sample.route.preference_rank, window=window
+            )
+            if self.with_digests:
+                aggregation._rtt_digest = TDigest()
+                aggregation._hd_digest = TDigest()
+            self._store[key] = aggregation
+        aggregation.add(sample, hdratio)
+        return aggregation
+
+    def add_all(self, samples: Iterable[SessionSample]) -> None:
+        for sample in samples:
+            self.add(sample)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(
+        self, group: UserGroupKey, route_rank: int, window: int
+    ) -> Optional[Aggregation]:
+        return self._store.get((group, route_rank, window))
+
+    def groups(self) -> List[UserGroupKey]:
+        """Distinct user groups, in insertion order."""
+        seen: Dict[UserGroupKey, None] = {}
+        for group, _, _ in self._store:
+            seen.setdefault(group)
+        return list(seen)
+
+    def windows(self) -> List[int]:
+        """Distinct window indices, sorted."""
+        return sorted({window for _, _, window in self._store})
+
+    def group_windows(self, group: UserGroupKey, route_rank: int = 0) -> List[int]:
+        """Windows in which ``group`` has samples at ``route_rank``, sorted."""
+        return sorted(
+            window
+            for key_group, rank, window in self._store
+            if key_group == group and rank == route_rank
+        )
+
+    def group_series(
+        self, group: UserGroupKey, route_rank: int = 0
+    ) -> List[Aggregation]:
+        """All aggregations of a group at a rank, ordered by window."""
+        items = [
+            aggregation
+            for (key_group, rank, _), aggregation in self._store.items()
+            if key_group == group and rank == route_rank
+        ]
+        return sorted(items, key=lambda aggregation: aggregation.window)
+
+    def route_ranks(self, group: UserGroupKey, window: int) -> List[int]:
+        """Route ranks with data for ``group`` in ``window``, sorted."""
+        return sorted(
+            rank
+            for key_group, rank, key_window in self._store
+            if key_group == group and key_window == window
+        )
+
+    def all_aggregations(self) -> List[Aggregation]:
+        return list(self._store.values())

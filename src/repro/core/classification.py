@@ -1,0 +1,147 @@
+"""Temporal behaviour classification (§3.4.2).
+
+After computing per-window degradation/opportunity verdicts, each user group
+is assigned one of four classes, checked in order:
+
+1. **uneventful** — no valid window has the event at the threshold;
+2. **continuous** (the paper also says "persistent") — the event occurs in
+   at least 75% of valid windows;
+3. **diurnal** — some fixed 15-minute time-of-day slot has the event on at
+   least 5 distinct days;
+4. **episodic** — everything else with at least one event.
+
+Groups with traffic in fewer than 60% of the study's windows are left
+unclassified (``None``) — the paper ignores them because a representative
+view of the group's time behaviour is impossible (sporadic business-hours
+traffic, Cartographer re-steering, etc.).
+
+The classifier also reports the two traffic numbers Table 1 is built from:
+the group's total traffic (how widespread a class is) and the traffic sent
+*during* event windows (how much traffic the episodes actually affected).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.comparison import WindowVerdict
+from repro.core.constants import (
+    AGGREGATION_WINDOW_SECONDS,
+    DIURNAL_MIN_DAYS,
+    MIN_COVERAGE_FRACTION,
+    PERSISTENT_WINDOW_FRACTION,
+)
+
+__all__ = ["TemporalClass", "GroupClassification", "classify_group"]
+
+#: 15-minute windows per day (96 for the paper's configuration).
+WINDOWS_PER_DAY = int(round(86400.0 / AGGREGATION_WINDOW_SECONDS))
+
+
+class TemporalClass(enum.Enum):
+    UNEVENTFUL = "uneventful"
+    CONTINUOUS = "continuous"
+    DIURNAL = "diurnal"
+    EPISODIC = "episodic"
+
+
+@dataclass(frozen=True)
+class GroupClassification:
+    """Classification result for one user group at one threshold.
+
+    ``total_traffic_bytes`` covers every window with data (Table 1's blue
+    columns); ``event_traffic_bytes`` only windows where the event fired
+    (the orange columns).
+    """
+
+    temporal_class: Optional[TemporalClass]
+    total_traffic_bytes: int
+    event_traffic_bytes: int
+    valid_windows: int
+    event_windows: int
+    coverage: float
+
+    @property
+    def classified(self) -> bool:
+        return self.temporal_class is not None
+
+
+def classify_group(
+    verdicts: Sequence[WindowVerdict],
+    threshold: float,
+    study_windows: int,
+    windows_per_day: int = WINDOWS_PER_DAY,
+    coverage_fraction: float = MIN_COVERAGE_FRACTION,
+    persistent_fraction: float = PERSISTENT_WINDOW_FRACTION,
+    diurnal_min_days: int = DIURNAL_MIN_DAYS,
+) -> GroupClassification:
+    """Classify one group's verdict series at ``threshold``.
+
+    ``study_windows`` is the total number of windows in the study period
+    (for the 60% coverage rule). ``verdicts`` should contain one entry per
+    window the group had preferred-route data in, valid or not.
+    """
+    if study_windows <= 0:
+        raise ValueError("study_windows must be positive")
+
+    total_traffic = sum(v.traffic_bytes for v in verdicts)
+    coverage = len(verdicts) / study_windows
+
+    valid = [v for v in verdicts if v.valid]
+    events = [v for v in valid if v.event_at(threshold)]
+    event_traffic = sum(v.traffic_bytes for v in events)
+
+    if coverage < coverage_fraction:
+        return GroupClassification(
+            temporal_class=None,
+            total_traffic_bytes=total_traffic,
+            event_traffic_bytes=event_traffic,
+            valid_windows=len(valid),
+            event_windows=len(events),
+            coverage=coverage,
+        )
+
+    temporal_class = _classify(
+        valid, events, windows_per_day, persistent_fraction, diurnal_min_days
+    )
+    return GroupClassification(
+        temporal_class=temporal_class,
+        total_traffic_bytes=total_traffic,
+        event_traffic_bytes=event_traffic,
+        valid_windows=len(valid),
+        event_windows=len(events),
+        coverage=coverage,
+    )
+
+
+def _classify(
+    valid: List[WindowVerdict],
+    events: List[WindowVerdict],
+    windows_per_day: int,
+    persistent_fraction: float,
+    diurnal_min_days: int,
+) -> TemporalClass:
+    if not events:
+        return TemporalClass.UNEVENTFUL
+    if valid and len(events) / len(valid) >= persistent_fraction:
+        return TemporalClass.CONTINUOUS
+    if _is_diurnal(events, windows_per_day, diurnal_min_days):
+        return TemporalClass.DIURNAL
+    return TemporalClass.EPISODIC
+
+
+def _is_diurnal(
+    events: Sequence[WindowVerdict], windows_per_day: int, min_days: int
+) -> bool:
+    """True when some fixed time-of-day slot fires on >= ``min_days`` days."""
+    days_per_slot: Dict[int, set] = defaultdict(set)
+    for verdict in events:
+        slot = verdict.window % windows_per_day
+        day = verdict.window // windows_per_day
+        days_per_slot[slot].add(day)
+        if len(days_per_slot[slot]) >= min_days:
+            return True
+    return False

@@ -1,0 +1,140 @@
+"""Transaction coalescing and eligibility rules (§3.2.5).
+
+Real HTTP sessions violate the one-response-at-a-time assumption behind the
+goodput model in three ways, each with a prescribed correction:
+
+- **HTTP/2 preemption & multiplexing** — a response's wall-clock time may
+  include time spent sending *other* responses. Overlapping responses are
+  coalesced into a single larger logical transaction.
+- **Back-to-back writes** — a burst of small responses written with no gap at
+  the transport layer behaves like one large response and is coalesced so a
+  sequence of small responses can still test for the target goodput.
+- **Bytes in flight** — if a previous response was still unacknowledged when
+  the next response started and the two were *not* coalesced, the later
+  transaction's timing is contaminated and it is excluded from goodput
+  analysis entirely.
+
+The delayed-ACK correction (ignore the last data packet and its ACK) is
+applied where the records are produced — see
+:class:`repro.core.records.TransactionRecord` — because it needs NIC-level
+timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.records import TransactionRecord
+
+__all__ = ["CoalescedTransaction", "coalesce_transactions", "eligible_transactions"]
+
+#: Responses whose NIC writes are separated by at most this gap are treated
+#: as back-to-back. The paper uses socket/NIC timestamps to detect a literal
+#: zero gap at the transport layer; a small epsilon absorbs clock quantization.
+BACK_TO_BACK_GAP_SECONDS = 1e-4
+
+
+@dataclass(frozen=True)
+class CoalescedTransaction:
+    """One logical transaction after coalescing — the goodput model's input."""
+
+    first_byte_time: float
+    ack_time: float
+    total_bytes: int
+    last_packet_bytes: int
+    cwnd_bytes_at_first_byte: int
+    member_count: int
+    last_byte_write_time: float
+
+    @property
+    def transfer_time(self) -> float:
+        return self.ack_time - self.first_byte_time
+
+    @property
+    def measured_bytes(self) -> int:
+        """Bytes entering the model: the final packet is excluded (§3.2.5)."""
+        return self.total_bytes - self.last_packet_bytes
+
+
+def _overlaps_or_abuts(prev_end: float, next_start: float) -> bool:
+    return next_start <= prev_end + BACK_TO_BACK_GAP_SECONDS
+
+
+def coalesce_transactions(
+    transactions: Sequence[TransactionRecord],
+) -> List[CoalescedTransaction]:
+    """Coalesce overlapping/back-to-back responses into logical transactions.
+
+    Input records must be ordered by ``first_byte_time`` (the load balancer
+    emits them in send order). Two adjacent records merge when the second's
+    first byte is written before (multiplexing/preemption) or immediately
+    after (back-to-back writes) the first's *last byte write* — the
+    transport-layer-gap criterion of paper footnote 9. A response written
+    only after the previous one was acknowledged (normal request/response
+    alternation) never coalesces. Merged transactions take the earliest
+    start, the latest ACK and write times, the summed bytes, the last
+    member's final-packet size, and the *first* member's Wnic (the window
+    when the combined burst began).
+    """
+    coalesced: List[CoalescedTransaction] = []
+    previous_start = -float("inf")
+    for record in transactions:
+        if record.first_byte_time < previous_start:
+            raise ValueError("transactions must be ordered by first_byte_time")
+        previous_start = record.first_byte_time
+        record_last_write = (
+            record.last_byte_write_time
+            if record.last_byte_write_time is not None
+            else record.first_byte_time
+        )
+        if coalesced and _overlaps_or_abuts(
+            coalesced[-1].last_byte_write_time, record.first_byte_time
+        ):
+            prev = coalesced[-1]
+            coalesced[-1] = CoalescedTransaction(
+                first_byte_time=prev.first_byte_time,
+                ack_time=max(prev.ack_time, record.ack_time),
+                total_bytes=prev.total_bytes + record.response_bytes,
+                last_packet_bytes=record.last_packet_bytes,
+                cwnd_bytes_at_first_byte=prev.cwnd_bytes_at_first_byte,
+                member_count=prev.member_count + 1,
+                last_byte_write_time=max(
+                    prev.last_byte_write_time, record_last_write
+                ),
+            )
+        else:
+            coalesced.append(
+                CoalescedTransaction(
+                    first_byte_time=record.first_byte_time,
+                    ack_time=record.ack_time,
+                    total_bytes=record.response_bytes,
+                    last_packet_bytes=record.last_packet_bytes,
+                    cwnd_bytes_at_first_byte=record.cwnd_bytes_at_first_byte,
+                    member_count=1,
+                    last_byte_write_time=record_last_write,
+                )
+            )
+    return coalesced
+
+
+def eligible_transactions(
+    transactions: Sequence[TransactionRecord],
+) -> List[CoalescedTransaction]:
+    """Coalesce, then drop transactions contaminated by bytes in flight.
+
+    A coalesced transaction is ineligible when the record that *opened* it
+    reported unacknowledged bytes from an earlier, non-coalesced response
+    (§3.2.5 "Bytes in Flight"). The session's first transaction is always
+    eligible — any bytes in flight at that point are handshake/TLS bytes,
+    not an earlier response.
+    """
+    coalesced = coalesce_transactions(transactions)
+    eligible: List[CoalescedTransaction] = []
+    opener_index = 0
+    for position, txn in enumerate(coalesced):
+        opener = transactions[opener_index]
+        if position == 0 or opener.bytes_in_flight_at_start == 0:
+            eligible.append(txn)
+        opener_index += txn.member_count
+    return eligible

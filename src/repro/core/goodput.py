@@ -1,0 +1,335 @@
+"""Server-side goodput estimation — the paper's core contribution (§3.2).
+
+The method answers two questions per HTTP transaction:
+
+1. **Can this transaction test for a target goodput?** (§3.2.2) Small
+   responses and cold congestion windows cannot exercise a target rate, so
+   their low measured goodput says nothing about the network. We model TCP
+   slow start under *ideal* conditions — cwnd doubling per round trip,
+   starting from ``Wstart`` — and compute the maximum goodput any single
+   round trip could demonstrate (``Gtestable``, eqs. 1–3 of the paper).
+   ``Wstart`` chains across the session: it is the max of the measured cwnd
+   when the first response byte hit the NIC (``Wnic``) and the *ideal* cwnd
+   at the end of the previous transaction, so that a cwnd collapsed by real
+   losses still counts as evidence of poor performance rather than being
+   excluded (§3.2.2, last paragraph).
+
+2. **Did a capable transaction achieve the target?** (§3.2.3) We compare the
+   measured transfer time ``Ttotal`` against the transfer time of a
+   best-case model transaction through a bottleneck of rate ``R``
+   (``Tmodel(R)``): cwnd doubling until the window supports ``R``, then
+   perfect delivery at ``R``, with MinRTT as the best-case RTT. If
+   ``Ttotal <= Tmodel(R)`` the real transfer delivered at least ``R``.
+
+Worked example (Figure 4 of the paper, 60 ms MinRTT, 1500 B packets,
+initial cwnd 10):
+
+>>> mss = 1500
+>>> txn1 = max_testable_goodput(2 * mss, 10 * mss, 0.060)
+>>> round(txn1 * 8 / 1e6, 1)   # 0.4 Mbps
+0.4
+>>> txn2 = max_testable_goodput(24 * mss, 10 * mss, 0.060)
+>>> round(txn2 * 8 / 1e6, 1)   # 2.8 Mbps (its second round trip)
+2.8
+>>> w3 = ideal_wstart(24 * mss, 10 * mss)  # cwnd grown by txn2 under ideal net
+>>> w3 // mss
+20
+>>> txn3 = max_testable_goodput(14 * mss, w3, 0.060)
+>>> round(txn3 * 8 / 1e6, 1)   # 2.8 Mbps, single round trip of 14 packets
+2.8
+
+All rates in this module are **bytes per second** and sizes are bytes;
+convert at the call sites that speak Mbps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.constants import HD_GOODPUT_BYTES_PER_SEC
+
+__all__ = [
+    "GoodputAssessment",
+    "assess_transaction",
+    "estimate_delivery_rate",
+    "ideal_round_trips",
+    "ideal_wstart",
+    "max_testable_goodput",
+    "model_transfer_time",
+    "naive_goodput",
+    "slow_start_rounds_for_rate",
+    "window_at_round",
+]
+
+#: Hard cap on modelled slow-start doublings. 2**60 bytes dwarfs any real
+#: transfer; this only guards against pathological inputs.
+_MAX_ROUNDS = 60
+
+
+def ideal_round_trips(total_bytes: int, wstart_bytes: int) -> int:
+    """Round trips ``m`` to transfer ``total_bytes`` under ideal slow start.
+
+    Equation (1) of the paper: ``m = ceil(log2(Btotal / Wstart + 1))`` —
+    round ``n`` can carry ``2**(n-1) * Wstart`` bytes, so ``m`` rounds carry
+    ``Wstart * (2**m - 1)``.
+    """
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    if wstart_bytes <= 0:
+        raise ValueError("wstart_bytes must be positive")
+    ratio = total_bytes / wstart_bytes + 1.0
+    m = math.ceil(math.log2(ratio) - 1e-12)
+    return max(m, 1)
+
+
+def window_at_round(round_index: int, wstart_bytes: int) -> int:
+    """Ideal cwnd (bytes) at the start of round ``n`` — eq. (2): WSS(n).
+
+    ``round_index`` is 1-based like the paper's ``n``; WSS(1) = Wstart.
+    """
+    if round_index < 1:
+        raise ValueError("round_index is 1-based")
+    if round_index > _MAX_ROUNDS:
+        raise ValueError("round_index implausibly large")
+    return (2 ** (round_index - 1)) * wstart_bytes
+
+
+def ideal_wstart(prev_total_bytes: int, prev_wstart_bytes: int) -> int:
+    """Ideal cwnd after a transaction completes: WSS(m) of the previous one.
+
+    Used to chain ``Wstart`` across transactions (§3.2.2): the next
+    transaction's ``Wstart`` is ``max(Wnic, WSS(m))`` where ``m`` is the
+    previous transaction's ideal round-trip count. WSS(m) is a lower bound
+    on the ideal next window because growth during the final (possibly
+    partial) round is ignored (paper footnote 4).
+    """
+    m = ideal_round_trips(prev_total_bytes, prev_wstart_bytes)
+    return window_at_round(m, prev_wstart_bytes)
+
+
+def _bytes_per_round(total_bytes: int, wstart_bytes: int) -> tuple:
+    """(bytes in penultimate round, bytes in final round) under ideal growth."""
+    m = ideal_round_trips(total_bytes, wstart_bytes)
+    if m == 1:
+        return 0, total_bytes
+    sent_before_last = wstart_bytes * ((2 ** (m - 1)) - 1)  # rounds 1..m-1
+    final_round = total_bytes - sent_before_last
+    penultimate = window_at_round(m - 1, wstart_bytes)
+    return penultimate, final_round
+
+
+def max_testable_goodput(
+    total_bytes: int, wstart_bytes: int, min_rtt_seconds: float
+) -> float:
+    """Maximum goodput (bytes/s) a transaction can demonstrate — eq. (3).
+
+    The best single-round-trip delivery under ideal conditions: the larger
+    of the bytes carried in the last and penultimate round trips, divided by
+    MinRTT. A transaction can only *test* for rates at or below this.
+    """
+    if min_rtt_seconds <= 0:
+        raise ValueError("min_rtt_seconds must be positive")
+    penultimate, final_round = _bytes_per_round(total_bytes, wstart_bytes)
+    return max(penultimate, final_round) / min_rtt_seconds
+
+
+def slow_start_rounds_for_rate(
+    rate_bytes_per_sec: float, wnic_bytes: int, min_rtt_seconds: float
+) -> int:
+    """Rounds of doubling (from Wnic) until the cwnd supports ``rate``.
+
+    The model congestion control (§3.2.3) doubles the cwnd each round trip
+    until ``cwnd >= rate * MinRTT`` (the BDP at the target rate), then sends
+    at exactly ``rate``. Returns ``n >= 0``.
+    """
+    if rate_bytes_per_sec <= 0:
+        raise ValueError("rate must be positive")
+    needed = rate_bytes_per_sec * min_rtt_seconds
+    if wnic_bytes >= needed:
+        return 0
+    n = math.ceil(math.log2(needed / wnic_bytes) - 1e-12)
+    return min(max(n, 0), _MAX_ROUNDS)
+
+
+def model_transfer_time(
+    rate_bytes_per_sec: float,
+    total_bytes: int,
+    wnic_bytes: int,
+    min_rtt_seconds: float,
+) -> float:
+    """Best-case transfer time through a bottleneck of ``rate`` — Tmodel(R).
+
+    ``n`` slow-start round trips (cwnd doubling from ``Wnic``) carry
+    ``Wnic * (2**n - 1)`` bytes, the remainder crosses the bottleneck at
+    ``rate``, and one final MinRTT covers the last acknowledgement:
+
+        Tmodel(R) = n * MinRTT + (Btotal - SS(n)) / R + MinRTT
+
+    ``n`` is the doublings needed before the cwnd covers the BDP of ``rate``,
+    capped at ``m - 1`` (the transfer cannot spend more sending rounds in
+    slow start than the ideal transfer uses in total). The cap keeps the
+    paper's two anchor cases consistent: short responses reduce to
+    ``Btotal / R + MinRTT`` (their single-RTT example charges the full
+    bottleneck transmission time even though the response fits in one
+    window), and large responses pay ``n`` doubling rounds before streaming
+    at ``R``. With the cap, Tmodel is continuous and strictly decreasing in
+    ``R``, approaching the ideal slow-start floor ``m * MinRTT`` as
+    ``R -> inf``.
+    """
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    if wnic_bytes <= 0:
+        raise ValueError("wnic_bytes must be positive")
+    if min_rtt_seconds <= 0:
+        raise ValueError("min_rtt_seconds must be positive")
+
+    m = ideal_round_trips(total_bytes, wnic_bytes)
+    n = slow_start_rounds_for_rate(rate_bytes_per_sec, wnic_bytes, min_rtt_seconds)
+    n = min(n, m - 1)
+    slow_start_bytes = wnic_bytes * ((2 ** n) - 1)
+    remaining = total_bytes - slow_start_bytes
+    return n * min_rtt_seconds + remaining / rate_bytes_per_sec + min_rtt_seconds
+
+
+def estimate_delivery_rate(
+    total_bytes: int,
+    transfer_time_seconds: float,
+    wnic_bytes: int,
+    min_rtt_seconds: float,
+    max_rate_bytes_per_sec: float = 125e6,  # 1 Gbps ceiling
+) -> float:
+    """Largest rate ``R`` with ``Ttotal <= Tmodel(R)`` (bytes/s).
+
+    This is the paper's delivery-rate estimate: the fastest modelled
+    bottleneck that the real transfer kept up with. For single-round-trip
+    responses it reduces to ``Btotal / (Ttotal - MinRTT)``.
+
+    ``Tmodel`` is piecewise in the number of slow-start rounds ``n``; within
+    a branch the candidate rate has the closed form
+    ``R = (Btotal - SS(n)) / (Ttotal - (n + 1) * MinRTT)``. We evaluate every
+    consistent branch and take the best, then clamp to
+    ``max_rate_bytes_per_sec`` (transfers faster than the ideal slow-start
+    time have unbounded model rate).
+    """
+    if transfer_time_seconds <= 0:
+        raise ValueError("transfer_time_seconds must be positive")
+
+    # Faster than (or equal to) the ideal slow-start completion: the network
+    # never limited this transfer within model resolution.
+    m = ideal_round_trips(total_bytes, wnic_bytes)
+    if transfer_time_seconds <= m * min_rtt_seconds:
+        return max_rate_bytes_per_sec
+
+    best_rate = 0.0
+    for n in range(0, m):
+        slow_start_bytes = wnic_bytes * ((2 ** n) - 1)
+        if slow_start_bytes >= total_bytes:
+            break
+        denom = transfer_time_seconds - (n + 1) * min_rtt_seconds
+        if denom <= 0:
+            continue
+        rate = (total_bytes - slow_start_bytes) / denom
+        # Consistency: n must be exactly the (capped) doublings this rate
+        # requires under the model.
+        required = min(
+            slow_start_rounds_for_rate(rate, wnic_bytes, min_rtt_seconds), m - 1
+        )
+        if required != n:
+            continue
+        best_rate = max(best_rate, rate)
+
+    if best_rate == 0.0:
+        # No branch was self-consistent (can happen at branch boundaries);
+        # fall back to a conservative scan for the largest achievable rate.
+        low, high = 1.0, max_rate_bytes_per_sec
+        if transfer_time_seconds > model_transfer_time(
+            low, total_bytes, wnic_bytes, min_rtt_seconds
+        ):
+            return 0.0
+        for _ in range(64):
+            mid = math.sqrt(low * high)
+            if transfer_time_seconds <= model_transfer_time(
+                mid, total_bytes, wnic_bytes, min_rtt_seconds
+            ):
+                low = mid
+            else:
+                high = mid
+        best_rate = low
+    return min(best_rate, max_rate_bytes_per_sec)
+
+
+def naive_goodput(total_bytes: int, transfer_time_seconds: float) -> float:
+    """The simple estimator the paper compares against (§4): Btotal / Ttotal.
+
+    Ignores slow start and propagation delay, so it systematically
+    underestimates — the paper reports it drags the median HDratio down to
+    0.69 from the model's value.
+    """
+    if transfer_time_seconds <= 0:
+        raise ValueError("transfer_time_seconds must be positive")
+    return total_bytes / transfer_time_seconds
+
+
+@dataclass(frozen=True)
+class GoodputAssessment:
+    """Outcome of assessing one transaction against a target rate.
+
+    ``can_test`` — Gtestable >= target (§3.2.2).
+    ``achieved`` — Ttotal <= Tmodel(target); only meaningful when
+    ``can_test`` is true.
+    ``next_wstart_bytes`` — ideal cwnd to chain into the next transaction.
+    """
+
+    can_test: bool
+    achieved: bool
+    testable_goodput: float
+    wstart_bytes: int
+    next_wstart_bytes: int
+    model_time_seconds: Optional[float] = None
+
+
+def assess_transaction(
+    total_bytes: int,
+    transfer_time_seconds: float,
+    wnic_bytes: int,
+    min_rtt_seconds: float,
+    prev_ideal_wstart_bytes: int = 0,
+    target_rate_bytes_per_sec: float = HD_GOODPUT_BYTES_PER_SEC,
+) -> GoodputAssessment:
+    """Full §3.2 assessment of one (already corrected) transaction.
+
+    ``total_bytes``/``transfer_time_seconds`` must already have the
+    delayed-ACK correction applied (last packet and its ACK excluded —
+    see :class:`repro.core.records.TransactionRecord`).
+
+    ``prev_ideal_wstart_bytes`` is the chained ideal window from the previous
+    transaction (0 for the first). ``Wstart = max(Wnic, prev_ideal)``.
+    """
+    wstart = max(wnic_bytes, prev_ideal_wstart_bytes)
+    testable = max_testable_goodput(total_bytes, wstart, min_rtt_seconds)
+    next_wstart = ideal_wstart(total_bytes, wstart)
+
+    can_test = testable >= target_rate_bytes_per_sec
+    if not can_test:
+        return GoodputAssessment(
+            can_test=False,
+            achieved=False,
+            testable_goodput=testable,
+            wstart_bytes=wstart,
+            next_wstart_bytes=next_wstart,
+        )
+
+    model_time = model_transfer_time(
+        target_rate_bytes_per_sec, total_bytes, wstart, min_rtt_seconds
+    )
+    achieved = transfer_time_seconds <= model_time
+    return GoodputAssessment(
+        can_test=True,
+        achieved=achieved,
+        testable_goodput=testable,
+        wstart_bytes=wstart,
+        next_wstart_bytes=next_wstart,
+        model_time_seconds=model_time,
+    )

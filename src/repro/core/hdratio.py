@@ -1,0 +1,131 @@
+"""HDratio — per-session ability to sustain the HD goodput target (§3.2.4).
+
+``HDratio`` is the paper's summary metric for achievable goodput: for each
+HTTP session, the ratio of transactions that *achieved* a delivery rate of at
+least HD goodput (2.5 Mbps) to the transactions that were *capable of
+testing* for it. Sessions where no transaction could test are assigned no
+HDratio at all (``None``) — the absence of a test is not a performance
+signal (§3.2.2).
+
+The per-session (rather than per-transaction) definition prevents paths that
+carry many-transaction sessions from being over-represented in aggregates
+(§3.2.4, referencing Figure 3's heavy tail of transaction counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.coalesce import CoalescedTransaction, eligible_transactions
+from repro.core.constants import HD_GOODPUT_BYTES_PER_SEC
+from repro.core.goodput import assess_transaction, naive_goodput
+from repro.core.records import SessionSample, TransactionRecord
+
+__all__ = ["SessionGoodput", "compute_hdratio", "session_goodput", "naive_hdratio"]
+
+
+@dataclass(frozen=True)
+class SessionGoodput:
+    """Per-session goodput assessment summary.
+
+    ``hdratio`` is ``None`` when no transaction could test for the target —
+    such sessions are excluded from HDratio aggregates rather than counted
+    as zero.
+    """
+
+    tested: int
+    achieved: int
+    eligible: int
+
+    @property
+    def hdratio(self) -> Optional[float]:
+        if self.tested == 0:
+            return None
+        return self.achieved / self.tested
+
+
+def _assess_session(
+    transactions: Sequence[CoalescedTransaction],
+    min_rtt_seconds: float,
+    target_rate_bytes_per_sec: float,
+    use_model: bool,
+) -> SessionGoodput:
+    tested = 0
+    achieved = 0
+    prev_ideal_wstart = 0
+    for txn in transactions:
+        measured_bytes = txn.measured_bytes
+        if measured_bytes <= 0:
+            # Single-packet response: nothing left after the delayed-ACK
+            # correction, so it cannot inform goodput. It still grows the
+            # ideal window chain by its full size.
+            prev_ideal_wstart = max(prev_ideal_wstart, txn.cwnd_bytes_at_first_byte)
+            continue
+        assessment = assess_transaction(
+            total_bytes=measured_bytes,
+            transfer_time_seconds=txn.transfer_time,
+            wnic_bytes=txn.cwnd_bytes_at_first_byte,
+            min_rtt_seconds=min_rtt_seconds,
+            prev_ideal_wstart_bytes=prev_ideal_wstart,
+            target_rate_bytes_per_sec=target_rate_bytes_per_sec,
+        )
+        prev_ideal_wstart = assessment.next_wstart_bytes
+        if not assessment.can_test:
+            continue
+        tested += 1
+        if use_model:
+            if assessment.achieved:
+                achieved += 1
+        else:
+            # Ablation path: the naive Btotal/Ttotal estimator (§4), still
+            # gated by the same capability test.
+            if txn.transfer_time > 0 and (
+                naive_goodput(measured_bytes, txn.transfer_time)
+                >= target_rate_bytes_per_sec
+            ):
+                achieved += 1
+    return SessionGoodput(tested=tested, achieved=achieved, eligible=len(transactions))
+
+
+def session_goodput(
+    transactions: Sequence[TransactionRecord],
+    min_rtt_seconds: float,
+    target_rate_bytes_per_sec: float = HD_GOODPUT_BYTES_PER_SEC,
+) -> SessionGoodput:
+    """Assess a session's raw transaction records against a target rate.
+
+    Applies, in order: coalescing, bytes-in-flight eligibility, the
+    capability test (Gtestable with the chained ideal Wstart), and the
+    achievement test (Tmodel comparison).
+    """
+    if min_rtt_seconds <= 0:
+        raise ValueError("min_rtt_seconds must be positive")
+    coalesced = eligible_transactions(transactions)
+    return _assess_session(
+        coalesced, min_rtt_seconds, target_rate_bytes_per_sec, use_model=True
+    )
+
+
+def naive_hdratio(
+    transactions: Sequence[TransactionRecord],
+    min_rtt_seconds: float,
+    target_rate_bytes_per_sec: float = HD_GOODPUT_BYTES_PER_SEC,
+) -> Optional[float]:
+    """HDratio under the naive Btotal/Ttotal estimator — the §4 ablation."""
+    if min_rtt_seconds <= 0:
+        raise ValueError("min_rtt_seconds must be positive")
+    coalesced = eligible_transactions(transactions)
+    return _assess_session(
+        coalesced, min_rtt_seconds, target_rate_bytes_per_sec, use_model=False
+    ).hdratio
+
+
+def compute_hdratio(
+    sample: SessionSample,
+    target_rate_bytes_per_sec: float = HD_GOODPUT_BYTES_PER_SEC,
+) -> Optional[float]:
+    """Convenience wrapper: HDratio for a :class:`SessionSample`."""
+    return session_goodput(
+        sample.transactions, sample.min_rtt_seconds, target_rate_bytes_per_sec
+    ).hdratio

@@ -1,0 +1,129 @@
+"""Windowed MinRTT estimation (§3.1).
+
+MinRTT is "the minimum round-trip time observed over a configurable window"
+as maintained by the Linux kernel's TCP stack; Facebook configures the window
+to 5 minutes and records the value at session termination. Because most
+sessions end within 5 minutes (§2.3), this effectively captures the
+session-lifetime minimum.
+
+:class:`MinRttEstimator` mirrors the kernel's windowed-min filter
+(``tcp_min_rtt``): a monotonic deque of (timestamp, rtt) candidates where
+newer, smaller samples evict older, larger ones, and entries older than the
+window expire. The smoothed-RTT estimator used for RTO bookkeeping (sRTT,
+RFC 6298 coefficients) is included for completeness — the paper records it
+but deliberately bases its analysis on MinRTT because RTT *variation* mostly
+reflects last-mile conditions, not the routes being studied.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.core.constants import MINRTT_WINDOW_SECONDS
+
+__all__ = ["MinRttEstimator", "SmoothedRttEstimator"]
+
+
+class MinRttEstimator:
+    """Windowed minimum RTT filter.
+
+    >>> est = MinRttEstimator(window_seconds=10.0)
+    >>> est.update(0.0, 0.050)
+    >>> est.update(1.0, 0.040)
+    >>> est.current(1.0)
+    0.04
+    >>> est.update(12.0, 0.060)   # the 40 ms sample has expired
+    >>> est.current(12.0)
+    0.06
+    """
+
+    def __init__(self, window_seconds: float = MINRTT_WINDOW_SECONDS):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self._lifetime_min: Optional[float] = None
+        self._sample_count = 0
+
+    def update(self, now: float, rtt_seconds: float) -> None:
+        """Feed one RTT sample observed at time ``now``."""
+        if rtt_seconds <= 0:
+            raise ValueError("rtt_seconds must be positive")
+        self._sample_count += 1
+        if self._lifetime_min is None or rtt_seconds < self._lifetime_min:
+            self._lifetime_min = rtt_seconds
+        self._expire(now)
+        # Monotonic deque: drop candidates that can never be the window min
+        # again because this sample is newer and no larger.
+        while self._samples and self._samples[-1][1] >= rtt_seconds:
+            self._samples.pop()
+        self._samples.append((now, rtt_seconds))
+
+    def current(self, now: float) -> Optional[float]:
+        """MinRTT over the trailing window ending at ``now``."""
+        self._expire(now)
+        if not self._samples:
+            return None
+        return self._samples[0][1]
+
+    def at_termination(self, now: float) -> Optional[float]:
+        """The value the load balancer records when the session closes.
+
+        Falls back to the lifetime minimum when the window has gone empty
+        (an idle tail longer than the window) — matching the paper's note
+        that recording at termination "effectively captures the minimum RTT
+        observed over the session's lifetime" for typical sessions.
+        """
+        windowed = self.current(now)
+        if windowed is not None:
+            return windowed
+        return self._lifetime_min
+
+    @property
+    def sample_count(self) -> int:
+        return self._sample_count
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window_seconds
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+
+class SmoothedRttEstimator:
+    """RFC 6298 smoothed RTT / RTT variance (kernel ``srtt``/``rttvar``).
+
+    Used by the simulator for retransmission timeouts; the analysis layer
+    intentionally does not consume it (§3.1 explains why MinRTT is the
+    route-quality signal).
+    """
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+    MIN_RTO = 0.2   # Linux lower bound (200 ms)
+    MAX_RTO = 120.0
+
+    def __init__(self) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+
+    def update(self, rtt_seconds: float) -> None:
+        if rtt_seconds <= 0:
+            raise ValueError("rtt_seconds must be positive")
+        if self.srtt is None:
+            self.srtt = rtt_seconds
+            self.rttvar = rtt_seconds / 2.0
+            return
+        self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(
+            self.srtt - rtt_seconds
+        )
+        self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt_seconds
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout."""
+        if self.srtt is None:
+            return 1.0  # RFC 6298 initial RTO
+        rto = self.srtt + self.K * (self.rttvar or 0.0)
+        return min(max(rto, self.MIN_RTO), self.MAX_RTO)

@@ -1,0 +1,224 @@
+"""BGP routes: announcements, relationships, path properties.
+
+A PoP typically learns three or more distinct routes per destination prefix
+(§6.1): one or more peer routes (over private interconnects or IXP fabrics)
+and routes via two or more transit providers. Routes carry the attributes
+the routing policy and the §6 analysis consume: AS-path (with optional
+prepending), relationship type, and interconnect kind — plus the *path
+condition* parameters the synthetic channel model needs (RTT penalty versus
+the direct path, capacity headroom, loss floor).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.core.records import Relationship, RouteInfo
+
+__all__ = ["BgpRoute", "PathCondition", "RouteGenerator"]
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """Physical condition of the path a route takes (beyond the policy view).
+
+    ``rtt_penalty_ms`` — extra round-trip latency versus the best physical
+    path to the destination (0 for a direct peer route).
+    ``loss_floor`` — baseline random loss on the route's middle mile.
+    ``congestion_capacity`` — available headroom relative to the traffic the
+    route would attract; routes with headroom < 1.0 develop peak-hour queues
+    and loss (used by :mod:`repro.workload.events`).
+    """
+
+    rtt_penalty_ms: float = 0.0
+    loss_floor: float = 0.0
+    congestion_capacity: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rtt_penalty_ms < 0:
+            raise ValueError("rtt_penalty_ms must be non-negative")
+        if not 0.0 <= self.loss_floor < 1.0:
+            raise ValueError("loss_floor must be in [0, 1)")
+        if self.congestion_capacity <= 0:
+            raise ValueError("congestion_capacity must be positive")
+
+
+@dataclass(frozen=True)
+class BgpRoute:
+    """One announced route for a destination prefix at a PoP."""
+
+    prefix: str
+    prefix_length: int
+    as_path: Tuple[int, ...]
+    relationship: Relationship
+    condition: PathCondition = PathCondition()
+    prepended: bool = False
+
+    @property
+    def as_path_length(self) -> int:
+        return len(self.as_path)
+
+    @property
+    def is_peer(self) -> bool:
+        return self.relationship in (Relationship.PRIVATE, Relationship.PUBLIC)
+
+    def to_route_info(self, preference_rank: int) -> RouteInfo:
+        """Annotation attached to session samples (§2.2.2)."""
+        return RouteInfo(
+            prefix=self.prefix,
+            as_path=self.as_path,
+            relationship=self.relationship,
+            preference_rank=preference_rank,
+            prepended=self.prepended,
+        )
+
+
+class RouteGenerator:
+    """Generates realistic route sets for a destination prefix.
+
+    The generated mix follows §6's observations:
+
+    - most prefixes have a direct private peer route (AS-path length 1,
+      best physical path);
+    - many also have a public (IXP) peer route, physically similar but
+      occasionally better or worse;
+    - two or more transit routes exist with longer AS paths, a latency
+      penalty (provider backbone detour), and less capacity headroom —
+      "routes via transit providers frequently lack the capacity required"
+      (§6.1);
+    - a small fraction of prefixes have a *mis-preferred* route set where an
+      alternate would actually perform better, seeding the limited
+      opportunity the paper finds (§6.2).
+    """
+
+    TRANSIT_ASNS = (1299, 3356, 174, 2914, 6762)
+
+    def __init__(
+        self,
+        rng: random.Random,
+        private_peer_probability: float = 0.75,
+        public_peer_probability: float = 0.55,
+        transit_count: int = 2,
+        mispreferred_probability: float = 0.04,
+    ) -> None:
+        self.rng = rng
+        self.private_peer_probability = private_peer_probability
+        self.public_peer_probability = public_peer_probability
+        self.transit_count = transit_count
+        self.mispreferred_probability = mispreferred_probability
+
+    def routes_for_prefix(self, prefix: str, dest_asn: int) -> List[BgpRoute]:
+        """Generate the route set a PoP learns for ``prefix``."""
+        prefix_length = int(prefix.rsplit("/", 1)[1])
+        rng = self.rng
+        routes: List[BgpRoute] = []
+
+        has_private = rng.random() < self.private_peer_probability
+        has_public = rng.random() < self.public_peer_probability
+        if not has_private and not has_public:
+            has_public = True  # every prefix keeps at least one peer or
+            # transit mix interesting; transit-only prefixes exist too:
+            if rng.random() < 0.3:
+                has_public = False
+
+        if has_private:
+            routes.append(
+                BgpRoute(
+                    prefix=prefix,
+                    prefix_length=prefix_length,
+                    as_path=(dest_asn,),
+                    relationship=Relationship.PRIVATE,
+                    condition=PathCondition(
+                        rtt_penalty_ms=0.0,
+                        loss_floor=0.0,
+                        congestion_capacity=rng.uniform(1.5, 4.0),
+                    ),
+                )
+            )
+            if rng.random() < 0.35:
+                # A second private route via a regional aggregator/sibling
+                # AS: physically near-direct but one AS hop longer, so the
+                # policy deprioritizes it (tiebreak 3). These are the
+                # "same relationship, longer AS-path" alternates Table 2
+                # finds most MinRTT opportunity on.
+                routes.append(
+                    BgpRoute(
+                        prefix=prefix,
+                        prefix_length=prefix_length,
+                        as_path=(64800 + rng.randrange(100), dest_asn),
+                        relationship=Relationship.PRIVATE,
+                        condition=PathCondition(
+                            rtt_penalty_ms=max(0.0, rng.gauss(1.5, 1.5)),
+                            loss_floor=0.0,
+                            congestion_capacity=rng.uniform(1.0, 3.0),
+                        ),
+                    )
+                )
+        if has_public:
+            routes.append(
+                BgpRoute(
+                    prefix=prefix,
+                    prefix_length=prefix_length,
+                    as_path=(dest_asn,),
+                    relationship=Relationship.PUBLIC,
+                    condition=PathCondition(
+                        rtt_penalty_ms=max(0.0, rng.gauss(1.0, 1.0)),
+                        loss_floor=0.0,
+                        congestion_capacity=rng.uniform(1.0, 2.5),
+                    ),
+                )
+            )
+
+        transit_asns = rng.sample(self.TRANSIT_ASNS, k=self.transit_count)
+        for transit_asn in transit_asns:
+            prepended = rng.random() < 0.15
+            intermediate = (transit_asn,)
+            if rng.random() < 0.35:
+                intermediate = (transit_asn, 64000 + rng.randrange(100))
+            path = intermediate + (dest_asn,)
+            if prepended:
+                path = path + (dest_asn,) * rng.choice((1, 2))
+            routes.append(
+                BgpRoute(
+                    prefix=prefix,
+                    prefix_length=prefix_length,
+                    as_path=path,
+                    relationship=Relationship.TRANSIT,
+                    prepended=prepended,
+                    condition=PathCondition(
+                        rtt_penalty_ms=max(0.0, rng.gauss(4.0, 3.0)),
+                        loss_floor=0.0,
+                        congestion_capacity=rng.uniform(0.8, 2.0),
+                    ),
+                )
+            )
+
+        if routes and rng.random() < self.mispreferred_probability:
+            routes = self._invert_best(routes)
+        return routes
+
+    def _invert_best(self, routes: List[BgpRoute]) -> List[BgpRoute]:
+        """Make the physically best path one the policy will not prefer.
+
+        Gives the policy-preferred route a latency penalty while one
+        less-preferred route keeps the direct path — the "continuous
+        opportunity" population of Table 1.
+        """
+        penalized = []
+        for index, route in enumerate(routes):
+            if index == 0:
+                penalized.append(
+                    replace(
+                        route,
+                        condition=replace(
+                            route.condition,
+                            rtt_penalty_ms=route.condition.rtt_penalty_ms
+                            + self.rng.uniform(6.0, 15.0),
+                        ),
+                    )
+                )
+            else:
+                penalized.append(route)
+        return penalized

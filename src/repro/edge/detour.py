@@ -1,0 +1,264 @@
+"""Performance-aware detour control — the §6.2.2 feasibility study.
+
+The paper stops short of *acting* on routing opportunity, warning that "a
+traffic engineering system that simply shifts traffic onto the best
+performing alternate route may cause congestion and risk oscillations. An
+active traffic engineering system would need to gradually shift traffic
+onto the alternate route, continuously monitor its performance, and
+guarantee convergence to a stable state."
+
+This module turns that paragraph into code:
+
+- :class:`GreedyShifter` — the strawman: moves *all* traffic to whichever
+  route currently measures better;
+- :class:`GradualController` — the paper's prescription: CI-gated decisions
+  (only act when the alternate is confidently better), bounded step sizes,
+  multiplicative backoff when the alternate degrades under the shifted
+  load, and a hysteresis cooldown that prevents flapping;
+- :class:`CongestibleRoute` / :func:`simulate_control_loop` — a closed-loop
+  plant: the alternate route's latency rises once shifted demand approaches
+  its capacity, which is exactly the feedback that makes the greedy policy
+  oscillate.
+
+The ablation benchmark shows the greedy policy oscillating (repeated full
+shifts back and forth) while the gradual controller converges to a stable
+split that captures most of the latency win.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.stats.median_ci import MedianComparison, compare_medians
+
+__all__ = [
+    "CongestibleRoute",
+    "ControlTrace",
+    "GradualController",
+    "GreedyShifter",
+    "simulate_control_loop",
+]
+
+
+@dataclass
+class CongestibleRoute:
+    """A route whose latency degrades as carried demand nears capacity.
+
+    ``base_rtt_ms`` is the uncongested latency; once utilization exceeds
+    ``knee``, a standing queue grows steeply (an M/M/1-flavoured penalty,
+    capped so the loop stays numerically tame).
+    """
+
+    base_rtt_ms: float
+    capacity: float
+    knee: float = 0.7
+    max_penalty_ms: float = 80.0
+
+    def rtt_at_load(self, demand: float) -> float:
+        if self.capacity <= 0:
+            return self.base_rtt_ms + self.max_penalty_ms
+        utilization = demand / self.capacity
+        if utilization <= self.knee:
+            return self.base_rtt_ms
+        over = min((utilization - self.knee) / (1.0 - self.knee), 0.999)
+        penalty = min(self.max_penalty_ms, 10.0 * over / (1.0 - over))
+        return self.base_rtt_ms + min(penalty, self.max_penalty_ms)
+
+
+class GreedyShifter:
+    """Strawman: put everything on whichever route measured better."""
+
+    def __init__(self) -> None:
+        self.split = 0.0  # fraction of demand on the alternate
+
+    def update(self, comparison: MedianComparison) -> float:
+        if comparison.valid and comparison.difference > 0:
+            self.split = 1.0
+        else:
+            self.split = 0.0
+        return self.split
+
+
+class GradualController:
+    """The paper-prescribed controller.
+
+    ``comparison.difference`` is oriented as (preferred − alternate) MinRTT,
+    positive = the alternate is faster. The controller:
+
+    - only *increases* the split when the CI lower bound clears
+      ``improve_threshold_ms`` (statistically confident win);
+    - increases by at most ``step`` per interval (gradual shifting);
+    - *decreases* multiplicatively as soon as the advantage disappears —
+      including the self-inflicted case where the shifted load congested
+      the alternate;
+    - after any backoff, holds off further increases for ``cooldown``
+      intervals (hysteresis against flapping).
+    """
+
+    def __init__(
+        self,
+        step: float = 0.10,
+        backoff: float = 0.5,
+        improve_threshold_ms: float = 3.0,
+        cooldown: int = 3,
+        max_split: float = 0.95,
+        congestion_onset_ms: float = 2.0,
+    ) -> None:
+        if not 0 < step <= 1:
+            raise ValueError("step must be in (0, 1]")
+        if not 0 < backoff < 1:
+            raise ValueError("backoff must be in (0, 1)")
+        self.step = step
+        self.backoff = backoff
+        self.improve_threshold_ms = improve_threshold_ms
+        self.cooldown = cooldown
+        self.max_split = max_split
+        self.congestion_onset_ms = congestion_onset_ms
+        self.split = 0.0
+        self._cooldown_remaining = 0
+        self._alternate_floor = math.inf
+        self._frozen = False
+        self.increases = 0
+        self.backoffs = 0
+        self.onset_stops = 0
+
+    def update(
+        self,
+        comparison: MedianComparison,
+        alternate_median_ms: Optional[float] = None,
+    ) -> float:
+        """Apply one control interval.
+
+        ``alternate_median_ms`` (when available) enables the congestion-
+        onset guard: the controller remembers the best latency the
+        alternate has shown and, as soon as the shifted load inflates it
+        past ``congestion_onset_ms``, steps back once and freezes — a
+        marginal-cost stop well before break-even, which is where the
+        actual latency win lives.
+        """
+        if self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1
+            return self.split
+
+        if alternate_median_ms is not None:
+            self._alternate_floor = min(self._alternate_floor, alternate_median_ms)
+            if (
+                self.split > 0
+                and alternate_median_ms
+                > self._alternate_floor + self.congestion_onset_ms
+            ):
+                if not self._frozen:
+                    # Our own load is congesting the alternate: retreat one
+                    # step and hold there.
+                    self.split = max(self.split - self.step, 0.0)
+                    self._frozen = True
+                    self.onset_stops += 1
+                    self._cooldown_remaining = self.cooldown
+                return self.split
+            if self._frozen and alternate_median_ms <= (
+                self._alternate_floor + self.congestion_onset_ms / 2.0
+            ):
+                # Alternate recovered at the reduced split: stay put (the
+                # frozen split is the sustainable optimum) unless the
+                # advantage later disappears entirely.
+                pass
+
+        if comparison.valid and comparison.difference <= 0 and self.split > 0:
+            # The alternate is no longer better at all (external change or
+            # severe congestion): back off multiplicatively and cool down.
+            self.split *= self.backoff
+            if self.split < 0.01:
+                self.split = 0.0
+            self._cooldown_remaining = self.cooldown
+            self._frozen = False
+            self._alternate_floor = math.inf
+            self.backoffs += 1
+            return self.split
+
+        if not self._frozen and comparison.exceeds(self.improve_threshold_ms):
+            if self.split < self.max_split:
+                self.split = min(self.split + self.step, self.max_split)
+                self.increases += 1
+        return self.split
+
+
+@dataclass
+class ControlTrace:
+    """Closed-loop telemetry for analysis and plotting."""
+
+    splits: List[float] = field(default_factory=list)
+    preferred_rtts: List[float] = field(default_factory=list)
+    alternate_rtts: List[float] = field(default_factory=list)
+    mean_rtts: List[float] = field(default_factory=list)
+
+    @property
+    def final_split(self) -> float:
+        return self.splits[-1] if self.splits else 0.0
+
+    def oscillations(self, threshold: float = 0.5) -> int:
+        """Count split swings larger than ``threshold`` between intervals."""
+        swings = 0
+        for previous, current in zip(self.splits, self.splits[1:]):
+            if abs(current - previous) >= threshold:
+                swings += 1
+        return swings
+
+    def settled(self, tail: int = 10, tolerance: float = 0.05) -> bool:
+        """True when the split stopped moving over the last ``tail`` steps."""
+        if len(self.splits) < tail:
+            return False
+        window = self.splits[-tail:]
+        return max(window) - min(window) <= tolerance
+
+
+def simulate_control_loop(
+    controller,
+    preferred: CongestibleRoute,
+    alternate: CongestibleRoute,
+    demand: float = 10.0,
+    intervals: int = 60,
+    samples_per_interval: int = 60,
+    noise_ms: float = 1.0,
+    seed: int = 1,
+) -> ControlTrace:
+    """Run a controller against the congestible-route plant.
+
+    Each interval: measure both routes under the current split (the
+    preferred route carries ``(1 - split) * demand`` plus its own base load;
+    the alternate carries ``split * demand``), hand the controller a proper
+    distribution-free median comparison (exactly what the production
+    pipeline produces), and apply its new split.
+    """
+    rng = random.Random(seed)
+    trace = ControlTrace()
+    split = getattr(controller, "split", 0.0)
+    for _ in range(intervals):
+        preferred_rtt = preferred.rtt_at_load((1.0 - split) * demand)
+        alternate_rtt = alternate.rtt_at_load(split * demand)
+        preferred_samples = [
+            max(preferred_rtt + rng.gauss(0.0, noise_ms), 0.1)
+            for _ in range(samples_per_interval)
+        ]
+        alternate_samples = [
+            max(alternate_rtt + rng.gauss(0.0, noise_ms), 0.1)
+            for _ in range(samples_per_interval)
+        ]
+        # Positive difference = alternate faster (preferred − alternate).
+        comparison = compare_medians(
+            preferred_samples, alternate_samples, max_ci_width=10.0
+        )
+        alternate_median = sorted(alternate_samples)[len(alternate_samples) // 2]
+        try:
+            split = controller.update(comparison, alternate_median)
+        except TypeError:
+            split = controller.update(comparison)
+        trace.splits.append(split)
+        trace.preferred_rtts.append(preferred_rtt)
+        trace.alternate_rtts.append(alternate_rtt)
+        trace.mean_rtts.append(
+            (1.0 - split) * preferred_rtt + split * alternate_rtt
+        )
+    return trace

@@ -1,0 +1,105 @@
+"""Edge Fabric: capacity-aware egress control (§2.2.3, citing [55]).
+
+Edge Fabric shifts traffic off an interconnect when it risks congestion. For
+this reproduction it matters for one reason: the measurement design must be
+*immune* to it. Sampled sessions override Edge Fabric's detours so that the
+analysis always compares the policy-preferred route and its alternates, not
+whatever mix capacity management produced (§2.2.3).
+
+The controller here implements the essential behaviour: per-(prefix, route)
+demand accounting within a control interval, detouring the most-preferred
+overloaded route's *new* flows onto the best alternate with headroom, and an
+explicit carve-out for measurement traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.edge.bgp import BgpRoute
+from repro.edge.routing import RankedRoutes
+
+__all__ = ["EdgeFabric", "InterfaceLoad"]
+
+
+@dataclass
+class InterfaceLoad:
+    """Demand vs capacity for one egress route within a control interval."""
+
+    capacity_units: float
+    demand_units: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        if self.capacity_units <= 0:
+            return float("inf")
+        return self.demand_units / self.capacity_units
+
+
+class EdgeFabric:
+    """Capacity-aware egress controller.
+
+    ``detour_threshold`` is the utilization above which new traffic is
+    shifted (Facebook drains interfaces *before* they saturate).
+    """
+
+    def __init__(self, detour_threshold: float = 0.95) -> None:
+        if detour_threshold <= 0:
+            raise ValueError("detour_threshold must be positive")
+        self.detour_threshold = detour_threshold
+        self._loads: Dict[Tuple[str, int], InterfaceLoad] = {}
+        self.detours = 0
+        self.overrides = 0
+
+    def _load_for(self, route: BgpRoute, rank: int) -> InterfaceLoad:
+        key = (route.prefix, rank)
+        load = self._loads.get(key)
+        if load is None:
+            load = InterfaceLoad(capacity_units=route.condition.congestion_capacity)
+            self._loads[key] = load
+        return load
+
+    def reset_interval(self) -> None:
+        """Start a new control interval (demand counters reset)."""
+        for load in self._loads.values():
+            load.demand_units = 0.0
+
+    def route_for_flow(
+        self,
+        ranked: RankedRoutes,
+        demand_units: float,
+        is_measurement: bool = False,
+        measurement_route: Optional[BgpRoute] = None,
+        measurement_rank: int = 0,
+    ) -> Tuple[BgpRoute, int]:
+        """Place one flow.
+
+        Measurement flows go exactly where the measurement router assigned
+        them, regardless of load (the §2.2.3 override); production flows go
+        to the most-preferred route under the detour threshold.
+        """
+        if is_measurement:
+            if measurement_route is None:
+                raise ValueError("measurement flows must carry their route")
+            self.overrides += 1
+            self._load_for(measurement_route, measurement_rank).demand_units += (
+                demand_units
+            )
+            return measurement_route, measurement_rank
+
+        for rank, route in enumerate(ranked.routes):
+            load = self._load_for(route, rank)
+            if load.utilization < self.detour_threshold:
+                if rank > 0:
+                    self.detours += 1
+                load.demand_units += demand_units
+                return route, rank
+        # Everything saturated: stick with the preferred route (congestion
+        # will show up in performance, as it should).
+        load = self._load_for(ranked.preferred, 0)
+        load.demand_units += demand_units
+        return ranked.preferred, 0
+
+    def utilization(self, route: BgpRoute, rank: int) -> float:
+        return self._load_for(route, rank).utilization

@@ -1,0 +1,201 @@
+"""IPv4 longest-prefix-match routing table.
+
+Tiebreak 1 of Facebook's routing policy (§6.1) is "prefer the longest
+matching prefix": a PoP may learn both an aggregate (say a /16 from a
+transit provider) and a more-specific (/20 announced by the destination
+network over a peer link), and the more-specific always wins regardless of
+the other tiebreakers. The synthetic edge exercises this with a binary
+prefix trie, the textbook FIB structure.
+
+Also provides the small amount of IPv4 arithmetic the generator needs
+(CIDR parsing, membership, subnet enumeration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = ["Ipv4Prefix", "PrefixTrie", "parse_ipv4"]
+
+T = TypeVar("T")
+
+
+def parse_ipv4(address: str) -> int:
+    """Dotted-quad to 32-bit integer, with validation."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"invalid IPv4 address {address!r}")
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _format_ipv4(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class Ipv4Prefix:
+    """A CIDR prefix with canonicalized (masked) network bits."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError("prefix length must be in [0, 32]")
+        masked = self.network & self.mask
+        if masked != self.network:
+            object.__setattr__(self, "network", masked)
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Prefix":
+        """Parse ``"a.b.c.d/len"``."""
+        try:
+            address, length_text = text.split("/")
+        except ValueError as error:
+            raise ValueError(f"invalid prefix {text!r}") from error
+        length = int(length_text)
+        return cls(network=parse_ipv4(address), length=length)
+
+    @property
+    def mask(self) -> int:
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        return 1 << (32 - self.length)
+
+    def contains(self, address: int) -> bool:
+        return (address & self.mask) == self.network
+
+    def contains_prefix(self, other: "Ipv4Prefix") -> bool:
+        return other.length >= self.length and self.contains(other.network)
+
+    def subnets(self, new_length: int) -> Iterator["Ipv4Prefix"]:
+        """Enumerate the more-specifics of ``new_length`` inside this prefix."""
+        if new_length < self.length or new_length > 32:
+            raise ValueError("invalid subnet length")
+        step = 1 << (32 - new_length)
+        for network in range(self.network, self.network + self.size, step):
+            yield Ipv4Prefix(network, new_length)
+
+    def __str__(self) -> str:
+        return f"{_format_ipv4(self.network)}/{self.length}"
+
+
+class _TrieNode(Generic[T]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode[T]"]] = [None, None]
+        self.value: Optional[T] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[T]):
+    """Binary trie keyed by IPv4 prefixes; lookup returns the longest match.
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert(Ipv4Prefix.parse("10.0.0.0/8"), "aggregate")
+    >>> trie.insert(Ipv4Prefix.parse("10.1.0.0/16"), "specific")
+    >>> trie.lookup(parse_ipv4("10.1.2.3"))
+    (Ipv4Prefix(network=167837696, length=16), 'specific')
+    >>> trie.lookup(parse_ipv4("10.9.2.3"))[1]
+    'aggregate'
+    """
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[T] = _TrieNode()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, prefix: Ipv4Prefix, value: T) -> None:
+        """Insert or replace the value at ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address: int) -> Optional[Tuple[Ipv4Prefix, T]]:
+        """Longest-prefix match for ``address``; None if nothing matches."""
+        node = self._root
+        best: Optional[Tuple[int, T]] = None
+        network = 0
+        if node.has_value:
+            best = (0, node.value)
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            network |= bit << (31 - depth)
+            node = child
+            if node.has_value:
+                best = (depth + 1, node.value)
+        if best is None:
+            return None
+        length, value = best
+        mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        return Ipv4Prefix(address & mask, length), value
+
+    def covering(self, address: int) -> List[Tuple[Ipv4Prefix, T]]:
+        """All (prefix, value) entries whose prefix contains ``address``,
+        shortest first — a single O(32) walk down the trie."""
+        results: List[Tuple[Ipv4Prefix, T]] = []
+        node = self._root
+        if node.has_value:
+            results.append((Ipv4Prefix(0, 0), node.value))
+        network = 0
+        for depth in range(32):
+            bit = (address >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            network |= bit << (31 - depth)
+            node = child
+            if node.has_value:
+                results.append((Ipv4Prefix(network, depth + 1), node.value))
+        return results
+
+    def lookup_exact(self, prefix: Ipv4Prefix) -> Optional[T]:
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node.value if node.has_value else None
+
+    def items(self) -> Iterator[Tuple[Ipv4Prefix, T]]:
+        """All (prefix, value) pairs in lexicographic bit order."""
+
+        def walk(node: _TrieNode[T], network: int, depth: int):
+            if node.has_value:
+                yield Ipv4Prefix(network, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, network | (bit << (31 - depth)), depth + 1)
+
+        yield from walk(self._root, 0, 0)

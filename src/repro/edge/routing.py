@@ -1,0 +1,154 @@
+"""Facebook's BGP routing policy and alternate-route selection (§6.1).
+
+When a PoP has multiple routes to a user it applies, in order:
+
+1. prefer the longest matching prefix;
+2. prefer peer routes (private or public) over transit;
+3. prefer shorter AS paths;
+4. prefer routes via private interconnects (PNI) over public exchanges.
+
+:func:`rank_routes` returns the full preference order; the preferred route
+is rank 0 and the next ``n`` become the continuously-measured alternates
+(§2.2.3 / §6.2: "by default ... the two next best paths").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.constants import (
+    DEFAULT_ALTERNATE_ROUTES,
+    PREFERRED_ROUTE_SAMPLE_FRACTION,
+)
+from repro.core.records import Relationship
+from repro.edge.bgp import BgpRoute
+from repro.edge.lpm import Ipv4Prefix, PrefixTrie, parse_ipv4
+
+__all__ = ["RankedRoutes", "RoutingTable", "rank_routes", "MeasurementRouter"]
+
+
+def _policy_key(route: BgpRoute) -> Tuple:
+    """Sort key implementing the four tiebreakers (ascending = preferred)."""
+    return (
+        -route.prefix_length,                          # 1. longest prefix
+        0 if route.is_peer else 1,                     # 2. peer over transit
+        route.as_path_length,                          # 3. shorter AS path
+        0 if route.relationship is Relationship.PRIVATE else 1,  # 4. PNI
+    )
+
+
+@dataclass(frozen=True)
+class RankedRoutes:
+    """Routes in policy-preference order."""
+
+    routes: Tuple[BgpRoute, ...]
+
+    @property
+    def preferred(self) -> BgpRoute:
+        return self.routes[0]
+
+    def alternates(self, count: int = DEFAULT_ALTERNATE_ROUTES) -> Tuple[BgpRoute, ...]:
+        return self.routes[1 : 1 + count]
+
+    @property
+    def has_alternates(self) -> bool:
+        return len(self.routes) > 1
+
+    def rank_of(self, route: BgpRoute) -> int:
+        return self.routes.index(route)
+
+
+def rank_routes(routes: Sequence[BgpRoute]) -> RankedRoutes:
+    """Apply the policy tiebreak; stable for equal keys (announcement order)."""
+    if not routes:
+        raise ValueError("cannot rank an empty route set")
+    ordered = tuple(sorted(routes, key=_policy_key))
+    return RankedRoutes(routes=ordered)
+
+
+class RoutingTable:
+    """A PoP's FIB: route announcements resolved per destination address.
+
+    Announcements may cover each other (a transit aggregate /16 and a
+    peer-announced more-specific /20); resolution collects every
+    announcement whose prefix contains the destination, then applies the
+    policy tiebreak — whose first rule, longest matching prefix, now does
+    real work. Built on the binary LPM trie in :mod:`repro.edge.lpm`.
+    """
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie = PrefixTrie()
+
+    def announce(self, route: BgpRoute) -> None:
+        """Add one announcement (appends to the prefix's route list)."""
+        prefix = Ipv4Prefix.parse(route.prefix)
+        if prefix.length != route.prefix_length:
+            raise ValueError(
+                f"route prefix_length {route.prefix_length} disagrees with "
+                f"{route.prefix}"
+            )
+        existing = self._trie.lookup_exact(prefix)
+        if existing is None:
+            self._trie.insert(prefix, [route])
+        else:
+            existing.append(route)
+
+    def announce_all(self, routes: Sequence[BgpRoute]) -> None:
+        for route in routes:
+            self.announce(route)
+
+    def resolve(self, address: str) -> Optional[RankedRoutes]:
+        """All usable routes for a destination IP, in policy order.
+
+        Collects the routes of *every* covering prefix (aggregates and
+        more-specifics alike): alternate-route measurement needs the
+        covering routes too, even though the most-specific one wins the
+        policy tiebreak.
+        """
+        value = parse_ipv4(address)
+        candidates: List[BgpRoute] = []
+        for _, routes in self._trie.covering(value):
+            candidates.extend(routes)
+        if not candidates:
+            return None
+        return rank_routes(candidates)
+
+    @property
+    def prefix_count(self) -> int:
+        return len(self._trie)
+
+
+class MeasurementRouter:
+    """Assigns sampled sessions to routes for alternate-path measurement.
+
+    §6.2: approximately 47% of sampled sessions stay on the policy-preferred
+    route; the remainder are spread over the next-best alternates so their
+    performance is continuously measured. These assignments *override* any
+    Edge Fabric detours (§2.2.3) so the analysis always sees the policy
+    view, not capacity-management artifacts.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        preferred_fraction: float = PREFERRED_ROUTE_SAMPLE_FRACTION,
+        alternate_count: int = DEFAULT_ALTERNATE_ROUTES,
+    ) -> None:
+        if not 0.0 < preferred_fraction <= 1.0:
+            raise ValueError("preferred_fraction must be in (0, 1]")
+        self.rng = rng
+        self.preferred_fraction = preferred_fraction
+        self.alternate_count = alternate_count
+
+    def assign(self, ranked: RankedRoutes) -> Tuple[BgpRoute, int]:
+        """Pick the measurement route for one sampled session.
+
+        Returns ``(route, preference_rank)``.
+        """
+        alternates = ranked.alternates(self.alternate_count)
+        if not alternates or self.rng.random() < self.preferred_fraction:
+            return ranked.preferred, 0
+        index = self.rng.randrange(len(alternates))
+        return alternates[index], index + 1

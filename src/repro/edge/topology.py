@@ -1,0 +1,169 @@
+"""PoP catalogue and client-network universe.
+
+Facebook's edge is "dozens of PoPs across six continents" (§2.1). The
+catalogue here places a representative PoP set at real metro coordinates;
+the density mirrors the paper's observation that infrastructure is denser in
+Europe/North America than Africa/South America — which is what produces the
+per-continent MinRTT spread of Figure 6(b).
+
+Client networks are synthetic eyeball ASes: each owns one or more BGP
+prefixes anchored at a metro location, with a user scale and an access-
+network profile (assigned by the workload layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.edge.geo import Continent, Location
+
+__all__ = ["PoP", "ClientNetwork", "default_pops", "Metro", "DEFAULT_METROS"]
+
+
+@dataclass(frozen=True)
+class PoP:
+    """A point of presence: servers + interconnection at a metro."""
+
+    name: str
+    location: Location
+
+    @property
+    def continent(self) -> Continent:
+        return self.location.continent
+
+
+@dataclass(frozen=True)
+class Metro:
+    """A population centre clients can be anchored to."""
+
+    name: str
+    location: Location
+    weight: float  # relative share of global users
+
+
+@dataclass
+class ClientNetwork:
+    """An eyeball AS with its BGP prefixes.
+
+    ``asn`` identifies the network; ``prefixes`` are the BGP aggregates the
+    paper groups measurements by. ``metro`` anchors geolocation; a prefix
+    may optionally span two metros (``secondary_metro``), reproducing the
+    Figure-5 situation where one /16 serves geographically distant clients.
+    """
+
+    asn: int
+    prefixes: List[str]
+    metro: Metro
+    user_weight: float = 1.0
+    secondary_metro: Optional[Metro] = None
+    secondary_share: float = 0.0
+    is_hosting_provider: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.prefixes:
+            raise ValueError("client network needs at least one prefix")
+        if not 0.0 <= self.secondary_share < 1.0:
+            raise ValueError("secondary_share must be in [0, 1)")
+        if self.secondary_share > 0 and self.secondary_metro is None:
+            raise ValueError("secondary_share requires a secondary_metro")
+
+    @property
+    def country(self) -> str:
+        return self.metro.location.country
+
+    @property
+    def continent(self) -> Continent:
+        return self.metro.location.continent
+
+
+def _loc(lat: float, lon: float, country: str, continent: Continent) -> Location:
+    return Location(lat, lon, country, continent)
+
+
+#: Representative PoP deployment (name, metro coordinates). Density follows
+#: the real-world skew: many in EU/NA, fewer in AF/SA/OC.
+def default_pops() -> List[PoP]:
+    """The default PoP catalogue: 24 metros across six continents."""
+    C = Continent
+    return [
+        # Europe
+        PoP("ams1", _loc(52.37, 4.90, "NL", C.EUROPE)),
+        PoP("fra1", _loc(50.11, 8.68, "DE", C.EUROPE)),
+        PoP("lhr1", _loc(51.51, -0.13, "GB", C.EUROPE)),
+        PoP("cdg1", _loc(48.86, 2.35, "FR", C.EUROPE)),
+        PoP("mad1", _loc(40.42, -3.70, "ES", C.EUROPE)),
+        PoP("sto1", _loc(59.33, 18.07, "SE", C.EUROPE)),
+        PoP("mxp1", _loc(45.46, 9.19, "IT", C.EUROPE)),
+        # North America
+        PoP("iad1", _loc(38.90, -77.04, "US", C.NORTH_AMERICA)),
+        PoP("ord1", _loc(41.88, -87.63, "US", C.NORTH_AMERICA)),
+        PoP("sjc1", _loc(37.34, -121.89, "US", C.NORTH_AMERICA)),
+        PoP("lax1", _loc(34.05, -118.24, "US", C.NORTH_AMERICA)),
+        PoP("dfw1", _loc(32.78, -96.80, "US", C.NORTH_AMERICA)),
+        PoP("mia1", _loc(25.76, -80.19, "US", C.NORTH_AMERICA)),
+        PoP("yyz1", _loc(43.65, -79.38, "CA", C.NORTH_AMERICA)),
+        # Asia
+        PoP("sin1", _loc(1.35, 103.82, "SG", C.ASIA)),
+        PoP("hkg1", _loc(22.32, 114.17, "HK", C.ASIA)),
+        PoP("nrt1", _loc(35.68, 139.65, "JP", C.ASIA)),
+        PoP("bom1", _loc(19.08, 72.88, "IN", C.ASIA)),
+        PoP("maa1", _loc(13.08, 80.27, "IN", C.ASIA)),
+        # South America
+        PoP("gru1", _loc(-23.55, -46.63, "BR", C.SOUTH_AMERICA)),
+        PoP("eze1", _loc(-34.60, -58.38, "AR", C.SOUTH_AMERICA)),
+        # Africa
+        PoP("jnb1", _loc(-26.20, 28.05, "ZA", C.AFRICA)),
+        PoP("los1", _loc(6.52, 3.38, "NG", C.AFRICA)),
+        # Oceania
+        PoP("syd1", _loc(-33.87, 151.21, "AU", C.OCEANIA)),
+    ]
+
+
+#: Metros clients are anchored at, with rough relative user weights. The
+#: AF/AS/SA entries sit farther from PoPs on average and carry weaker access
+#: profiles (assigned in repro.workload.profiles), reproducing Figure 6's
+#: continent ordering.
+DEFAULT_METROS: Sequence[Metro] = (
+    # Europe
+    Metro("amsterdam", _loc(52.37, 4.90, "NL", Continent.EUROPE), 1.0),
+    Metro("london", _loc(51.51, -0.13, "GB", Continent.EUROPE), 2.0),
+    Metro("paris", _loc(48.86, 2.35, "FR", Continent.EUROPE), 1.8),
+    Metro("berlin", _loc(52.52, 13.40, "DE", Continent.EUROPE), 1.6),
+    Metro("warsaw", _loc(52.23, 21.01, "PL", Continent.EUROPE), 1.2),
+    Metro("istanbul", _loc(41.01, 28.98, "TR", Continent.EUROPE), 1.8),
+    Metro("kyiv", _loc(50.45, 30.52, "UA", Continent.EUROPE), 0.9),
+    # North America
+    Metro("newyork", _loc(40.71, -74.01, "US", Continent.NORTH_AMERICA), 2.2),
+    Metro("chicago", _loc(41.88, -87.63, "US", Continent.NORTH_AMERICA), 1.4),
+    Metro("sanfrancisco", _loc(37.77, -122.42, "US", Continent.NORTH_AMERICA), 1.3),
+    Metro("dallas", _loc(32.78, -96.80, "US", Continent.NORTH_AMERICA), 1.2),
+    Metro("mexicocity", _loc(19.43, -99.13, "MX", Continent.NORTH_AMERICA), 1.6),
+    Metro("toronto", _loc(43.65, -79.38, "CA", Continent.NORTH_AMERICA), 0.9),
+    Metro("honolulu", _loc(21.31, -157.86, "US", Continent.NORTH_AMERICA), 0.2),
+    # Asia
+    Metro("delhi", _loc(28.61, 77.21, "IN", Continent.ASIA), 3.0),
+    Metro("mumbai", _loc(19.08, 72.88, "IN", Continent.ASIA), 2.8),
+    Metro("jakarta", _loc(-6.21, 106.85, "ID", Continent.ASIA), 2.6),
+    Metro("manila", _loc(14.60, 120.98, "PH", Continent.ASIA), 1.8),
+    Metro("bangkok", _loc(13.76, 100.50, "TH", Continent.ASIA), 1.5),
+    Metro("tokyo", _loc(35.68, 139.65, "JP", Continent.ASIA), 1.5),
+    Metro("hanoi", _loc(21.03, 105.85, "VN", Continent.ASIA), 1.3),
+    Metro("dhaka", _loc(23.81, 90.41, "BD", Continent.ASIA), 1.4),
+    Metro("karachi", _loc(24.86, 67.00, "PK", Continent.ASIA), 1.3),
+    # South America
+    Metro("saopaulo", _loc(-23.55, -46.63, "BR", Continent.SOUTH_AMERICA), 2.4),
+    Metro("buenosaires", _loc(-34.60, -58.38, "AR", Continent.SOUTH_AMERICA), 1.2),
+    Metro("bogota", _loc(4.71, -74.07, "CO", Continent.SOUTH_AMERICA), 1.0),
+    Metro("lima", _loc(-12.05, -77.04, "PE", Continent.SOUTH_AMERICA), 0.8),
+    Metro("santiago", _loc(-33.45, -70.67, "CL", Continent.SOUTH_AMERICA), 0.6),
+    # Africa
+    Metro("lagos", _loc(6.52, 3.38, "NG", Continent.AFRICA), 1.6),
+    Metro("nairobi", _loc(-1.29, 36.82, "KE", Continent.AFRICA), 0.8),
+    Metro("johannesburg", _loc(-26.20, 28.05, "ZA", Continent.AFRICA), 0.9),
+    Metro("cairo", _loc(30.04, 31.24, "EG", Continent.AFRICA), 1.4),
+    Metro("accra", _loc(5.60, -0.19, "GH", Continent.AFRICA), 0.5),
+    # Oceania
+    Metro("sydney", _loc(-33.87, 151.21, "AU", Continent.OCEANIA), 0.8),
+    Metro("auckland", _loc(-36.85, 174.76, "NZ", Continent.OCEANIA), 0.3),
+)

@@ -1,0 +1,60 @@
+"""Packet-level discrete-event TCP simulator.
+
+This subpackage stands in for the NS3 simulations the paper uses to validate
+its goodput-estimation technique (§3.2.3), and for the production TCP stack
+whose state the load balancer instruments. It is written from scratch:
+
+- :mod:`repro.netsim.engine` — event loop and simulation clock;
+- :mod:`repro.netsim.link` — bottleneck link with serialization delay,
+  propagation delay, a finite FIFO queue, random loss, and jitter;
+- :mod:`repro.netsim.tcp` — a TCP sender/receiver pair with byte-counted
+  slow start, congestion avoidance, fast retransmit, RTO with backoff, and
+  (optionally delayed) cumulative ACKs;
+- :mod:`repro.netsim.endpoints` — an HTTP-ish server that writes transaction
+  responses over a connection and captures the same instrumentation contract
+  the paper's load balancer uses (Wnic, NIC timestamps, second-to-last-ACK);
+- :mod:`repro.netsim.scenarios` — canned single-connection topologies,
+  including the paper's Figure-4 walkthrough;
+- :mod:`repro.netsim.validation` — the §3.2.3 parameter sweep.
+"""
+
+from repro.netsim.congestion import CubicControl, RenoControl
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link, LinkStats
+from repro.netsim.pep import (
+    SplitPathResult,
+    run_end_to_end_transfer,
+    run_split_transfer,
+)
+from repro.netsim.tcp import TcpConnection, TcpParams
+from repro.netsim.trace import PacketTrace, TraceEvent
+from repro.netsim.endpoints import InstrumentedServer, TransferResult
+from repro.netsim.scenarios import (
+    Figure4Result,
+    run_figure4_scenario,
+    run_transfer,
+)
+from repro.netsim.validation import SweepConfig, SweepResult, run_validation_sweep
+
+__all__ = [
+    "CubicControl",
+    "Figure4Result",
+    "InstrumentedServer",
+    "Link",
+    "LinkStats",
+    "PacketTrace",
+    "RenoControl",
+    "Simulator",
+    "TraceEvent",
+    "SplitPathResult",
+    "SweepConfig",
+    "SweepResult",
+    "TcpConnection",
+    "TcpParams",
+    "TransferResult",
+    "run_end_to_end_transfer",
+    "run_figure4_scenario",
+    "run_split_transfer",
+    "run_transfer",
+    "run_validation_sweep",
+]

@@ -1,0 +1,174 @@
+"""Pluggable congestion-control algorithms for the simulator.
+
+The goodput model of §3.2 assumes idealized slow start; real connections run
+Reno-style or CUBIC congestion control, and the paper explicitly notes that
+transactions may "exit slow start early due to CUBIC's hybrid slow start"
+(§3.2.3) — one of the real-world effects the Tmodel comparison must absorb.
+To exercise that, the simulator supports:
+
+- :class:`RenoControl` — byte-counted slow start + AIMD congestion
+  avoidance (the behaviour footnote 3 describes for the Linux kernel);
+- :class:`CubicControl` — CUBIC window growth (Ha, Rhee, Xu 2008) with
+  **HyStart** (Ha & Rhee 2008): slow start exits early when ACK-train or
+  RTT-delay signals detect the pipe filling, before any loss.
+
+Both expose the same small interface consumed by
+:class:`~repro.netsim.tcp.TcpConnection`:
+
+``on_ack(acked_bytes, now, rtt_sample)`` → grow the window;
+``on_loss(bytes_in_flight)`` → multiplicative decrease, returns new cwnd;
+``on_timeout(bytes_in_flight)`` → collapse, returns new cwnd.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["CongestionControl", "RenoControl", "CubicControl"]
+
+
+class CongestionControl:
+    """Interface. ``cwnd_bytes`` is the controlled variable."""
+
+    def __init__(self, mss_bytes: int, initial_cwnd_bytes: int) -> None:
+        self.mss = mss_bytes
+        self.cwnd_bytes = initial_cwnd_bytes
+        self.ssthresh_bytes = 1 << 30
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd_bytes < self.ssthresh_bytes
+
+    def on_ack(self, acked_bytes: int, now: float, rtt_sample: Optional[float]) -> None:
+        raise NotImplementedError
+
+    def on_loss(self, bytes_in_flight: int) -> int:
+        raise NotImplementedError
+
+    def on_timeout(self, bytes_in_flight: int) -> int:
+        raise NotImplementedError
+
+
+class RenoControl(CongestionControl):
+    """NewReno with byte-counted slow start (Linux's ABC behaviour)."""
+
+    def __init__(self, mss_bytes: int, initial_cwnd_bytes: int) -> None:
+        super().__init__(mss_bytes, initial_cwnd_bytes)
+        self._ca_accumulator = 0.0
+
+    def on_ack(self, acked_bytes: int, now: float, rtt_sample: Optional[float]) -> None:
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            return
+        self._ca_accumulator += self.mss * acked_bytes / self.cwnd_bytes
+        whole = int(self._ca_accumulator)
+        if whole:
+            self.cwnd_bytes += whole
+            self._ca_accumulator -= whole
+
+    def on_loss(self, bytes_in_flight: int) -> int:
+        flight = max(bytes_in_flight, self.mss)
+        self.ssthresh_bytes = max(flight // 2, 2 * self.mss)
+        self.cwnd_bytes = self.ssthresh_bytes
+        return self.cwnd_bytes
+
+    def on_timeout(self, bytes_in_flight: int) -> int:
+        self.ssthresh_bytes = max(bytes_in_flight // 2, 2 * self.mss)
+        self.cwnd_bytes = self.mss
+        return self.cwnd_bytes
+
+
+class CubicControl(CongestionControl):
+    """CUBIC window growth with HyStart slow-start exit.
+
+    The cubic function ``W(t) = C (t - K)^3 + Wmax`` grows the window
+    concavely toward the pre-loss maximum, plateaus, then probes convexly.
+    HyStart watches RTT inflation during slow start: once the smallest RTT
+    in the current round exceeds the previous round's by a threshold, the
+    pipe is judged full and slow start ends without a loss.
+    """
+
+    C = 0.4           # cubic scaling constant (segments/sec^3)
+    BETA = 0.7        # multiplicative decrease factor
+    HYSTART_MIN_SAMPLES = 8
+    HYSTART_ETA_MIN = 0.004   # 4 ms minimum RTT-inflation threshold
+    HYSTART_ETA_MAX = 0.016
+
+    def __init__(self, mss_bytes: int, initial_cwnd_bytes: int) -> None:
+        super().__init__(mss_bytes, initial_cwnd_bytes)
+        self._w_max = 0.0          # segments
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0
+        # HyStart round state.
+        self._round_min_rtt = math.inf
+        self._last_round_min_rtt = math.inf
+        self._round_samples = 0
+        self.hystart_exits = 0
+
+    # ------------------------------------------------------------------ #
+    def on_ack(self, acked_bytes: int, now: float, rtt_sample: Optional[float]) -> None:
+        if self.in_slow_start:
+            self.cwnd_bytes += acked_bytes
+            if rtt_sample is not None:
+                self._hystart_update(rtt_sample)
+            return
+        self._cubic_update(now, acked_bytes)
+
+    def _hystart_update(self, rtt_sample: float) -> None:
+        self._round_min_rtt = min(self._round_min_rtt, rtt_sample)
+        self._round_samples += 1
+        if self._round_samples < self.HYSTART_MIN_SAMPLES:
+            return
+        # Round complete: compare against the previous round.
+        if math.isfinite(self._last_round_min_rtt):
+            eta = min(
+                max(self._last_round_min_rtt / 8.0, self.HYSTART_ETA_MIN),
+                self.HYSTART_ETA_MAX,
+            )
+            if self._round_min_rtt >= self._last_round_min_rtt + eta:
+                # Delay increase detected: exit slow start here.
+                self.ssthresh_bytes = self.cwnd_bytes
+                self.hystart_exits += 1
+        self._last_round_min_rtt = self._round_min_rtt
+        self._round_min_rtt = math.inf
+        self._round_samples = 0
+
+    def _cubic_update(self, now: float, acked_bytes: int) -> None:
+        if self._epoch_start is None:
+            self._epoch_start = now
+            w_segments = self.cwnd_bytes / self.mss
+            if self._w_max > w_segments:
+                self._k = ((self._w_max - w_segments) / self.C) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+                self._w_max = w_segments
+        t = now - self._epoch_start
+        target_segments = self.C * (t - self._k) ** 3 + self._w_max
+        target_bytes = max(int(target_segments * self.mss), 2 * self.mss)
+        if target_bytes > self.cwnd_bytes:
+            # Approach the cubic target proportionally to ACK arrival.
+            step = max(
+                (target_bytes - self.cwnd_bytes) * acked_bytes // self.cwnd_bytes,
+                0,
+            )
+            self.cwnd_bytes += min(step, acked_bytes)
+        # else: plateau (TCP-friendliness term omitted for clarity).
+
+    # ------------------------------------------------------------------ #
+    def on_loss(self, bytes_in_flight: int) -> int:
+        self._w_max = self.cwnd_bytes / self.mss
+        reduced = max(int(self.cwnd_bytes * self.BETA), 2 * self.mss)
+        self.ssthresh_bytes = reduced
+        self.cwnd_bytes = reduced
+        self._epoch_start = None
+        return self.cwnd_bytes
+
+    def on_timeout(self, bytes_in_flight: int) -> int:
+        self._w_max = self.cwnd_bytes / self.mss
+        self.ssthresh_bytes = max(
+            int(self.cwnd_bytes * self.BETA), 2 * self.mss
+        )
+        self.cwnd_bytes = self.mss
+        self._epoch_start = None
+        return self.cwnd_bytes

@@ -1,0 +1,181 @@
+"""Performance-enhancing proxy (PEP) split-connection study (§2.2.1).
+
+Satellite and cellular operators commonly deploy PEPs that terminate the
+client's TCP connection mid-path and open a second connection to the
+server, optimizing each segment separately (RFC 3135). The paper flags the
+measurement consequence: server-side instrumentation then observes only the
+**server↔PEP** segment, so it "may overestimate goodput and underestimate
+latency relative to what would be measured end-to-end" — acceptable for the
+paper's purposes (Facebook can only optimize its side of the PEP), and a
+drawback that QUIC's encryption removes by making connection splitting
+impossible.
+
+:func:`run_split_transfer` builds the full topology — server → (good
+middle-mile) → PEP → (impaired last-mile) → client — with two real TCP
+connections chained through a relay buffer, instruments the server-side
+connection exactly as production would, and reports both the server-side
+view and the end-to-end truth so the bias can be quantified.
+
+:func:`run_end_to_end_transfer` runs the same physical path as one
+unsplit connection (the QUIC-like behaviour) for comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.hdratio import session_goodput
+from repro.netsim.endpoints import InstrumentedServer, TransferResult
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.tcp import TcpConnection, TcpParams
+
+__all__ = ["SplitPathResult", "run_split_transfer", "run_end_to_end_transfer"]
+
+
+@dataclass(frozen=True)
+class SplitPathResult:
+    """Server-side view vs end-to-end truth for one (split) transfer."""
+
+    server_view: TransferResult
+    server_min_rtt_ms: float
+    end_to_end_completion: float
+    end_to_end_goodput_bps: float
+    client_received_bytes: int
+    server_hdratio: Optional[float]
+
+    @property
+    def server_goodput_bps(self) -> float:
+        if self.server_view.completion_time <= 0:
+            return 0.0
+        return self.server_view.total_bytes * 8 / self.server_view.completion_time
+
+
+def _path_links(
+    sim: Simulator,
+    rtt_ms: float,
+    bottleneck_mbps: Optional[float],
+    loss: float,
+    rng: random.Random,
+    queue_packets: int = 1000,
+):
+    one_way = rtt_ms / 2000.0
+    data = Link(
+        sim,
+        rate_bps=None if bottleneck_mbps is None else bottleneck_mbps * 1e6,
+        propagation_delay=one_way,
+        loss_probability=loss,
+        queue_packets=queue_packets,
+        rng=rng,
+    )
+    ack = Link(sim, rate_bps=None, propagation_delay=one_way, rng=rng)
+    return data, ack
+
+
+def run_split_transfer(
+    response_sizes: List[int],
+    middle_rtt_ms: float = 20.0,
+    middle_mbps: Optional[float] = None,
+    last_mile_rtt_ms: float = 550.0,
+    last_mile_mbps: float = 2.0,
+    last_mile_loss: float = 0.01,
+    initial_cwnd_packets: int = 10,
+    seed: int = 1,
+    max_duration: float = 900.0,
+) -> SplitPathResult:
+    """Serve ``response_sizes`` through a PEP that splits the connection.
+
+    Defaults model a satellite access network: a short clean segment from
+    the server to the ground-station PEP, then a long-latency lossy
+    bottleneck to the client. The server's instrumentation (MinRTT, HDratio)
+    sees only the first segment.
+    """
+    if not response_sizes:
+        raise ValueError("need at least one response")
+    sim = Simulator()
+    rng = random.Random(seed)
+
+    # Segment 1: server -> PEP (what the load balancer measures).
+    data1, ack1 = _path_links(sim, middle_rtt_ms, middle_mbps, 0.0, rng)
+    conn1 = TcpConnection(
+        sim, data1, ack1, TcpParams(initial_cwnd_packets=initial_cwnd_packets)
+    )
+    server = InstrumentedServer(sim, conn1)
+
+    # Segment 2: PEP -> client (the impaired last mile).
+    data2, ack2 = _path_links(
+        sim, last_mile_rtt_ms, last_mile_mbps, last_mile_loss, rng
+    )
+    conn2 = TcpConnection(
+        sim, data2, ack2, TcpParams(initial_cwnd_packets=initial_cwnd_packets)
+    )
+
+    # The PEP relay: bytes delivered in order on segment 1 are immediately
+    # written onward on segment 2.
+    def relay(nbytes: int, now: float) -> None:
+        conn2.write(nbytes)
+
+    conn1.on_deliver.append(relay)
+
+    client_received = [0]
+    completion = [0.0]
+
+    def client_read(nbytes: int, now: float) -> None:
+        client_received[0] += nbytes
+        completion[0] = now
+
+    conn2.on_deliver.append(client_read)
+
+    server.send_response(response_sizes[0])
+    for size in response_sizes[1:]:
+        server.send_after_ack(size)
+    sim.run(until=max_duration)
+
+    view = server.result()
+    total = sum(response_sizes)
+    e2e_goodput = (
+        client_received[0] * 8 / completion[0] if completion[0] > 0 else 0.0
+    )
+    hdratio = (
+        session_goodput(view.records, view.min_rtt_seconds).hdratio
+        if view.records and view.min_rtt_seconds > 0
+        else None
+    )
+    return SplitPathResult(
+        server_view=view,
+        server_min_rtt_ms=view.min_rtt_seconds * 1000.0,
+        end_to_end_completion=completion[0],
+        end_to_end_goodput_bps=e2e_goodput,
+        client_received_bytes=client_received[0],
+        server_hdratio=hdratio,
+    )
+
+
+def run_end_to_end_transfer(
+    response_sizes: List[int],
+    middle_rtt_ms: float = 20.0,
+    last_mile_rtt_ms: float = 550.0,
+    last_mile_mbps: float = 2.0,
+    last_mile_loss: float = 0.01,
+    initial_cwnd_packets: int = 10,
+    seed: int = 1,
+    max_duration: float = 900.0,
+) -> TransferResult:
+    """The same physical path without the split (QUIC-like: no PEP).
+
+    One connection traverses the combined latency with the last mile as the
+    bottleneck — the server's measurements now reflect end-to-end truth.
+    """
+    from repro.netsim.scenarios import run_transfer
+
+    return run_transfer(
+        response_sizes,
+        bottleneck_mbps=last_mile_mbps,
+        rtt_ms=middle_rtt_ms + last_mile_rtt_ms,
+        loss_probability=last_mile_loss,
+        initial_cwnd_packets=initial_cwnd_packets,
+        seed=seed,
+        max_duration=max_duration,
+    )

@@ -1,0 +1,401 @@
+"""TCP sender/receiver over simulated links.
+
+Implements the transport behaviour the paper's goodput model assumes and the
+paper's footnote 3 describes for the Linux kernel:
+
+- **Slow start with byte-counted growth** — the cwnd grows by the number of
+  bytes acknowledged (not the number of ACKs), while below ``ssthresh``.
+- **Congestion avoidance** — ``cwnd += MSS * acked_bytes / cwnd`` per ACK.
+- **Growth only when cwnd-limited** — a connection that is application
+  limited does not inflate its window.
+- **Fast retransmit** — three duplicate ACKs trigger retransmission and a
+  window reduction (``ssthresh = max(flight/2, 2 MSS)``), NewReno-style
+  recovery until the loss point is acknowledged.
+- **RTO** — RFC 6298 timer from the smoothed-RTT estimator with exponential
+  backoff; expiry collapses the window to one segment.
+- **Delayed ACKs** — the receiver ACKs every second in-order segment or
+  after a timeout (§3.2.5 discusses the measurement impact); out-of-order
+  arrivals are ACKed immediately (dup ACKs). Delayed ACKs can be disabled,
+  matching the paper's NS3 validation setup (footnote 7).
+
+RTT samples follow Karn's algorithm (never sample retransmitted segments)
+and feed the same :class:`~repro.core.minrtt.MinRttEstimator` the analysis
+layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.minrtt import MinRttEstimator, SmoothedRttEstimator
+from repro.netsim.engine import EventHandle, Simulator
+from repro.netsim.link import Link, Packet
+
+__all__ = ["TcpConnection", "TcpParams", "TcpState"]
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Tunables for one connection.
+
+    ``congestion_control`` selects the algorithm: ``"reno"`` (byte-counted
+    NewReno, the default and the behaviour the paper's footnote 3 describes)
+    or ``"cubic"`` (CUBIC with HyStart — the paper notes hybrid slow start
+    as a real-world cause of early slow-start exit, §3.2.3).
+    """
+
+    mss_bytes: int = 1500
+    initial_cwnd_packets: int = 10
+    initial_ssthresh_bytes: int = 1 << 30
+    delayed_ack: bool = True
+    delayed_ack_timeout: float = 0.040
+    dupack_threshold: int = 3
+    max_buffer_bytes: int = 1 << 30
+    congestion_control: str = "reno"
+
+    @property
+    def initial_cwnd_bytes(self) -> int:
+        return self.initial_cwnd_packets * self.mss_bytes
+
+
+@dataclass
+class _Segment:
+    seq: int
+    size: int
+    sent_at: float
+    retransmitted: bool = False
+
+
+@dataclass
+class TcpState:
+    """Observable sender state (what instrumentation reads)."""
+
+    cwnd_bytes: int = 0
+    ssthresh_bytes: int = 0
+    bytes_in_flight: int = 0
+    snd_nxt: int = 0
+    snd_una: int = 0
+    retransmits: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    delivered_bytes: int = 0
+
+
+class _Receiver:
+    """In-order reassembly plus (delayed) cumulative ACK generation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ack_link: Link,
+        delayed_ack: bool,
+        delayed_ack_timeout: float,
+    ) -> None:
+        self.sim = sim
+        self.ack_link = ack_link
+        self.delayed_ack = delayed_ack
+        self.delayed_ack_timeout = delayed_ack_timeout
+        self.rcv_next = 0
+        self._out_of_order: Dict[int, int] = {}  # seq -> size
+        self._unacked_segments = 0
+        self._ack_timer: Optional[EventHandle] = None
+        #: Called as ``callback(new_in_order_bytes, now)`` when the in-order
+        #: delivery point advances — the "application read" hook that lets
+        #: a proxy (PEP) relay bytes onward (§2.2.1).
+        self.on_deliver: List[Callable[[int, float], None]] = []
+
+    def on_data(self, packet: Packet) -> None:
+        if packet.end_seq <= self.rcv_next:
+            # Duplicate of already-received data: re-ACK immediately so the
+            # sender's recovery can progress.
+            self._send_ack()
+            return
+        if packet.seq > self.rcv_next:
+            # Gap: buffer and send an immediate duplicate ACK.
+            self._out_of_order[packet.seq] = max(
+                self._out_of_order.get(packet.seq, 0), packet.payload_bytes
+            )
+            self._send_ack()
+            return
+        # In-order (possibly partially duplicate) delivery.
+        before = self.rcv_next
+        self.rcv_next = packet.end_seq
+        self._drain_out_of_order()
+        advanced = self.rcv_next - before
+        if advanced > 0:
+            for callback in self.on_deliver:
+                callback(advanced, self.sim.now)
+        if not self.delayed_ack:
+            self._send_ack()
+            return
+        self._unacked_segments += 1
+        if self._unacked_segments >= 2:
+            self._send_ack()
+        elif self._ack_timer is None:
+            self._ack_timer = self.sim.schedule(
+                self.delayed_ack_timeout, self._on_ack_timeout
+            )
+
+    def _drain_out_of_order(self) -> None:
+        while self.rcv_next in self._out_of_order:
+            size = self._out_of_order.pop(self.rcv_next)
+            self.rcv_next += size
+
+    def _on_ack_timeout(self) -> None:
+        self._ack_timer = None
+        if self._unacked_segments > 0:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        self._unacked_segments = 0
+        self.ack_link.send(
+            Packet(seq=0, payload_bytes=0, ack_seq=self.rcv_next, sent_at=self.sim.now)
+        )
+
+
+class TcpConnection:
+    """One TCP connection: sender on the near side, receiver on the far side.
+
+    The application writes bytes with :meth:`write`; ``on_ack_progress``
+    callbacks let instrumentation observe cumulative-ACK advancement with
+    timestamps (that is how the load balancer captures the
+    second-to-last-packet ACK time, §3.2.5).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        data_link: Link,
+        ack_link: Link,
+        params: TcpParams = TcpParams(),
+    ) -> None:
+        from repro.netsim.congestion import CubicControl, RenoControl
+
+        self.sim = sim
+        self.params = params
+        self.data_link = data_link
+        self.ack_link = ack_link
+        if params.congestion_control == "reno":
+            self.cc = RenoControl(params.mss_bytes, params.initial_cwnd_bytes)
+        elif params.congestion_control == "cubic":
+            self.cc = CubicControl(params.mss_bytes, params.initial_cwnd_bytes)
+        else:
+            raise ValueError(
+                f"unknown congestion control {params.congestion_control!r}"
+            )
+        self.cc.ssthresh_bytes = params.initial_ssthresh_bytes
+        self.state = TcpState(
+            cwnd_bytes=params.initial_cwnd_bytes,
+            ssthresh_bytes=params.initial_ssthresh_bytes,
+        )
+        self.min_rtt = MinRttEstimator()
+        self.srtt = SmoothedRttEstimator()
+        self._receiver = _Receiver(
+            sim, ack_link, params.delayed_ack, params.delayed_ack_timeout
+        )
+        data_link.connect(self._receiver.on_data)
+        ack_link.connect(self._on_ack)
+        #: Receiver-side application-read hooks (see _Receiver.on_deliver).
+        self.on_deliver = self._receiver.on_deliver
+
+        self._send_buffer_end = 0          # bytes written by the app
+        self._segments: List[_Segment] = []  # unacked segments, seq order
+        self._dupacks = 0
+        self._recovery_point: Optional[int] = None
+        self._rto_timer: Optional[EventHandle] = None
+        self._rto_backoff = 1.0
+        self.on_ack_progress: List[Callable[[int, float], None]] = []
+        #: Called as ``callback(seq, end_seq, now)`` on each segment's
+        #: *first* transmission (not retransmissions).
+        self.on_segment_sent: List[Callable[[int, int, float], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Application interface
+    # ------------------------------------------------------------------ #
+    def write(self, nbytes: int) -> Tuple[int, int]:
+        """Append ``nbytes`` to the send stream.
+
+        Returns the stream byte range ``(start, end)`` the write occupies,
+        which instrumentation uses to delimit transactions.
+        """
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        start = self._send_buffer_end
+        self._send_buffer_end += nbytes
+        self._try_send()
+        return start, self._send_buffer_end
+
+    @property
+    def all_acked(self) -> bool:
+        return self.state.snd_una >= self._send_buffer_end
+
+    @property
+    def next_write_seq(self) -> int:
+        """Stream offset the next :meth:`write` will start at."""
+        return self._send_buffer_end
+
+    @property
+    def bytes_unsent(self) -> int:
+        return self._send_buffer_end - self.state.snd_nxt
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def _try_send(self) -> None:
+        sent_any = False
+        while self.bytes_unsent > 0:
+            window = self.state.cwnd_bytes - self.state.bytes_in_flight
+            if window < min(self.params.mss_bytes, self.bytes_unsent):
+                break
+            size = min(self.params.mss_bytes, self.bytes_unsent)
+            seq = self.state.snd_nxt
+            self._transmit(seq, size, retransmission=False)
+            self.state.snd_nxt += size
+            sent_any = True
+        if sent_any and self._rto_timer is None:
+            self._arm_rto()
+
+    def _transmit(self, seq: int, size: int, retransmission: bool) -> None:
+        now = self.sim.now
+        if not retransmission:
+            self._segments.append(_Segment(seq=seq, size=size, sent_at=now))
+            self.state.bytes_in_flight += size
+            for callback in self.on_segment_sent:
+                callback(seq, seq + size, now)
+        packet = Packet(
+            seq=seq, payload_bytes=size, sent_at=now, retransmission=retransmission
+        )
+        self.data_link.send(packet)
+
+    # ------------------------------------------------------------------ #
+    # ACK processing
+    # ------------------------------------------------------------------ #
+    def _on_ack(self, packet: Packet) -> None:
+        assert packet.ack_seq is not None
+        ack = packet.ack_seq
+        now = self.sim.now
+
+        if ack <= self.state.snd_una:
+            self._on_duplicate_ack()
+            return
+
+        newly_acked = ack - self.state.snd_una
+        self.state.snd_una = ack
+        self.state.delivered_bytes += newly_acked
+        self._dupacks = 0
+
+        # Retire covered segments; sample RTT from the newest fully-acked,
+        # never-retransmitted segment (Karn's algorithm).
+        rtt_sample: Optional[float] = None
+        remaining: List[_Segment] = []
+        for segment in self._segments:
+            if segment.seq + segment.size <= ack:
+                self.state.bytes_in_flight -= segment.size
+                if not segment.retransmitted:
+                    rtt_sample = now - segment.sent_at
+            else:
+                remaining.append(segment)
+        self._segments = remaining
+        if rtt_sample is not None:
+            self.min_rtt.update(now, rtt_sample)
+            self.srtt.update(rtt_sample)
+        self._rto_backoff = 1.0
+
+        if self._recovery_point is not None:
+            if ack >= self._recovery_point:
+                # Recovery complete; deflate to ssthresh.
+                self._recovery_point = None
+                self.cc.cwnd_bytes = max(
+                    self.cc.ssthresh_bytes, 2 * self.params.mss_bytes
+                )
+                self._sync_cc()
+            else:
+                # Partial ACK during recovery: retransmit the next hole.
+                self._retransmit_first_unacked()
+        else:
+            self._grow_cwnd(newly_acked, rtt_sample)
+
+        if self.all_acked and not self._segments:
+            self._cancel_rto()
+        else:
+            self._arm_rto()
+
+        for callback in self.on_ack_progress:
+            callback(ack, now)
+        self._try_send()
+
+    def _sync_cc(self) -> None:
+        """Mirror the congestion controller into the observable state."""
+        self.state.cwnd_bytes = self.cc.cwnd_bytes
+        self.state.ssthresh_bytes = self.cc.ssthresh_bytes
+
+    def _grow_cwnd(self, acked_bytes: int, rtt_sample: Optional[float]) -> None:
+        # Footnote 3: growth applies only when the connection is using its
+        # window (cwnd-limited); the algorithm itself (Reno byte counting,
+        # CUBIC+HyStart) lives in the congestion controller.
+        limited = (
+            self.state.bytes_in_flight + acked_bytes
+        ) * 2 >= self.state.cwnd_bytes or self.bytes_unsent > 0
+        if not limited:
+            return
+        self.cc.on_ack(acked_bytes, self.sim.now, rtt_sample)
+        self._sync_cc()
+
+    def _on_duplicate_ack(self) -> None:
+        self._dupacks += 1
+        if self._recovery_point is not None:
+            # Already recovering; each further dupack lets one more segment
+            # out (simplified window inflation).
+            self.cc.cwnd_bytes += self.params.mss_bytes
+            self._sync_cc()
+            self._try_send()
+            return
+        if self._dupacks >= self.params.dupack_threshold and self._segments:
+            self.state.fast_retransmits += 1
+            self.cc.on_loss(self.state.bytes_in_flight)
+            self._sync_cc()
+            self._recovery_point = self.state.snd_nxt
+            self._retransmit_first_unacked()
+            self._arm_rto()
+
+    def _retransmit_first_unacked(self) -> None:
+        hole = next(
+            (s for s in self._segments if s.seq >= self.state.snd_una), None
+        )
+        target = hole or (self._segments[0] if self._segments else None)
+        if target is None:
+            return
+        target.retransmitted = True
+        target.sent_at = self.sim.now
+        self.state.retransmits += 1
+        self._transmit(target.seq, target.size, retransmission=True)
+
+    # ------------------------------------------------------------------ #
+    # RTO
+    # ------------------------------------------------------------------ #
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        timeout = self.srtt.rto * self._rto_backoff
+        self._rto_timer = self.sim.schedule(timeout, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.all_acked and not self._segments:
+            return
+        self.state.timeouts += 1
+        self.cc.on_timeout(self.state.bytes_in_flight)
+        self._sync_cc()
+        self._recovery_point = None
+        self._dupacks = 0
+        self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
+        self._retransmit_first_unacked()
+        self._arm_rto()

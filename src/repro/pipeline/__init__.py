@@ -1,0 +1,57 @@
+"""Analysis pipeline: dataset building and per-figure/table drivers.
+
+- :mod:`repro.pipeline.filters` — hosting-provider filtering (§2.2.4);
+- :mod:`repro.pipeline.dataset` — single-pass study dataset;
+- :mod:`repro.pipeline.experiments` — Figures 1–7 and the naive-goodput
+  ablation;
+- :mod:`repro.pipeline.routing_analysis` — Figures 8–10, Tables 1–2;
+- :mod:`repro.pipeline.report` — text rendering.
+"""
+
+from repro.pipeline.dataset import SessionRow, StudyDataset
+from repro.pipeline.experiments import (
+    CdfSeries,
+    ablation_naive_goodput,
+    fig1_session_behaviour,
+    fig2_transfer_sizes,
+    fig3_transaction_counts,
+    fig4_walkthrough,
+    fig5_population_mix,
+    fig6_global_performance,
+    fig7_rtt_vs_hdratio,
+)
+from repro.pipeline.filters import FilterStats, filter_hosting_providers
+from repro.pipeline.io import read_samples, write_samples
+from repro.pipeline.streaming import RouteDecision, StreamingRouteMonitor
+from repro.pipeline.routing_analysis import (
+    fig8_degradation,
+    fig9_opportunity,
+    fig10_relationship_comparison,
+    table1_temporal_classes,
+    table2_opportunity_relationships,
+)
+
+__all__ = [
+    "CdfSeries",
+    "FilterStats",
+    "RouteDecision",
+    "SessionRow",
+    "StreamingRouteMonitor",
+    "StudyDataset",
+    "read_samples",
+    "write_samples",
+    "ablation_naive_goodput",
+    "fig1_session_behaviour",
+    "fig2_transfer_sizes",
+    "fig3_transaction_counts",
+    "fig4_walkthrough",
+    "fig5_population_mix",
+    "fig6_global_performance",
+    "fig7_rtt_vs_hdratio",
+    "fig8_degradation",
+    "fig9_opportunity",
+    "fig10_relationship_comparison",
+    "filter_hosting_providers",
+    "table1_temporal_classes",
+    "table2_opportunity_relationships",
+]

@@ -1,0 +1,148 @@
+"""Study dataset: one pass over the sample stream, everything derived.
+
+:class:`StudyDataset` ingests the (filtered) session stream once and keeps
+both views the experiments need:
+
+- **per-session rows** (:class:`SessionRow`) — compact tuples for the
+  distribution figures (1, 2, 3, 6, 7) where each session is one point;
+- **aggregations** — the (user group, route rank, window) store driving the
+  temporal/routing analyses (Figures 5, 8, 9, 10, Tables 1–2).
+
+HDratio is computed exactly once per session, during ingestion, through the
+full §3.2 path (coalescing → eligibility → capability → achievement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.aggregation import AggregationStore
+from repro.core.hdratio import compute_hdratio, naive_hdratio
+from repro.core.records import HttpVersion, SessionSample
+from repro.pipeline.filters import FilterStats, filter_hosting_providers
+
+__all__ = ["SessionRow", "StudyDataset"]
+
+
+@dataclass(frozen=True)
+class SessionRow:
+    """One session flattened for distribution analysis."""
+
+    min_rtt_ms: float
+    hdratio: Optional[float]
+    naive_hdratio: Optional[float]
+    bytes_sent: int
+    duration: float
+    busy_fraction: float
+    transaction_count: int
+    is_http2: bool
+    continent: str
+    geo_tag: str
+    response_sizes: tuple
+    media_bytes: tuple
+
+
+class StudyDataset:
+    """Single-pass collector for all experiment drivers.
+
+    ``study_windows`` is the nominal number of 15-minute windows in the
+    study period (used by the coverage rule); ``keep_response_sizes``
+    controls whether per-transaction sizes are retained (needed only by the
+    Figure 2 driver — disable for large runs that skip it).
+    """
+
+    def __init__(
+        self,
+        study_windows: int,
+        keep_response_sizes: bool = True,
+        compute_naive: bool = False,
+        window_seconds: float = 900.0,
+    ) -> None:
+        if study_windows <= 0:
+            raise ValueError("study_windows must be positive")
+        self.study_windows = study_windows
+        self.keep_response_sizes = keep_response_sizes
+        self.compute_naive = compute_naive
+        self.window_seconds = window_seconds
+        self.rows: List[SessionRow] = []
+        self.store = AggregationStore(
+            window_seconds=window_seconds, with_digests=False
+        )
+        self.filter_stats = FilterStats()
+        self._verdict_cache: dict = {}
+
+    @property
+    def windows_per_day(self) -> int:
+        return max(int(round(86400.0 / self.window_seconds)), 1)
+
+    def verdicts(self, metric: str, kind: str):
+        """Cached degradation/opportunity verdict series per user group.
+
+        ``kind`` is ``"degradation"`` or ``"opportunity"``. Several
+        figure/table drivers need the same verdict series; recomputing the
+        confidence intervals per driver dominates analysis time otherwise.
+        """
+        if kind not in ("degradation", "opportunity"):
+            raise ValueError(f"unknown verdict kind {kind!r}")
+        key = (metric, kind)
+        if key in self._verdict_cache:
+            return self._verdict_cache[key]
+        from repro.core.comparison import degradation_series, opportunity_series
+
+        result = {}
+        for group in self.store.groups():
+            if kind == "degradation":
+                series = degradation_series(self.store, group, metric)
+            else:
+                series = opportunity_series(self.store, group, metric)
+            if series:
+                result[group] = series
+        self._verdict_cache[key] = result
+        return result
+
+    def ingest(self, samples: Iterable[SessionSample]) -> "StudyDataset":
+        """Filter, measure, and aggregate a sample stream. Returns self."""
+        for sample in filter_hosting_providers(samples, self.filter_stats):
+            hd = compute_hdratio(sample) if sample.transactions else None
+            naive = (
+                naive_hdratio(sample.transactions, sample.min_rtt_seconds)
+                if self.compute_naive and sample.transactions
+                else None
+            )
+            if self.keep_response_sizes:
+                sizes = tuple(t.response_bytes for t in sample.transactions)
+                media = tuple(sample.media_response_sizes)
+            else:
+                sizes = ()
+                media = ()
+            self.rows.append(
+                SessionRow(
+                    min_rtt_ms=sample.min_rtt_ms,
+                    hdratio=hd,
+                    naive_hdratio=naive,
+                    bytes_sent=sample.bytes_sent,
+                    duration=sample.duration,
+                    busy_fraction=sample.busy_fraction,
+                    transaction_count=sample.transaction_count,
+                    is_http2=sample.http_version is HttpVersion.HTTP_2,
+                    continent=sample.client_continent,
+                    geo_tag=sample.geo_tag,
+                    response_sizes=sizes,
+                    media_bytes=media,
+                )
+            )
+            self.store.add(sample, hdratio=hd)
+        return self
+
+    # ------------------------------------------------------------------ #
+    @property
+    def session_count(self) -> int:
+        return len(self.rows)
+
+    def rows_for_continent(self, code: str) -> List[SessionRow]:
+        return [row for row in self.rows if row.continent == code]
+
+    def hd_rows(self) -> List[SessionRow]:
+        """Rows whose session could test for HD goodput."""
+        return [row for row in self.rows if row.hdratio is not None]

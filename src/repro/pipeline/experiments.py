@@ -1,0 +1,399 @@
+"""Experiment drivers for the characterization figures (1–7) and ablations.
+
+Each driver consumes a :class:`~repro.pipeline.dataset.StudyDataset` (or
+runs the packet simulator directly, for Figure 4) and returns a result
+object holding the same series/rows the paper's figure shows plus the
+headline statistics quoted in the text. The routing analyses (Figures 8–10,
+Tables 1–2) live in :mod:`repro.pipeline.routing_analysis`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.dataset import StudyDataset
+from repro.stats.weighted import ecdf, percentile
+
+__all__ = [
+    "CdfSeries",
+    "fig1_session_behaviour",
+    "fig2_transfer_sizes",
+    "fig3_transaction_counts",
+    "fig4_walkthrough",
+    "fig5_population_mix",
+    "fig6_global_performance",
+    "fig7_rtt_vs_hdratio",
+    "ablation_naive_goodput",
+]
+
+
+@dataclass(frozen=True)
+class CdfSeries:
+    """One CDF line: sorted x values and cumulative fractions."""
+
+    label: str
+    xs: List[float]
+    fractions: List[float]
+
+    @classmethod
+    def of(cls, label: str, values: Sequence[float]) -> "CdfSeries":
+        xs, fractions = ecdf(values)
+        return cls(label=label, xs=xs, fractions=fractions)
+
+    def fraction_at_most(self, x: float) -> float:
+        import bisect
+
+        index = bisect.bisect_right(self.xs, x)
+        if index == 0:
+            return 0.0
+        return self.fractions[index - 1]
+
+    def quantile(self, q: float) -> float:
+        return percentile(self.xs, q * 100.0)
+
+
+# --------------------------------------------------------------------- #
+# Figure 1 — session duration and busy time
+# --------------------------------------------------------------------- #
+@dataclass
+class Fig1Result:
+    duration_all: CdfSeries
+    duration_h1: CdfSeries
+    duration_h2: CdfSeries
+    busy_all: CdfSeries
+    busy_h1: CdfSeries
+    busy_h2: CdfSeries
+
+    @property
+    def under_one_second(self) -> float:
+        return self.duration_all.fraction_at_most(1.0)
+
+    @property
+    def under_one_minute(self) -> float:
+        return self.duration_all.fraction_at_most(60.0)
+
+    @property
+    def over_three_minutes(self) -> float:
+        return 1.0 - self.duration_all.fraction_at_most(180.0)
+
+    @property
+    def mostly_idle_fraction(self) -> float:
+        """Sessions active less than 10% of their lifetime."""
+        return self.busy_all.fraction_at_most(0.10)
+
+
+def fig1_session_behaviour(dataset: StudyDataset) -> Fig1Result:
+    """Figure 1: session-duration and busy-time CDFs, split by protocol."""
+    rows = dataset.rows
+    h1 = [r for r in rows if not r.is_http2]
+    h2 = [r for r in rows if r.is_http2]
+    return Fig1Result(
+        duration_all=CdfSeries.of("all", [r.duration for r in rows]),
+        duration_h1=CdfSeries.of("http/1.1", [r.duration for r in h1]),
+        duration_h2=CdfSeries.of("http/2", [r.duration for r in h2]),
+        busy_all=CdfSeries.of("all", [r.busy_fraction for r in rows]),
+        busy_h1=CdfSeries.of("http/1.1", [r.busy_fraction for r in h1]),
+        busy_h2=CdfSeries.of("http/2", [r.busy_fraction for r in h2]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 2 — bytes per session / response / media response
+# --------------------------------------------------------------------- #
+@dataclass
+class Fig2Result:
+    session_bytes: CdfSeries
+    response_bytes: CdfSeries
+    media_response_bytes: CdfSeries
+
+    @property
+    def sessions_under_10kb(self) -> float:
+        return self.session_bytes.fraction_at_most(10_000.0)
+
+    @property
+    def sessions_over_1mb(self) -> float:
+        return 1.0 - self.session_bytes.fraction_at_most(1_000_000.0)
+
+    @property
+    def median_response(self) -> float:
+        return self.response_bytes.quantile(0.5)
+
+
+#: Fallback size threshold for traces whose samples predate media tagging.
+MEDIA_RESPONSE_THRESHOLD_BYTES = 12_000
+
+
+def fig2_transfer_sizes(dataset: StudyDataset) -> Fig2Result:
+    """Figure 2: bytes per session, per response, and per media response."""
+    sessions = [float(r.bytes_sent) for r in dataset.rows if r.bytes_sent > 0]
+    responses: List[float] = []
+    media: List[float] = []
+    tagged = any(row.media_bytes for row in dataset.rows)
+    for row in dataset.rows:
+        responses.extend(float(size) for size in row.response_sizes)
+        if tagged:
+            media.extend(float(size) for size in row.media_bytes)
+        else:
+            # Untagged trace: fall back to the size heuristic.
+            media.extend(
+                float(size)
+                for size in row.response_sizes
+                if size >= MEDIA_RESPONSE_THRESHOLD_BYTES
+            )
+    return Fig2Result(
+        session_bytes=CdfSeries.of("sessions", sessions),
+        response_bytes=CdfSeries.of("all responses", responses),
+        media_response_bytes=CdfSeries.of("media responses", media or [0.0]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 3 — transactions per session
+# --------------------------------------------------------------------- #
+@dataclass
+class Fig3Result:
+    count_all: CdfSeries
+    count_h1: CdfSeries
+    count_h2: CdfSeries
+    heavy_session_byte_share: float  # bytes on sessions with >= 50 txns
+
+    @property
+    def h1_under_5(self) -> float:
+        return self.count_h1.fraction_at_most(4.0)
+
+    @property
+    def h2_under_5(self) -> float:
+        return self.count_h2.fraction_at_most(4.0)
+
+
+def fig3_transaction_counts(dataset: StudyDataset) -> Fig3Result:
+    """Figure 3: transactions per session and the heavy-session byte share."""
+    rows = dataset.rows
+    h1 = [r for r in rows if not r.is_http2]
+    h2 = [r for r in rows if r.is_http2]
+    total_bytes = sum(r.bytes_sent for r in rows) or 1
+    heavy_bytes = sum(r.bytes_sent for r in rows if r.transaction_count >= 50)
+    return Fig3Result(
+        count_all=CdfSeries.of("all", [float(r.transaction_count) for r in rows]),
+        count_h1=CdfSeries.of("http/1.1", [float(r.transaction_count) for r in h1]),
+        count_h2=CdfSeries.of("http/2", [float(r.transaction_count) for r in h2]),
+        heavy_session_byte_share=heavy_bytes / total_bytes,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 4 — the goodput walkthrough (packet simulator)
+# --------------------------------------------------------------------- #
+def fig4_walkthrough():
+    """Run the Figure-4 scenario; see
+    :func:`repro.netsim.scenarios.run_figure4_scenario`."""
+    from repro.netsim.scenarios import run_figure4_scenario
+
+    return run_figure4_scenario()
+
+
+# --------------------------------------------------------------------- #
+# Figure 5 — client-population mixes move MinRTT_P50
+# --------------------------------------------------------------------- #
+@dataclass
+class Fig5Result:
+    """Per-window median MinRTT for the dual-metro group, split by region."""
+
+    windows: List[int]
+    all_clients: List[Optional[float]]
+    primary_clients: List[Optional[float]]
+    secondary_clients: List[Optional[float]]
+    primary_label: str
+    secondary_label: str
+
+    def spread(self) -> float:
+        """Max − min of the combined median across windows."""
+        values = [v for v in self.all_clients if v is not None]
+        return max(values) - min(values)
+
+
+def fig5_population_mix(
+    samples: Sequence, primary_tag: str = "sanfrancisco",
+    secondary_tag: str = "honolulu", prefix: str = "198.51.0.0/16",
+) -> Fig5Result:
+    """Median MinRTT over time for a prefix spanning two regions.
+
+    ``samples`` is the raw sample stream restricted (by the caller or here)
+    to the Figure-5 network; the split uses the generator's geo tags the
+    way the paper uses client geolocation.
+    """
+    from collections import defaultdict
+
+    from repro.core.aggregation import window_index
+
+    per_window: Dict[int, Dict[str, List[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for sample in samples:
+        if sample.route is None or sample.route.prefix != prefix:
+            continue
+        if sample.route.preference_rank != 0:
+            continue
+        window = window_index(sample.end_time)
+        per_window[window][sample.geo_tag].append(sample.min_rtt_ms)
+        per_window[window]["__all__"].append(sample.min_rtt_ms)
+
+    windows = sorted(per_window)
+
+    def series(tag: str) -> List[Optional[float]]:
+        out: List[Optional[float]] = []
+        for window in windows:
+            values = per_window[window].get(tag, [])
+            out.append(percentile(values, 50.0) if len(values) >= 5 else None)
+        return out
+
+    return Fig5Result(
+        windows=windows,
+        all_clients=series("__all__"),
+        primary_clients=series(primary_tag),
+        secondary_clients=series(secondary_tag),
+        primary_label=primary_tag,
+        secondary_label=secondary_tag,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 6 — global MinRTT / HDratio distributions
+# --------------------------------------------------------------------- #
+CONTINENT_CODES = ("AF", "AS", "EU", "NA", "OC", "SA")
+
+
+@dataclass
+class Fig6Result:
+    minrtt_all: CdfSeries
+    hdratio_all: CdfSeries
+    minrtt_by_continent: Dict[str, CdfSeries]
+    hdratio_by_continent: Dict[str, CdfSeries]
+
+    @property
+    def median_minrtt(self) -> float:
+        return self.minrtt_all.quantile(0.5)
+
+    @property
+    def p80_minrtt(self) -> float:
+        return self.minrtt_all.quantile(0.8)
+
+    @property
+    def hdratio_positive_fraction(self) -> float:
+        """Share of HD-testable sessions with HDratio > 0 (paper: >82%)."""
+        return 1.0 - self.hdratio_all.fraction_at_most(0.0)
+
+    @property
+    def hdratio_full_fraction(self) -> float:
+        """Share with HDratio == 1 (paper: ~60%)."""
+        xs = self.hdratio_all.xs
+        full = sum(1 for x in xs if x >= 1.0)
+        return full / len(xs)
+
+    def continent_median_minrtt(self, code: str) -> float:
+        return self.minrtt_by_continent[code].quantile(0.5)
+
+    def continent_zero_hd_fraction(self, code: str) -> float:
+        return self.hdratio_by_continent[code].fraction_at_most(0.0)
+
+
+def fig6_global_performance(dataset: StudyDataset) -> Fig6Result:
+    """Figure 6: MinRTT and HDratio distributions, global and per continent."""
+    rows = dataset.rows
+    hd_rows = dataset.hd_rows()
+    minrtt_by = {}
+    hd_by = {}
+    for code in CONTINENT_CODES:
+        continent_rows = [r for r in rows if r.continent == code]
+        continent_hd = [r for r in hd_rows if r.continent == code]
+        if continent_rows:
+            minrtt_by[code] = CdfSeries.of(code, [r.min_rtt_ms for r in continent_rows])
+        if continent_hd:
+            hd_by[code] = CdfSeries.of(code, [r.hdratio for r in continent_hd])
+    return Fig6Result(
+        minrtt_all=CdfSeries.of("all", [r.min_rtt_ms for r in rows]),
+        hdratio_all=CdfSeries.of("all", [r.hdratio for r in hd_rows]),
+        minrtt_by_continent=minrtt_by,
+        hdratio_by_continent=hd_by,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 7 — HDratio by MinRTT bucket
+# --------------------------------------------------------------------- #
+#: Contiguous (low, high] MinRTT buckets; labels follow the paper's legend
+#: ("0-30", "31-50", "51-80", "81+").
+MINRTT_BUCKETS = ((0.0, 30.0), (30.0, 50.0), (50.0, 80.0), (80.0, math.inf))
+_BUCKET_LABELS = ("0-30", "31-50", "51-80", "81+")
+
+
+@dataclass
+class Fig7Result:
+    hdratio_by_bucket: Dict[str, CdfSeries]
+
+    @staticmethod
+    def bucket_label(bounds: Tuple[float, float]) -> str:
+        index = MINRTT_BUCKETS.index(bounds)
+        return _BUCKET_LABELS[index]
+
+    def median_hdratio(self, label: str) -> float:
+        return self.hdratio_by_bucket[label].quantile(0.5)
+
+    def majority_achieves_some_hd(self, label: str) -> bool:
+        """More than half the bucket's sessions have HDratio > 0."""
+        return self.hdratio_by_bucket[label].fraction_at_most(0.0) < 0.5
+
+
+def fig7_rtt_vs_hdratio(dataset: StudyDataset) -> Fig7Result:
+    """Figure 7: HDratio distribution within each MinRTT bucket."""
+    buckets: Dict[str, List[float]] = {
+        Fig7Result.bucket_label(bounds): [] for bounds in MINRTT_BUCKETS
+    }
+    for row in dataset.hd_rows():
+        for bounds in MINRTT_BUCKETS:
+            if row.min_rtt_ms <= bounds[1]:
+                buckets[Fig7Result.bucket_label(bounds)].append(row.hdratio)
+                break
+    return Fig7Result(
+        hdratio_by_bucket={
+            label: CdfSeries.of(label, values or [0.0])
+            for label, values in buckets.items()
+        }
+    )
+
+
+# --------------------------------------------------------------------- #
+# Ablation — naive Btotal/Ttotal goodput vs the model (§4)
+# --------------------------------------------------------------------- #
+@dataclass
+class AblationResult:
+    model_median_hdratio: float
+    naive_median_hdratio: float
+    sessions: int
+
+    @property
+    def naive_underestimates(self) -> bool:
+        return self.naive_median_hdratio < self.model_median_hdratio
+
+
+def ablation_naive_goodput(dataset: StudyDataset) -> AblationResult:
+    """Compare the model HDratio against the naive estimator.
+
+    Requires the dataset to have been built with ``compute_naive=True``.
+    """
+    pairs = [
+        (row.hdratio, row.naive_hdratio)
+        for row in dataset.rows
+        if row.hdratio is not None and row.naive_hdratio is not None
+    ]
+    if not pairs:
+        raise ValueError("dataset has no naive HDratio values")
+    model = percentile([p[0] for p in pairs], 50.0)
+    naive = percentile([p[1] for p in pairs], 50.0)
+    return AblationResult(
+        model_median_hdratio=model,
+        naive_median_hdratio=naive,
+        sessions=len(pairs),
+    )

@@ -1,0 +1,49 @@
+"""Dataset filtering (§2.2.4).
+
+The paper filters out client IPs "determined by a third-party commercial
+service to be controlled by a hosting provider (~2% of measured traffic)":
+such sessions are API relays and VPN egress points whose user population
+shifts over time, which poisons temporal analysis (footnote 2). The
+synthetic edge tags those networks at generation time; this module applies
+the filter and keeps the audit counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.records import SessionSample
+
+__all__ = ["FilterStats", "filter_hosting_providers"]
+
+
+@dataclass
+class FilterStats:
+    """What the filter kept and dropped."""
+
+    kept_sessions: int = 0
+    dropped_sessions: int = 0
+    kept_bytes: int = 0
+    dropped_bytes: int = 0
+
+    @property
+    def dropped_traffic_fraction(self) -> float:
+        total = self.kept_bytes + self.dropped_bytes
+        if total == 0:
+            return 0.0
+        return self.dropped_bytes / total
+
+
+def filter_hosting_providers(
+    samples: Iterable[SessionSample], stats: FilterStats
+) -> Iterator[SessionSample]:
+    """Yield only samples from non-hosting client IPs, updating ``stats``."""
+    for sample in samples:
+        if sample.client_ip_is_hosting:
+            stats.dropped_sessions += 1
+            stats.dropped_bytes += sample.bytes_sent
+            continue
+        stats.kept_sessions += 1
+        stats.kept_bytes += sample.bytes_sent
+        yield sample

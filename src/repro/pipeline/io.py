@@ -1,0 +1,156 @@
+"""Trace serialization: JSON-lines export/import of session samples.
+
+The paper's collection pipeline ships captured state off the load balancer
+to an aggregation tier (§2.2.2); in this reproduction the equivalent
+boundary is a JSONL trace file — one sample per line — so that expensive
+synthetic traces can be generated once and re-analysed many times, shared,
+or diffed across library versions.
+
+The format is versioned and intentionally flat: every field of
+:class:`~repro.core.records.SessionSample` and its transaction records,
+with enums as their string values.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import pathlib
+from typing import IO, Iterable, Iterator, Union
+
+from repro.core.records import (
+    HttpVersion,
+    Relationship,
+    RouteInfo,
+    SessionSample,
+    TransactionRecord,
+)
+
+__all__ = ["read_samples", "write_samples", "sample_to_dict", "sample_from_dict"]
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def sample_to_dict(sample: SessionSample) -> dict:
+    """Flatten one sample into a JSON-serializable dict."""
+    route = None
+    if sample.route is not None:
+        route = {
+            "prefix": sample.route.prefix,
+            "as_path": list(sample.route.as_path),
+            "relationship": sample.route.relationship.value,
+            "preference_rank": sample.route.preference_rank,
+            "prepended": sample.route.prepended,
+        }
+    return {
+        "v": FORMAT_VERSION,
+        "session_id": sample.session_id,
+        "start_time": sample.start_time,
+        "end_time": sample.end_time,
+        "http_version": sample.http_version.value,
+        "min_rtt_seconds": sample.min_rtt_seconds,
+        "bytes_sent": sample.bytes_sent,
+        "busy_time_seconds": sample.busy_time_seconds,
+        "pop": sample.pop,
+        "client_country": sample.client_country,
+        "client_continent": sample.client_continent,
+        "client_ip_is_hosting": sample.client_ip_is_hosting,
+        "geo_tag": sample.geo_tag,
+        "media_response_sizes": list(sample.media_response_sizes),
+        "route": route,
+        "transactions": [
+            {
+                "first_byte_time": txn.first_byte_time,
+                "ack_time": txn.ack_time,
+                "response_bytes": txn.response_bytes,
+                "last_packet_bytes": txn.last_packet_bytes,
+                "cwnd_bytes_at_first_byte": txn.cwnd_bytes_at_first_byte,
+                "bytes_in_flight_at_start": txn.bytes_in_flight_at_start,
+                "last_byte_write_time": txn.last_byte_write_time,
+            }
+            for txn in sample.transactions
+        ],
+    }
+
+
+def sample_from_dict(payload: dict) -> SessionSample:
+    """Inverse of :func:`sample_to_dict` (validates via the dataclasses)."""
+    version = payload.get("v")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    route = None
+    if payload.get("route") is not None:
+        raw = payload["route"]
+        route = RouteInfo(
+            prefix=raw["prefix"],
+            as_path=tuple(raw["as_path"]),
+            relationship=Relationship(raw["relationship"]),
+            preference_rank=raw["preference_rank"],
+            prepended=raw["prepended"],
+        )
+    transactions = [
+        TransactionRecord(
+            first_byte_time=raw["first_byte_time"],
+            ack_time=raw["ack_time"],
+            response_bytes=raw["response_bytes"],
+            last_packet_bytes=raw["last_packet_bytes"],
+            cwnd_bytes_at_first_byte=raw["cwnd_bytes_at_first_byte"],
+            bytes_in_flight_at_start=raw["bytes_in_flight_at_start"],
+            last_byte_write_time=raw.get("last_byte_write_time"),
+        )
+        for raw in payload["transactions"]
+    ]
+    return SessionSample(
+        session_id=payload["session_id"],
+        start_time=payload["start_time"],
+        end_time=payload["end_time"],
+        http_version=HttpVersion(payload["http_version"]),
+        min_rtt_seconds=payload["min_rtt_seconds"],
+        bytes_sent=payload["bytes_sent"],
+        busy_time_seconds=payload["busy_time_seconds"],
+        transactions=transactions,
+        route=route,
+        pop=payload["pop"],
+        client_country=payload["client_country"],
+        client_continent=payload["client_continent"],
+        client_ip_is_hosting=payload["client_ip_is_hosting"],
+        geo_tag=payload.get("geo_tag", ""),
+        media_response_sizes=tuple(payload.get("media_response_sizes", ())),
+    )
+
+
+def _open(path: PathLike, mode: str) -> IO:
+    path = pathlib.Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_samples(path: PathLike, samples: Iterable[SessionSample]) -> int:
+    """Stream samples to a (optionally gzipped) JSONL file; returns count."""
+    count = 0
+    with _open(path, "w") as handle:
+        for sample in samples:
+            handle.write(json.dumps(sample_to_dict(sample)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_samples(path: PathLike) -> Iterator[SessionSample]:
+    """Stream samples back from a trace file."""
+    with _open(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON ({error})"
+                ) from error
+            yield sample_from_dict(payload)

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's figures and tables
+report; these helpers keep the formatting in one place so bench output and
+``EXPERIMENTS.md`` stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["format_cdf_checkpoints", "format_table", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (0.839 -> \"83.9%\")."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_cdf_checkpoints(
+    label: str,
+    checkpoints: Sequence[Tuple[str, float]],
+) -> str:
+    """Render a named list of (description, value) lines under a header."""
+    lines = [label]
+    width = max((len(name) for name, _ in checkpoints), default=0)
+    for name, value in checkpoints:
+        lines.append(f"  {name:<{width}}  {value:.4g}")
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

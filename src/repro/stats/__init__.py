@@ -1,0 +1,59 @@
+"""Statistics substrate for the edge-performance reproduction.
+
+The paper's methodology (§3.3–3.4) relies on three statistical tools, all of
+which are implemented here from scratch:
+
+- :mod:`repro.stats.tdigest` — a merging t-digest (Dunning & Ertl) used for
+  streaming percentile estimation inside aggregations (footnote 11 of the
+  paper notes t-digests are how this runs in production analytics).
+- :mod:`repro.stats.median_ci` — distribution-free confidence intervals for a
+  median and for the *difference* of two medians (McKean–Schrader standard
+  errors combined in the Price & Bonett style), used to gate every
+  degradation/opportunity decision.
+- :mod:`repro.stats.weighted` — weighted percentiles and empirical CDFs used
+  for traffic-weighted reporting.
+
+:mod:`repro.stats.sampling` provides the seeded random-variate machinery the
+synthetic workload generator is built on (mixtures, truncated lognormals,
+quantile-matched lognormal fitting).
+"""
+
+from repro.stats.bootstrap import (
+    bootstrap_median_ci,
+    bootstrap_median_difference_ci,
+)
+from repro.stats.median_ci import (
+    MedianComparison,
+    compare_medians,
+    median_ci,
+    median_standard_error,
+)
+from repro.stats.streaming import (
+    StreamingAggregate,
+    streaming_compare,
+    streaming_median_se,
+)
+from repro.stats.tdigest import TDigest
+from repro.stats.weighted import (
+    ecdf,
+    weighted_ecdf,
+    weighted_fraction_at_most,
+    weighted_percentile,
+)
+
+__all__ = [
+    "MedianComparison",
+    "StreamingAggregate",
+    "TDigest",
+    "bootstrap_median_ci",
+    "bootstrap_median_difference_ci",
+    "compare_medians",
+    "streaming_compare",
+    "streaming_median_se",
+    "ecdf",
+    "median_ci",
+    "median_standard_error",
+    "weighted_ecdf",
+    "weighted_fraction_at_most",
+    "weighted_percentile",
+]

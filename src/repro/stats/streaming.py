@@ -1,0 +1,123 @@
+"""Streaming median comparison from t-digests (paper footnote 11).
+
+Production traffic-engineering systems "need to be able to make these
+comparisons in near real-time"; the paper points at t-digests as the way to
+compute percentiles in streaming analytics frameworks and derive confidence
+intervals "via the cited approach" (Price & Bonett).
+
+The exact McKean–Schrader estimator needs order statistics; a t-digest
+yields any quantile, and the order statistic ``X(k)`` of an ``n``-sample is
+the quantile at ``k / n``. So the streaming construction is:
+
+1. median from the digest at q = 0.5;
+2. ``c = floor((n + 1) / 2 - z * sqrt(n / 4))`` as in the exact method;
+3. ``SE = (Q((n - c + 1) / n) - Q(c / n)) / (2 z)`` from digest quantiles;
+4. combine two SEs for the difference CI.
+
+:func:`streaming_compare` mirrors
+:func:`repro.stats.median_ci.compare_medians` but over digests, and
+:class:`StreamingAggregate` is the bounded-memory per-aggregation state a
+real-time pipeline would keep instead of raw sample lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.stats.median_ci import (
+    MIN_SAMPLES_FOR_COMPARISON,
+    MedianComparison,
+    normal_quantile,
+)
+from repro.stats.tdigest import TDigest
+
+__all__ = ["StreamingAggregate", "streaming_median_se", "streaming_compare"]
+
+
+def streaming_median_se(digest: TDigest, confidence: float = 0.95) -> float:
+    """McKean–Schrader SE of the median, from a t-digest."""
+    n = int(digest.total_weight)
+    if n < 5:
+        raise ValueError("need at least 5 observations for a median SE")
+    z = normal_quantile(0.5 + confidence / 2.0)
+    c = max(int(math.floor((n + 1) / 2.0 - z * math.sqrt(n / 4.0))), 1)
+    upper = digest.quantile((n - c + 1) / n)
+    lower = digest.quantile(c / n)
+    return max(upper - lower, 0.0) / (2.0 * z)
+
+
+def streaming_compare(
+    digest_a: TDigest,
+    digest_b: TDigest,
+    confidence: float = 0.95,
+    max_ci_width: float = math.inf,
+    min_samples: int = MIN_SAMPLES_FOR_COMPARISON,
+) -> MedianComparison:
+    """Difference-of-medians comparison computed entirely from digests."""
+    n_a, n_b = int(digest_a.total_weight), int(digest_b.total_weight)
+    if n_a < 5 or n_b < 5:
+        return MedianComparison(math.nan, -math.inf, math.inf, False, n_a, n_b)
+    difference = digest_a.median() - digest_b.median()
+    se_a = streaming_median_se(digest_a, confidence)
+    se_b = streaming_median_se(digest_b, confidence)
+    z = normal_quantile(0.5 + confidence / 2.0)
+    half = z * math.sqrt(se_a * se_a + se_b * se_b)
+    low, high = difference - half, difference + half
+    valid = (
+        n_a >= min_samples and n_b >= min_samples and (high - low) <= max_ci_width
+    )
+    return MedianComparison(difference, low, high, valid, n_a, n_b)
+
+
+@dataclass
+class StreamingAggregate:
+    """Bounded-memory aggregation state for one (group, route, window).
+
+    Holds two digests (MinRTT in milliseconds, HDratio) plus the traffic
+    counter — everything the §§5–6 comparisons need, at O(compression)
+    memory instead of O(samples).
+    """
+
+    rtt_digest: TDigest
+    hd_digest: TDigest
+    traffic_bytes: int = 0
+    session_count: int = 0
+
+    @classmethod
+    def empty(cls, compression: float = 100.0) -> "StreamingAggregate":
+        return cls(
+            rtt_digest=TDigest(compression=compression),
+            hd_digest=TDigest(compression=compression),
+        )
+
+    def add(
+        self, min_rtt_ms: float, hdratio: Optional[float], bytes_sent: int
+    ) -> None:
+        self.rtt_digest.add(min_rtt_ms)
+        if hdratio is not None:
+            self.hd_digest.add(hdratio)
+        self.traffic_bytes += bytes_sent
+        self.session_count += 1
+
+    def merge(self, other: "StreamingAggregate") -> "StreamingAggregate":
+        """Combine state from another collector (e.g. another LB process)."""
+        self.rtt_digest.merge(other.rtt_digest)
+        if other.hd_digest.total_weight > 0:
+            self.hd_digest.merge(other.hd_digest)
+        self.traffic_bytes += other.traffic_bytes
+        self.session_count += other.session_count
+        return self
+
+    @property
+    def minrtt_p50(self) -> Optional[float]:
+        if self.rtt_digest.total_weight == 0:
+            return None
+        return self.rtt_digest.median()
+
+    @property
+    def hdratio_p50(self) -> Optional[float]:
+        if self.hd_digest.total_weight == 0:
+            return None
+        return self.hd_digest.median()

@@ -1,0 +1,255 @@
+"""Merging t-digest for streaming quantile estimation.
+
+Implements the *merging* variant of the t-digest data structure described in
+Dunning & Ertl, "Computing Extremely Accurate Quantiles Using t-Digests"
+(arXiv:1902.04023), the reference the paper cites (footnote 11) for computing
+percentiles of MinRTT/HDratio in production streaming analytics.
+
+The digest maintains a compact set of weighted centroids whose sizes are
+bounded by a scale function; quantiles near the tails are represented with
+more, smaller centroids and are therefore more accurate — exactly the regime
+the paper cares about (P50 comparisons with tight confidence bounds, and tail
+degradation percentiles).
+
+This implementation keeps the public surface small:
+
+- :meth:`TDigest.add` / :meth:`TDigest.add_many` — insert values (optionally
+  weighted).
+- :meth:`TDigest.quantile` — estimate the value at quantile ``q``.
+- :meth:`TDigest.cdf` — estimate the rank of a value.
+- :meth:`TDigest.merge` — combine two digests (used when aggregations from
+  multiple load balancers are combined).
+
+The buffer-then-merge design means ``add`` is amortized O(1) with occasional
+O(n log n) compactions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["TDigest"]
+
+
+def _k1(q: float, compression: float) -> float:
+    """Scale function k1 from the t-digest paper (asin-based).
+
+    Maps quantile ``q`` to the "k-scale"; centroids are limited to spanning
+    one unit of k. The asin form concentrates resolution at both tails.
+    """
+    return (compression / (2.0 * math.pi)) * math.asin(2.0 * q - 1.0)
+
+
+class TDigest:
+    """A merging t-digest.
+
+    Parameters
+    ----------
+    compression:
+        The ``delta`` parameter. Larger values give more centroids and more
+        accuracy at more memory. 100 is the customary default and keeps
+        roughly ``2 * compression`` centroids.
+    buffer_factor:
+        Incoming points are buffered and merged in batches of
+        ``buffer_factor * compression`` for amortized-constant insertion.
+    """
+
+    def __init__(self, compression: float = 100.0, buffer_factor: int = 5):
+        if compression < 20:
+            raise ValueError("compression must be >= 20 for sane accuracy")
+        self.compression = float(compression)
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        self._buffer: List[Tuple[float, float]] = []
+        self._buffer_limit = int(buffer_factor * compression)
+        self._total_weight = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Add a single ``value`` with optional ``weight``."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if math.isnan(value):
+            raise ValueError("cannot add NaN to a t-digest")
+        self._buffer.append((value, weight))
+        self._total_weight += weight
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._buffer) >= self._buffer_limit:
+            self._compress()
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Add an iterable of unweighted values."""
+        for value in values:
+            self.add(value)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def centroid_count(self) -> int:
+        self._compress()
+        return len(self._means)
+
+    def __len__(self) -> int:
+        return int(self._total_weight)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the value at quantile ``q`` in [0, 1].
+
+        Uses linear interpolation between adjacent centroid means, treating
+        each centroid as centred at its midpoint of cumulative weight, with
+        the global min/max anchoring the extremes.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        self._compress()
+        if not self._means:
+            raise ValueError("cannot query an empty t-digest")
+        if len(self._means) == 1:
+            return self._means[0]
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+
+        target = q * self._total_weight
+        cumulative = 0.0
+        # Midpoint positions of each centroid along the weight axis.
+        prev_position = 0.0
+        prev_mean = self._min
+        for mean, weight in zip(self._means, self._weights):
+            position = cumulative + weight / 2.0
+            if target < position:
+                span = position - prev_position
+                if span <= 0:
+                    return mean
+                frac = (target - prev_position) / span
+                return prev_mean + frac * (mean - prev_mean)
+            cumulative += weight
+            prev_position = position
+            prev_mean = mean
+        # Interpolate between the last centroid midpoint and the max.
+        span = self._total_weight - prev_position
+        if span <= 0:
+            return self._max
+        frac = (target - prev_position) / span
+        return prev_mean + frac * (self._max - prev_mean)
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def cdf(self, value: float) -> float:
+        """Estimate P(X <= value)."""
+        self._compress()
+        if not self._means:
+            raise ValueError("cannot query an empty t-digest")
+        if value < self._min:
+            return 0.0
+        if value >= self._max:
+            return 1.0
+        cumulative = 0.0
+        prev_position = 0.0
+        prev_mean = self._min
+        for mean, weight in zip(self._means, self._weights):
+            position = cumulative + weight / 2.0
+            if value < mean:
+                span = mean - prev_mean
+                if span <= 0:
+                    return position / self._total_weight
+                frac = (value - prev_mean) / span
+                rank = prev_position + frac * (position - prev_position)
+                return min(max(rank / self._total_weight, 0.0), 1.0)
+            cumulative += weight
+            prev_position = position
+            prev_mean = mean
+        span = self._max - prev_mean
+        if span <= 0:
+            return 1.0
+        frac = (value - prev_mean) / span
+        rank = prev_position + frac * (self._total_weight - prev_position)
+        return min(max(rank / self._total_weight, 0.0), 1.0)
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "TDigest") -> "TDigest":
+        """Merge ``other`` into ``self`` (in place) and return ``self``."""
+        other._compress()
+        for mean, weight in zip(other._means, other._weights):
+            self._buffer.append((mean, weight))
+        self._total_weight += other._total_weight
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._compress()
+        return self
+
+    @classmethod
+    def of(cls, values: Sequence[float], compression: float = 100.0) -> "TDigest":
+        """Build a digest from a sequence of values."""
+        digest = cls(compression=compression)
+        digest.add_many(values)
+        return digest
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _compress(self) -> None:
+        """Merge the buffer into the centroid list, enforcing k-size bounds."""
+        if not self._buffer:
+            return
+        points = list(zip(self._means, self._weights))
+        points.extend(self._buffer)
+        self._buffer.clear()
+        points.sort(key=lambda item: item[0])
+
+        total = sum(weight for _, weight in points)
+        merged_means: List[float] = []
+        merged_weights: List[float] = []
+
+        current_mean, current_weight = points[0]
+        weight_so_far = 0.0
+        k_lower = _k1(0.0 if total == 0 else 0.0, self.compression)
+        k_lower = _k1(max(weight_so_far / total, 0.0), self.compression)
+
+        for mean, weight in points[1:]:
+            proposed = current_weight + weight
+            q_upper = (weight_so_far + proposed) / total
+            # Clamp to the open interval to keep asin defined.
+            q_upper = min(max(q_upper, 1e-12), 1.0 - 1e-12)
+            if _k1(q_upper, self.compression) - k_lower <= 1.0:
+                # Centroid can absorb this point without exceeding its
+                # k-size budget: fold it in (weighted mean update).
+                current_mean += (mean - current_mean) * (weight / proposed)
+                current_weight = proposed
+            else:
+                merged_means.append(current_mean)
+                merged_weights.append(current_weight)
+                weight_so_far += current_weight
+                q_lower = min(max(weight_so_far / total, 1e-12), 1.0 - 1e-12)
+                k_lower = _k1(q_lower, self.compression)
+                current_mean, current_weight = mean, weight
+
+        merged_means.append(current_mean)
+        merged_weights.append(current_weight)
+        self._means = merged_means
+        self._weights = merged_weights
+        self._total_weight = total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TDigest(n={self._total_weight:.0f}, "
+            f"centroids={len(self._means)}, "
+            f"compression={self.compression:.0f})"
+        )

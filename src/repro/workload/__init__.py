@@ -1,0 +1,57 @@
+"""Synthetic workload generation calibrated to the paper's §2.3.
+
+- :mod:`repro.workload.profiles` — per-continent access-network models;
+- :mod:`repro.workload.sessions` — session/transaction structure;
+- :mod:`repro.workload.channel` — analytic TCP transfer-time model that
+  produces instrumented samples;
+- :mod:`repro.workload.events` — diurnal/episodic/continuous condition
+  events;
+- :mod:`repro.workload.scenario` — the end-to-end trace generator.
+"""
+
+from repro.workload.calibration import (
+    CalibrationResult,
+    CalibrationTarget,
+    run_calibration,
+)
+from repro.workload.channel import ChannelModel, PathState
+from repro.workload.events import (
+    ConditionModifier,
+    ContinuousImpairment,
+    DiurnalCongestion,
+    EpisodicOutage,
+    activity_level,
+    local_hour,
+)
+from repro.workload.profiles import (
+    AccessClass,
+    AccessProfile,
+    ContinentProfile,
+    default_profiles,
+)
+from repro.workload.scenario import EdgeScenario, NetworkState, ScenarioConfig
+from repro.workload.sessions import SessionSpec, TransactionSpec, WorkloadModel
+
+__all__ = [
+    "AccessClass",
+    "AccessProfile",
+    "CalibrationResult",
+    "CalibrationTarget",
+    "ChannelModel",
+    "run_calibration",
+    "ConditionModifier",
+    "ContinentProfile",
+    "ContinuousImpairment",
+    "DiurnalCongestion",
+    "EdgeScenario",
+    "EpisodicOutage",
+    "NetworkState",
+    "PathState",
+    "ScenarioConfig",
+    "SessionSpec",
+    "TransactionSpec",
+    "WorkloadModel",
+    "activity_level",
+    "default_profiles",
+    "local_hour",
+]

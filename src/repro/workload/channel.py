@@ -1,0 +1,227 @@
+"""Analytic TCP transfer-time channel model.
+
+Converts (session spec, path state) into the instrumented
+:class:`~repro.core.records.SessionSample` the analysis pipeline consumes —
+the fast counterpart to the packet-level simulator in :mod:`repro.netsim`.
+Packet-level simulation of a 10-day global trace is neither feasible nor
+necessary: the estimator's behaviour is validated against the packet
+simulator (§3.2.3 sweep), and the trace generator only needs transfer
+times with the right structure. The model used here:
+
+- per-transaction best case from the same slow-start/bottleneck fluid model
+  the paper uses (:func:`repro.core.goodput.model_transfer_time`) at the
+  path's effective bottleneck;
+- stochastic loss penalties: each lost packet costs roughly a recovery
+  round trip (plus an RTO-scale stall when the window was small);
+- jitter noise per round trip;
+- cwnd evolution across transactions: ideal growth capped by the path BDP,
+  halved by loss events, reset after long idle gaps
+  (``slow start after idle``);
+- MinRTT = propagation + last-mile + standing queue, with the measurement
+  noise floor of small-packet samples.
+
+The output records carry Wnic, NIC timestamps, and delayed-ACK-corrected
+byte counts exactly as the load balancer would capture them.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.goodput import ideal_round_trips, ideal_wstart, model_transfer_time
+from repro.core.records import SessionSample, TransactionRecord
+from repro.workload.sessions import SessionSpec
+
+__all__ = ["ChannelModel", "PathState"]
+
+
+@dataclass(frozen=True)
+class PathState:
+    """Network conditions between one client and the serving PoP, for one
+    session. Produced by combining geography, the egress route's condition,
+    any active congestion events, and the client's access profile."""
+
+    base_rtt_ms: float
+    bottleneck_mbps: float
+    loss_probability: float = 0.0
+    queue_delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms <= 0:
+            raise ValueError("base_rtt_ms must be positive")
+        if self.bottleneck_mbps <= 0:
+            raise ValueError("bottleneck_mbps must be positive")
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+
+    @property
+    def effective_rtt_seconds(self) -> float:
+        """Propagation plus standing queue — what MinRTT converges to."""
+        return (self.base_rtt_ms + self.queue_delay_ms) / 1000.0
+
+    @property
+    def bottleneck_bytes_per_sec(self) -> float:
+        return self.bottleneck_mbps * 1e6 / 8.0
+
+
+class ChannelModel:
+    """Stochastic per-session transfer model."""
+
+    #: Idle gap after which the kernel resets the congestion window
+    #: (slow start after idle ≈ one RTO; we use a coarse constant).
+    IDLE_RESET_SECONDS = 3.0
+
+    def __init__(
+        self,
+        rng: random.Random,
+        mss_bytes: int = 1500,
+        initial_cwnd_packets: int = 10,
+    ) -> None:
+        self.rng = rng
+        self.mss = mss_bytes
+        self.initial_cwnd = initial_cwnd_packets * mss_bytes
+
+    # ------------------------------------------------------------------ #
+    def simulate_session(
+        self,
+        spec: SessionSpec,
+        path: PathState,
+        start_time: float,
+        session_id: int = 0,
+    ) -> SessionSample:
+        """Produce the instrumented sample for one session."""
+        rng = self.rng
+        rtt = path.effective_rtt_seconds
+        rate = path.bottleneck_bytes_per_sec
+
+        records: List[TransactionRecord] = []
+        media_sizes: List[int] = []
+        cwnd = self.initial_cwnd
+        clock = start_time
+        busy = 0.0
+        min_rtt_sample = rtt  # the handshake seeds MinRTT
+
+        for txn in spec.transactions:
+            clock += txn.think_time_seconds
+            if txn.think_time_seconds > self.IDLE_RESET_SECONDS:
+                cwnd = self.initial_cwnd
+
+            nbytes = max(txn.response_bytes, 1)
+            if txn.is_media:
+                media_sizes.append(nbytes)
+            last_packet = nbytes % self.mss or self.mss
+            measured = nbytes - last_packet
+            wnic = cwnd
+
+            if measured > 0:
+                transfer, losses = self._transfer_time(measured, wnic, rtt, rate, path)
+            else:
+                transfer, losses = rtt, 0
+
+            first_byte = clock
+            ack_time = first_byte + transfer
+            last_write = max(first_byte, ack_time - rtt)
+            records.append(
+                TransactionRecord(
+                    first_byte_time=first_byte,
+                    ack_time=ack_time,
+                    response_bytes=nbytes,
+                    last_packet_bytes=last_packet if measured > 0 else nbytes,
+                    cwnd_bytes_at_first_byte=wnic,
+                    bytes_in_flight_at_start=0,
+                    last_byte_write_time=last_write,
+                )
+            )
+            # Whole-transaction wall time includes the final packet + ACK.
+            full_time = transfer + (last_packet / rate) + (
+                0.0 if measured > 0 else 0.0
+            )
+            clock = first_byte + max(full_time, transfer)
+            busy += max(full_time, transfer)
+            cwnd = self._evolve_cwnd(cwnd, nbytes, losses, rtt, rate)
+
+        duration = max(spec.target_duration_seconds, clock - start_time)
+        end_time = start_time + duration
+        # MinRTT as recorded at close: effective RTT plus a small positive
+        # measurement epsilon (jitter means the true floor is rarely hit,
+        # but many samples get close).
+        observed_min = min_rtt_sample * (1.0 + abs(rng.gauss(0.0, 0.01)))
+        return SessionSample(
+            session_id=session_id,
+            start_time=start_time,
+            end_time=end_time,
+            http_version=spec.http_version,
+            min_rtt_seconds=observed_min,
+            bytes_sent=spec.total_response_bytes,
+            busy_time_seconds=min(busy, duration),
+            transactions=records,
+            media_response_sizes=tuple(media_sizes),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _transfer_time(
+        self,
+        measured_bytes: int,
+        wnic: int,
+        rtt: float,
+        rate: float,
+        path: PathState,
+    ) -> tuple:
+        """Best-case fluid time plus stochastic loss/jitter penalties.
+
+        Returns ``(transfer_time, loss_events)``.
+        """
+        rng = self.rng
+        base = model_transfer_time(rate, measured_bytes, wnic, rtt)
+
+        packets = max(1, math.ceil(measured_bytes / self.mss))
+        losses = self._sample_losses(packets, path.loss_probability)
+        penalty = 0.0
+        for _ in range(losses):
+            # A fast-retransmit recovery costs about one extra round trip;
+            # losses in small windows escalate to RTO-scale stalls.
+            if wnic <= 4 * self.mss or rng.random() < 0.1:
+                penalty += max(0.2, 2.0 * rtt) * rng.uniform(0.8, 1.5)
+            else:
+                penalty += rtt * rng.uniform(0.8, 1.5)
+
+        if path.jitter_ms > 0:
+            rounds = ideal_round_trips(measured_bytes, wnic)
+            for _ in range(rounds):
+                penalty += abs(rng.gauss(0.0, path.jitter_ms / 1000.0))
+
+        return base + penalty, losses
+
+    def _sample_losses(self, packets: int, p: float) -> int:
+        """Binomial(packets, p) via inversion on small n, Poisson tail."""
+        if p <= 0.0:
+            return 0
+        rng = self.rng
+        if packets <= 64:
+            return sum(1 for _ in range(packets) if rng.random() < p)
+        # Poisson approximation for long transfers.
+        lam = packets * p
+        count, threshold, product = 0, math.exp(-lam), rng.random()
+        cumulative = threshold
+        while product > cumulative and count < packets:
+            count += 1
+            threshold *= lam / count
+            cumulative += threshold
+        return count
+
+    def _evolve_cwnd(
+        self, cwnd: int, sent_bytes: int, losses: int, rtt: float, rate: float
+    ) -> int:
+        """Window state entering the next transaction."""
+        if losses > 0:
+            reduced = cwnd >> min(losses, 4)
+            return max(reduced, self.mss)
+        grown = max(cwnd, ideal_wstart(sent_bytes, cwnd))
+        # The window cannot usefully exceed the path BDP plus queue room.
+        bdp = rate * rtt
+        cap = int(max(2.0 * bdp, 4 * self.initial_cwnd))
+        return min(grown, cap)

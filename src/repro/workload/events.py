@@ -1,0 +1,166 @@
+"""Temporal condition events: diurnal congestion, episodes, shifts.
+
+§5 finds that most degradation is diurnal (peak-hour congestion located in
+or near destination networks), some is episodic (failures, maintenance),
+and a little is continuous. This module generates those behaviours as
+*condition modifiers* applied on top of a route's baseline
+:class:`~repro.workload.channel.PathState`.
+
+Every event answers one question: at window ``w``, what extra queueing
+delay, loss, and capacity reduction does this path experience?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.classification import WINDOWS_PER_DAY
+
+__all__ = [
+    "ConditionModifier",
+    "TemporalEvent",
+    "DiurnalCongestion",
+    "EpisodicOutage",
+    "ContinuousImpairment",
+    "local_hour",
+    "activity_level",
+]
+
+
+@dataclass(frozen=True)
+class ConditionModifier:
+    """Additive/multiplicative adjustments to a path's baseline state."""
+
+    extra_queue_ms: float = 0.0
+    extra_loss: float = 0.0
+    capacity_factor: float = 1.0
+    extra_jitter_ms: float = 0.0
+
+    def combine(self, other: "ConditionModifier") -> "ConditionModifier":
+        return ConditionModifier(
+            extra_queue_ms=self.extra_queue_ms + other.extra_queue_ms,
+            extra_loss=min(self.extra_loss + other.extra_loss, 0.5),
+            capacity_factor=self.capacity_factor * other.capacity_factor,
+            extra_jitter_ms=self.extra_jitter_ms + other.extra_jitter_ms,
+        )
+
+
+NEUTRAL = ConditionModifier()
+
+
+def local_hour(window: int, longitude_deg: float) -> float:
+    """Local solar hour-of-day for a 15-minute window index."""
+    utc_hour = (window % WINDOWS_PER_DAY) * 24.0 / WINDOWS_PER_DAY
+    return (utc_hour + longitude_deg / 15.0) % 24.0
+
+
+#: Hourly user-activity weights (local time): trough ~3–4 am, evening peak
+#: ~8–9 pm. An explicit table (rather than a sinusoid) captures the
+#: asymmetry of real diurnal curves: a long flat working day and a short
+#: deep overnight trough.
+_ACTIVITY_BY_HOUR = (
+    0.35, 0.25, 0.18, 0.15, 0.15, 0.18,  # 00–05
+    0.25, 0.35, 0.45, 0.50, 0.55, 0.60,  # 06–11
+    0.65, 0.65, 0.65, 0.65, 0.70, 0.75,  # 12–17
+    0.85, 0.95, 1.00, 1.00, 0.80, 0.50,  # 18–23
+)
+
+
+def activity_level(hour: float) -> float:
+    """User activity by local hour, in [0.15, 1.0].
+
+    Drives both traffic volume and congestion: evening peaks are when
+    access/interconnect congestion bites (§5).
+    """
+    hour = hour % 24.0
+    low = int(hour)
+    high = (low + 1) % 24
+    frac = hour - low
+    return _ACTIVITY_BY_HOUR[low] * (1 - frac) + _ACTIVITY_BY_HOUR[high] * frac
+
+
+class TemporalEvent:
+    """Base class: a modifier as a function of the window index."""
+
+    def modifier_at(self, window: int) -> ConditionModifier:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DiurnalCongestion(TemporalEvent):
+    """Evening congestion at the destination/last mile.
+
+    Severity ramps with local activity above an onset threshold; at full
+    peak it contributes a standing queue, loss, and a capacity haircut.
+    """
+
+    longitude_deg: float
+    peak_queue_ms: float = 15.0
+    peak_loss: float = 0.01
+    peak_capacity_factor: float = 0.5
+    onset: float = 0.75  # activity level where congestion begins
+
+    def modifier_at(self, window: int) -> ConditionModifier:
+        level = activity_level(local_hour(window, self.longitude_deg))
+        if level <= self.onset:
+            return NEUTRAL
+        severity = (level - self.onset) / (1.0 - self.onset)
+        return ConditionModifier(
+            extra_queue_ms=self.peak_queue_ms * severity,
+            extra_loss=self.peak_loss * severity,
+            capacity_factor=1.0 - (1.0 - self.peak_capacity_factor) * severity,
+            extra_jitter_ms=2.0 * severity,
+        )
+
+
+@dataclass(frozen=True)
+class EpisodicOutage(TemporalEvent):
+    """A one-off impairment spanning ``[start_window, end_window)``.
+
+    Models failures/maintenance: a reroute (latency jump), congestion on a
+    backup path (loss + capacity), or both.
+    """
+
+    start_window: int
+    end_window: int
+    queue_ms: float = 25.0
+    loss: float = 0.02
+    capacity_factor: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.end_window <= self.start_window:
+            raise ValueError("outage must span at least one window")
+
+    def modifier_at(self, window: int) -> ConditionModifier:
+        if self.start_window <= window < self.end_window:
+            return ConditionModifier(
+                extra_queue_ms=self.queue_ms,
+                extra_loss=self.loss,
+                capacity_factor=self.capacity_factor,
+            )
+        return NEUTRAL
+
+
+@dataclass(frozen=True)
+class ContinuousImpairment(TemporalEvent):
+    """A standing impairment over the whole study (e.g. chronic underprovisioning)."""
+
+    queue_ms: float = 10.0
+    loss: float = 0.005
+    capacity_factor: float = 0.8
+
+    def modifier_at(self, window: int) -> ConditionModifier:
+        return ConditionModifier(
+            extra_queue_ms=self.queue_ms,
+            extra_loss=self.loss,
+            capacity_factor=self.capacity_factor,
+        )
+
+
+def combine_events(events: Sequence[TemporalEvent], window: int) -> ConditionModifier:
+    """Fold all events' modifiers for one window."""
+    modifier = NEUTRAL
+    for event in events:
+        modifier = modifier.combine(event.modifier_at(window))
+    return modifier

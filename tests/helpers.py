@@ -1,0 +1,97 @@
+"""Shared builders for analysis-layer tests.
+
+These construct minimal :class:`SessionSample` streams with controlled
+MinRTT/HDratio values so the aggregation/comparison/classification layers can
+be tested without running the workload generator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.core.aggregation import AggregationStore
+from repro.core.constants import AGGREGATION_WINDOW_SECONDS
+from repro.core.records import (
+    HttpVersion,
+    Relationship,
+    RouteInfo,
+    SessionSample,
+    UserGroupKey,
+)
+
+DEFAULT_GROUP = UserGroupKey(pop="ams1", prefix="203.0.112.0/20", country="NL")
+
+_session_counter = [0]
+
+
+def make_route(
+    prefix: str = DEFAULT_GROUP.prefix,
+    rank: int = 0,
+    relationship: Relationship = Relationship.PRIVATE,
+    as_path=(64500,),
+    prepended: bool = False,
+) -> RouteInfo:
+    return RouteInfo(
+        prefix=prefix,
+        as_path=tuple(as_path),
+        relationship=relationship,
+        preference_rank=rank,
+        prepended=prepended,
+    )
+
+
+def make_sample(
+    end_time: float,
+    min_rtt_ms: float,
+    route: Optional[RouteInfo] = None,
+    pop: str = DEFAULT_GROUP.pop,
+    country: str = DEFAULT_GROUP.country,
+    bytes_sent: int = 100_000,
+    duration: float = 30.0,
+) -> SessionSample:
+    _session_counter[0] += 1
+    return SessionSample(
+        session_id=_session_counter[0],
+        start_time=max(end_time - duration, 0.0),
+        end_time=end_time,
+        http_version=HttpVersion.HTTP_2,
+        min_rtt_seconds=min_rtt_ms / 1000.0,
+        bytes_sent=bytes_sent,
+        busy_time_seconds=duration * 0.1,
+        transactions=[],
+        route=route or make_route(),
+        pop=pop,
+        client_country=country,
+    )
+
+
+def fill_window(
+    store: AggregationStore,
+    window: int,
+    rtt_ms: float,
+    hdratio: float,
+    count: int = 40,
+    rank: int = 0,
+    jitter_ms: float = 1.0,
+    seed: int = 0,
+    group: UserGroupKey = DEFAULT_GROUP,
+    relationship: Relationship = Relationship.PRIVATE,
+    bytes_per_session: int = 100_000,
+) -> None:
+    """Add ``count`` sessions with ~rtt_ms / ~hdratio to one window."""
+    rng = random.Random((window, rank, seed).__hash__())
+    base_time = window * AGGREGATION_WINDOW_SECONDS
+    route = make_route(prefix=group.prefix, rank=rank, relationship=relationship)
+    for i in range(count):
+        end = base_time + (i + 0.5) * (AGGREGATION_WINDOW_SECONDS / (count + 1))
+        sample = make_sample(
+            end_time=end,
+            min_rtt_ms=max(rng.gauss(rtt_ms, jitter_ms), 0.1),
+            route=route,
+            pop=group.pop,
+            country=group.country,
+            bytes_sent=bytes_per_session,
+        )
+        hd = min(max(rng.gauss(hdratio, 0.01), 0.0), 1.0)
+        store.add(sample, hdratio=hd)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure4_flags(self):
+        args = build_parser().parse_args(["figure4", "--delayed-ack"])
+        assert args.command == "figure4"
+        assert args.delayed_ack
+
+    def test_snapshot_defaults(self):
+        args = build_parser().parse_args(["snapshot"])
+        assert args.days == 1
+        assert args.networks_per_metro == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestCommands:
+    def test_figure4_runs(self, capsys):
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "MinRTT: 60.0 ms" in out
+        assert "session HDratio: 1.0" in out
+
+    def test_figure4_delayed_ack_runs(self, capsys):
+        assert main(["figure4", "--delayed-ack"]) == 0
+        assert "session HDratio" in capsys.readouterr().out
+
+    def test_sweep_runs_coarse(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "overestimates: 0" in out
+
+    def test_snapshot_runs_small(self, capsys):
+        code = main(
+            ["snapshot", "--rate", "2", "--days", "1", "--networks-per-metro", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "global MinRTT p50" in out
+
+    def test_routing_runs_small(self, capsys):
+        code = main(["routing", "--rate", "12", "--days", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "within 3 ms of optimal" in out
+
+
+class TestNewSubcommands:
+    def test_trace_and_analyze_parsers(self):
+        args = build_parser().parse_args(["trace", "out.jsonl", "--rate", "5"])
+        assert args.command == "trace"
+        assert args.output == "out.jsonl"
+        assert args.rate == 5.0
+        args = build_parser().parse_args(["analyze", "out.jsonl", "--windows", "48"])
+        assert args.windows == 48
+
+    def test_calibrate_parser(self):
+        args = build_parser().parse_args(["calibrate", "--rate", "3"])
+        assert args.command == "calibrate"
+        assert args.rate == 3.0
+
+    def test_figure4_trace_flag(self, capsys):
+        assert main(["figure4", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "server" in out and "client" in out  # sequence diagram rails
+        assert "data 0.." in out
+
+    def test_trace_analyze_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl.gz")
+        assert main(["trace", path, "--rate", "1", "--days", "1"]) == 0
+        assert main(["analyze", path]) == 0
+        out = capsys.readouterr().out
+        assert "global MinRTT p50" in out

@@ -1,0 +1,126 @@
+"""Tests for user-group/window aggregation (§3.3)."""
+
+import pytest
+
+from repro.core.aggregation import AggregationStore, window_index
+from repro.core.constants import AGGREGATION_WINDOW_SECONDS
+from repro.core.records import Relationship, UserGroupKey
+
+from tests.helpers import DEFAULT_GROUP, fill_window, make_route, make_sample
+
+
+class TestWindowIndex:
+    def test_window_boundaries(self):
+        assert window_index(0.0) == 0
+        assert window_index(AGGREGATION_WINDOW_SECONDS - 0.001) == 0
+        assert window_index(AGGREGATION_WINDOW_SECONDS) == 1
+
+    def test_custom_window(self):
+        assert window_index(59.0, window_seconds=60.0) == 0
+        assert window_index(61.0, window_seconds=60.0) == 1
+
+
+class TestAggregationStore:
+    def test_samples_grouped_by_key(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0), hdratio=1.0)
+        store.add(make_sample(20.0, 42.0), hdratio=0.5)
+        assert len(store) == 1
+        agg = store.get(DEFAULT_GROUP, 0, 0)
+        assert agg is not None
+        assert agg.session_count == 2
+        assert agg.traffic_bytes == 200_000
+
+    def test_different_windows_split(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0))
+        store.add(make_sample(AGGREGATION_WINDOW_SECONDS + 10.0, 40.0))
+        assert len(store) == 2
+        assert store.windows() == [0, 1]
+
+    def test_different_route_ranks_split(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0, route=make_route(rank=0)))
+        store.add(make_sample(10.0, 50.0, route=make_route(rank=1)))
+        assert len(store) == 2
+        assert store.route_ranks(DEFAULT_GROUP, 0) == [0, 1]
+
+    def test_different_pops_split(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0, pop="ams1"))
+        store.add(make_sample(10.0, 40.0, pop="sjc1"))
+        assert len(store.groups()) == 2
+
+    def test_missing_route_rejected(self):
+        store = AggregationStore()
+        sample = make_sample(10.0, 40.0)
+        sample.route = None
+        with pytest.raises(ValueError):
+            store.add(sample)
+
+    def test_minrtt_p50(self):
+        store = AggregationStore()
+        for rtt in (30.0, 40.0, 50.0):
+            store.add(make_sample(10.0, rtt), hdratio=None)
+        agg = store.get(DEFAULT_GROUP, 0, 0)
+        assert agg.minrtt_p50 == pytest.approx(40.0)
+
+    def test_hdratio_p50_ignores_untestable_sessions(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0), hdratio=None)
+        store.add(make_sample(11.0, 40.0), hdratio=0.8)
+        agg = store.get(DEFAULT_GROUP, 0, 0)
+        assert agg.hdratio_p50 == pytest.approx(0.8)
+        assert agg.session_count == 2
+        assert len(agg.hdratios) == 1
+
+    def test_hdratio_p50_none_when_no_testable(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0), hdratio=None)
+        assert store.get(DEFAULT_GROUP, 0, 0).hdratio_p50 is None
+
+    def test_streaming_p50_tracks_exact(self):
+        store = AggregationStore()
+        fill_window(store, window=0, rtt_ms=40.0, hdratio=0.9, count=200)
+        agg = store.get(DEFAULT_GROUP, 0, 0)
+        assert agg.minrtt_p50_streaming() == pytest.approx(agg.minrtt_p50, abs=0.5)
+        assert agg.hdratio_p50_streaming() == pytest.approx(agg.hdratio_p50, abs=0.02)
+
+    def test_group_series_ordering(self):
+        store = AggregationStore()
+        for window in (3, 1, 2):
+            fill_window(store, window=window, rtt_ms=40.0, hdratio=0.9, count=5)
+        series = store.group_series(DEFAULT_GROUP, route_rank=0)
+        assert [agg.window for agg in series] == [1, 2, 3]
+
+    def test_group_windows_filters_rank(self):
+        store = AggregationStore()
+        fill_window(store, window=0, rtt_ms=40.0, hdratio=0.9, count=5, rank=0)
+        fill_window(store, window=1, rtt_ms=40.0, hdratio=0.9, count=5, rank=1)
+        assert store.group_windows(DEFAULT_GROUP, route_rank=0) == [0]
+        assert store.group_windows(DEFAULT_GROUP, route_rank=1) == [1]
+
+    def test_has_min_samples(self):
+        store = AggregationStore()
+        fill_window(store, window=0, rtt_ms=40.0, hdratio=0.9, count=29)
+        assert not store.get(DEFAULT_GROUP, 0, 0).has_min_samples
+        fill_window(store, window=1, rtt_ms=40.0, hdratio=0.9, count=30)
+        assert store.get(DEFAULT_GROUP, 0, 1).has_min_samples
+
+    def test_computes_hdratio_from_transactions_when_present(self):
+        from repro.core.records import TransactionRecord
+
+        sample = make_sample(10.0, 60.0)
+        # One large fast transaction: tests and achieves HD.
+        sample.transactions = [
+            TransactionRecord(
+                first_byte_time=0.0,
+                ack_time=0.12,
+                response_bytes=150_000,
+                last_packet_bytes=1500,
+                cwnd_bytes_at_first_byte=15000,
+            )
+        ]
+        store = AggregationStore()
+        agg = store.add(sample)
+        assert agg.hdratios == [1.0]

@@ -1,0 +1,143 @@
+"""Tests for temporal behaviour classification (§3.4.2)."""
+
+import math
+
+import pytest
+
+from repro.core.classification import (
+    WINDOWS_PER_DAY,
+    GroupClassification,
+    TemporalClass,
+    classify_group,
+)
+from repro.core.comparison import WindowVerdict
+
+
+def verdict(window, diff, valid=True, traffic=1000):
+    """A verdict whose CI is tight around ``diff`` (width 2)."""
+    return WindowVerdict(
+        window=window,
+        difference=diff,
+        ci_low=diff - 1.0,
+        ci_high=diff + 1.0,
+        valid=valid,
+        traffic_bytes=traffic,
+    )
+
+
+def series(event_windows, total_windows, diff=10.0, base=0.0):
+    """Verdicts for windows 0..total_windows-1; events where listed."""
+    events = set(event_windows)
+    return [
+        verdict(w, diff if w in events else base) for w in range(total_windows)
+    ]
+
+
+TEN_DAYS = 10 * WINDOWS_PER_DAY
+
+
+class TestClasses:
+    def test_uneventful(self):
+        verdicts = series([], TEN_DAYS)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is TemporalClass.UNEVENTFUL
+        assert result.event_windows == 0
+
+    def test_continuous(self):
+        # Event in 80% of windows.
+        events = [w for w in range(TEN_DAYS) if w % 5 != 0]
+        verdicts = series(events, TEN_DAYS)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is TemporalClass.CONTINUOUS
+
+    def test_diurnal(self):
+        # Same two-hour evening block (slots 76..84) on every one of 10 days.
+        events = [
+            day * WINDOWS_PER_DAY + slot
+            for day in range(10)
+            for slot in range(76, 84)
+        ]
+        verdicts = series(events, TEN_DAYS)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is TemporalClass.DIURNAL
+
+    def test_episodic(self):
+        # One isolated multi-hour outage on one day only.
+        events = list(range(200, 220))
+        verdicts = series(events, TEN_DAYS)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is TemporalClass.EPISODIC
+
+    def test_diurnal_requires_five_days(self):
+        # Recurring slot on only 4 days: episodic, not diurnal.
+        events = [day * WINDOWS_PER_DAY + 40 for day in range(4)]
+        verdicts = series(events, TEN_DAYS)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is TemporalClass.EPISODIC
+
+        events5 = [day * WINDOWS_PER_DAY + 40 for day in range(5)]
+        result5 = classify_group(
+            series(events5, TEN_DAYS), threshold=5.0, study_windows=TEN_DAYS
+        )
+        assert result5.temporal_class is TemporalClass.DIURNAL
+
+    def test_class_priority_continuous_beats_diurnal(self):
+        # An 80%-of-windows event is continuous even though it also recurs
+        # at fixed slots every day.
+        events = [w for w in range(TEN_DAYS) if w % 5 != 0]
+        verdicts = series(events, TEN_DAYS)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is TemporalClass.CONTINUOUS
+
+
+class TestCoverageRule:
+    def test_sparse_group_unclassified(self):
+        # Data in only half the study windows.
+        verdicts = series([], TEN_DAYS // 2)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is None
+        assert not result.classified
+        assert result.coverage == pytest.approx(0.5)
+
+    def test_coverage_counts_all_windows_with_data(self):
+        verdicts = series([], int(TEN_DAYS * 0.7))
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.classified
+
+
+class TestThresholds:
+    def test_higher_threshold_fewer_events(self):
+        events = list(range(0, TEN_DAYS, 3))
+        verdicts = series(events, TEN_DAYS, diff=10.0)
+        low = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        high = classify_group(verdicts, threshold=50.0, study_windows=TEN_DAYS)
+        assert low.event_windows > 0
+        assert high.event_windows == 0
+        assert high.temporal_class is TemporalClass.UNEVENTFUL
+
+    def test_ci_lower_bound_gates_event(self):
+        # Difference 6 with CI [5, 7] exceeds threshold 5 only via ci_low>5.
+        verdicts = [verdict(w, 6.0) for w in range(TEN_DAYS)]
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        # ci_low = 5.0 is NOT > 5.0, so no events.
+        assert result.temporal_class is TemporalClass.UNEVENTFUL
+
+
+class TestTrafficAccounting:
+    def test_event_traffic_only_counts_event_windows(self):
+        events = list(range(100, 110))
+        verdicts = series(events, TEN_DAYS)
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.event_traffic_bytes == 10 * 1000
+        assert result.total_traffic_bytes == TEN_DAYS * 1000
+
+    def test_invalid_windows_never_contribute_events(self):
+        verdicts = [verdict(w, 10.0, valid=False) for w in range(TEN_DAYS)]
+        result = classify_group(verdicts, threshold=5.0, study_windows=TEN_DAYS)
+        assert result.temporal_class is TemporalClass.UNEVENTFUL
+        assert result.event_windows == 0
+        assert result.valid_windows == 0
+
+    def test_rejects_zero_study_windows(self):
+        with pytest.raises(ValueError):
+            classify_group([], threshold=5.0, study_windows=0)

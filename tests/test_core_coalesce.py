@@ -1,0 +1,159 @@
+"""Tests for §3.2.5 coalescing and eligibility rules."""
+
+import pytest
+
+from repro.core.coalesce import (
+    BACK_TO_BACK_GAP_SECONDS,
+    coalesce_transactions,
+    eligible_transactions,
+)
+from repro.core.records import TransactionRecord
+
+
+def txn(start, ack, nbytes, last=1500, cwnd=15000, in_flight=0, last_write=None):
+    """Build a record; by default the writes span the first half of the
+    transfer window (NIC writes finish well before the final ACK returns)."""
+    if last_write is None:
+        last_write = start + 0.5 * (ack - start)
+    return TransactionRecord(
+        first_byte_time=start,
+        ack_time=ack,
+        response_bytes=nbytes,
+        last_packet_bytes=last,
+        cwnd_bytes_at_first_byte=cwnd,
+        bytes_in_flight_at_start=in_flight,
+        last_byte_write_time=last_write,
+    )
+
+
+class TestCoalesce:
+    def test_disjoint_transactions_stay_separate(self):
+        records = [txn(0.0, 0.1, 6000), txn(1.0, 1.1, 6000)]
+        out = coalesce_transactions(records)
+        assert len(out) == 2
+        assert out[0].member_count == 1
+
+    def test_overlapping_transactions_merge(self):
+        # Second response starts while the first is still unacknowledged
+        # (HTTP/2 multiplexing).
+        records = [txn(0.0, 0.2, 6000), txn(0.1, 0.3, 9000)]
+        out = coalesce_transactions(records)
+        assert len(out) == 1
+        merged = out[0]
+        assert merged.total_bytes == 15000
+        assert merged.first_byte_time == 0.0
+        assert merged.ack_time == 0.3
+        assert merged.member_count == 2
+
+    def test_back_to_back_writes_merge(self):
+        gap = BACK_TO_BACK_GAP_SECONDS / 2
+        # Second response's first byte written immediately after the first
+        # response's last byte hit the NIC (write gap ~0 at the transport).
+        records = [
+            txn(0.0, 0.1, 3000, last_write=0.02),
+            txn(0.02 + gap, 0.12, 3000),
+        ]
+        out = coalesce_transactions(records)
+        assert len(out) == 1
+        assert out[0].total_bytes == 6000
+
+    def test_request_response_alternation_stays_separate(self):
+        # Next response written only when the previous final ACK returned
+        # (the Figure-4 pattern): never coalesced.
+        records = [txn(0.0, 0.06, 3000, last_write=0.0), txn(0.06, 0.18, 36000)]
+        out = coalesce_transactions(records)
+        assert len(out) == 2
+
+    def test_merge_keeps_first_members_cwnd(self):
+        records = [txn(0.0, 0.2, 6000, cwnd=15000), txn(0.1, 0.3, 9000, cwnd=60000)]
+        out = coalesce_transactions(records)
+        assert out[0].cwnd_bytes_at_first_byte == 15000
+
+    def test_merge_takes_last_members_final_packet(self):
+        records = [txn(0.0, 0.2, 6000, last=1500), txn(0.1, 0.3, 9000, last=700)]
+        out = coalesce_transactions(records)
+        assert out[0].last_packet_bytes == 700
+        assert out[0].measured_bytes == 15000 - 700
+
+    def test_chain_of_three_merges_into_one(self):
+        records = [
+            txn(0.0, 0.2, 3000, last_write=0.15),
+            txn(0.1, 0.4, 3000, last_write=0.35),
+            txn(0.3, 0.6, 3000),
+        ]
+        out = coalesce_transactions(records)
+        assert len(out) == 1
+        assert out[0].member_count == 3
+        assert out[0].ack_time == 0.6
+
+    def test_ack_time_never_regresses(self):
+        # A fully nested response (acked before the first one) must not
+        # shrink the merged span.
+        records = [txn(0.0, 0.5, 9000), txn(0.1, 0.2, 1500)]
+        out = coalesce_transactions(records)
+        assert out[0].ack_time == 0.5
+
+    def test_unordered_input_rejected(self):
+        records = [txn(1.0, 1.1, 3000), txn(0.0, 0.1, 3000)]
+        with pytest.raises(ValueError):
+            coalesce_transactions(records)
+
+    def test_empty_input(self):
+        assert coalesce_transactions([]) == []
+
+
+class TestEligibility:
+    def test_clean_sequence_all_eligible(self):
+        records = [txn(0.0, 0.1, 6000), txn(1.0, 1.1, 6000, in_flight=0)]
+        out = eligible_transactions(records)
+        assert len(out) == 2
+
+    def test_bytes_in_flight_excludes_transaction(self):
+        # The second response started with the first's bytes unacked but a
+        # gap too large to coalesce (e.g. the app paused): exclude it.
+        records = [txn(0.0, 0.1, 6000), txn(1.0, 1.1, 6000, in_flight=4000)]
+        out = eligible_transactions(records)
+        assert len(out) == 1
+        assert out[0].first_byte_time == 0.0
+
+    def test_first_transaction_always_eligible(self):
+        # Handshake bytes in flight do not disqualify the first response.
+        records = [txn(0.0, 0.1, 6000, in_flight=500)]
+        out = eligible_transactions(records)
+        assert len(out) == 1
+
+    def test_coalesced_group_judged_by_its_opener(self):
+        # Opener is clean; a merged member reporting in-flight bytes is
+        # irrelevant because those bytes belong to the same logical burst.
+        records = [
+            txn(0.0, 0.1, 6000),
+            txn(2.0, 2.3, 6000, in_flight=0),
+            txn(2.1, 2.4, 6000, in_flight=6000),  # multiplexed with previous
+        ]
+        out = eligible_transactions(records)
+        assert len(out) == 2
+        assert out[1].member_count == 2
+
+    def test_contaminated_opener_drops_whole_group(self):
+        records = [
+            txn(0.0, 0.1, 6000),
+            txn(2.0, 2.3, 6000, in_flight=3000),  # contaminated opener
+            txn(2.1, 2.4, 6000),                  # multiplexed with it
+        ]
+        out = eligible_transactions(records)
+        assert len(out) == 1
+        assert out[0].first_byte_time == 0.0
+
+
+class TestRecordValidation:
+    def test_ack_before_first_byte_rejected(self):
+        with pytest.raises(ValueError):
+            txn(1.0, 0.5, 6000)
+
+    def test_nonpositive_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            txn(0.0, 0.1, 0)
+
+    def test_last_packet_larger_than_response_rejected(self):
+        with pytest.raises(ValueError):
+            txn(0.0, 0.1, 1000, last=2000)

@@ -1,0 +1,165 @@
+"""Tests for degradation/opportunity comparison (§3.4, §§5–6)."""
+
+import math
+
+import pytest
+
+from repro.core.aggregation import AggregationStore
+from repro.core.comparison import (
+    compute_baseline,
+    degradation_series,
+    opportunity_series,
+)
+
+from tests.helpers import DEFAULT_GROUP, fill_window
+
+
+def build_store(window_specs, rank=0, **kwargs):
+    """window_specs: list of (rtt_ms, hdratio) tuples, one per window."""
+    store = AggregationStore()
+    for window, (rtt, hd) in enumerate(window_specs):
+        fill_window(store, window=window, rtt_ms=rtt, hdratio=hd, rank=rank, **kwargs)
+    return store
+
+
+class TestBaseline:
+    def test_baseline_is_best_sustained_performance(self):
+        # Mostly 40 ms with an occasional 60 ms spike: the baseline should
+        # sit near the good (low) end for MinRTT and the high end for HD.
+        specs = [(40.0, 0.9)] * 9 + [(60.0, 0.5)]
+        store = build_store(specs)
+        baseline = compute_baseline(store.group_series(DEFAULT_GROUP))
+        assert 38.0 < baseline.minrtt_p50_ms < 42.0
+        assert 0.85 < baseline.hdratio_p50 <= 0.95
+
+    def test_baseline_skips_thin_windows(self):
+        store = AggregationStore()
+        fill_window(store, window=0, rtt_ms=10.0, hdratio=0.9, count=5)   # thin
+        fill_window(store, window=1, rtt_ms=40.0, hdratio=0.9, count=40)
+        baseline = compute_baseline(store.group_series(DEFAULT_GROUP))
+        assert baseline.minrtt_p50_ms > 30.0
+
+    def test_empty_series(self):
+        baseline = compute_baseline([])
+        assert baseline.minrtt_p50_ms is None
+        assert baseline.hdratio_p50 is None
+
+
+class TestDegradation:
+    def test_stable_group_never_degrades(self):
+        store = build_store([(40.0, 0.9)] * 10)
+        verdicts = degradation_series(store, DEFAULT_GROUP, "minrtt")
+        assert len(verdicts) == 10
+        assert not any(v.event_at(5.0) for v in verdicts)
+
+    def test_rtt_spike_detected(self):
+        specs = [(40.0, 0.9)] * 8 + [(60.0, 0.9), (40.0, 0.9)]
+        store = build_store(specs)
+        verdicts = degradation_series(store, DEFAULT_GROUP, "minrtt")
+        flagged = [v.window for v in verdicts if v.event_at(5.0)]
+        assert flagged == [8]
+
+    def test_hdratio_drop_detected(self):
+        specs = [(40.0, 0.9)] * 8 + [(40.0, 0.4), (40.0, 0.9)]
+        store = build_store(specs)
+        verdicts = degradation_series(store, DEFAULT_GROUP, "hdratio")
+        flagged = [v.window for v in verdicts if v.event_at(0.05)]
+        assert flagged == [8]
+
+    def test_degradation_is_one_sided(self):
+        # A window *better* than baseline must not count as degraded.
+        specs = [(40.0, 0.9)] * 9 + [(20.0, 0.9)]
+        store = build_store(specs)
+        verdicts = degradation_series(store, DEFAULT_GROUP, "minrtt")
+        assert not verdicts[-1].event_at(5.0)
+        assert verdicts[-1].difference < 0
+
+    def test_thin_windows_are_invalid_not_flagged(self):
+        store = AggregationStore()
+        for window in range(5):
+            fill_window(store, window=window, rtt_ms=40.0, hdratio=0.9, count=40)
+        fill_window(store, window=5, rtt_ms=90.0, hdratio=0.9, count=10)  # thin spike
+        verdicts = degradation_series(store, DEFAULT_GROUP, "minrtt")
+        last = [v for v in verdicts if v.window == 5][0]
+        assert not last.valid
+        assert not last.event_at(5.0)
+
+    def test_noisy_windows_fail_tight_ci(self):
+        store = AggregationStore()
+        for window in range(4):
+            fill_window(store, window=window, rtt_ms=40.0, hdratio=0.9, count=40)
+        # Huge jitter => wide CI => invalid under the 10 ms rule.
+        fill_window(store, window=4, rtt_ms=80.0, hdratio=0.9, count=31, jitter_ms=60.0)
+        verdicts = degradation_series(store, DEFAULT_GROUP, "minrtt")
+        spike = [v for v in verdicts if v.window == 4][0]
+        assert not spike.valid
+
+    def test_unknown_metric_rejected(self):
+        store = build_store([(40.0, 0.9)])
+        with pytest.raises(ValueError):
+            degradation_series(store, DEFAULT_GROUP, "jitter")
+
+    def test_traffic_bytes_carried_through(self):
+        store = build_store([(40.0, 0.9)] * 2, bytes_per_session=1000)
+        verdicts = degradation_series(store, DEFAULT_GROUP, "minrtt")
+        assert all(v.traffic_bytes == 40 * 1000 for v in verdicts)
+
+
+class TestOpportunity:
+    def test_no_alternate_no_verdicts(self):
+        store = build_store([(40.0, 0.9)] * 3)
+        assert opportunity_series(store, DEFAULT_GROUP, "minrtt") == []
+
+    def test_better_alternate_detected(self):
+        store = AggregationStore()
+        for window in range(3):
+            fill_window(store, window=window, rtt_ms=50.0, hdratio=0.9, rank=0)
+            fill_window(store, window=window, rtt_ms=38.0, hdratio=0.9, rank=1)
+        verdicts = opportunity_series(store, DEFAULT_GROUP, "minrtt")
+        assert len(verdicts) == 3
+        assert all(v.event_at(5.0) for v in verdicts)
+        assert all(v.alternate_rank == 1 for v in verdicts)
+
+    def test_equivalent_alternate_not_flagged(self):
+        store = AggregationStore()
+        for window in range(3):
+            fill_window(store, window=window, rtt_ms=40.0, hdratio=0.9, rank=0)
+            fill_window(store, window=window, rtt_ms=40.5, hdratio=0.9, rank=1)
+        verdicts = opportunity_series(store, DEFAULT_GROUP, "minrtt")
+        assert not any(v.event_at(5.0) for v in verdicts)
+
+    def test_best_of_multiple_alternates_chosen(self):
+        store = AggregationStore()
+        fill_window(store, window=0, rtt_ms=50.0, hdratio=0.9, rank=0)
+        fill_window(store, window=0, rtt_ms=45.0, hdratio=0.9, rank=1)
+        fill_window(store, window=0, rtt_ms=38.0, hdratio=0.9, rank=2)
+        verdicts = opportunity_series(store, DEFAULT_GROUP, "minrtt")
+        assert verdicts[0].alternate_rank == 2
+        assert verdicts[0].difference == pytest.approx(12.0, abs=2.0)
+
+    def test_hd_guard_suppresses_minrtt_opportunity(self):
+        # Alternate is 12 ms faster but collapses HDratio: the MinRTT
+        # opportunity must be suppressed (paper prioritizes HDratio).
+        store = AggregationStore()
+        for window in range(3):
+            fill_window(store, window=window, rtt_ms=50.0, hdratio=0.9, rank=0)
+            fill_window(store, window=window, rtt_ms=38.0, hdratio=0.3, rank=1)
+        verdicts = opportunity_series(store, DEFAULT_GROUP, "minrtt")
+        assert not any(v.event_at(5.0) for v in verdicts)
+
+    def test_hdratio_opportunity(self):
+        store = AggregationStore()
+        for window in range(3):
+            fill_window(store, window=window, rtt_ms=40.0, hdratio=0.5, rank=0)
+            fill_window(store, window=window, rtt_ms=40.0, hdratio=0.9, rank=1)
+        verdicts = opportunity_series(store, DEFAULT_GROUP, "hdratio")
+        assert all(v.event_at(0.05) for v in verdicts)
+        assert verdicts[0].difference == pytest.approx(0.4, abs=0.05)
+
+    def test_worse_alternate_negative_difference(self):
+        store = AggregationStore()
+        fill_window(store, window=0, rtt_ms=40.0, hdratio=0.9, rank=0)
+        fill_window(store, window=0, rtt_ms=55.0, hdratio=0.9, rank=1)
+        verdicts = opportunity_series(store, DEFAULT_GROUP, "minrtt")
+        assert verdicts[0].difference < 0
+        assert not verdicts[0].event_at(0.0)

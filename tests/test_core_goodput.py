@@ -1,0 +1,292 @@
+"""Tests for the §3.2 goodput model: Gtestable, Tmodel(R), delivery rate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import HD_GOODPUT_BYTES_PER_SEC
+from repro.core.goodput import (
+    assess_transaction,
+    estimate_delivery_rate,
+    ideal_round_trips,
+    ideal_wstart,
+    max_testable_goodput,
+    model_transfer_time,
+    naive_goodput,
+    slow_start_rounds_for_rate,
+    window_at_round,
+)
+
+MSS = 1500
+RTT = 0.060
+
+
+def mbps(bytes_per_sec):
+    return bytes_per_sec * 8 / 1e6
+
+
+class TestIdealRoundTrips:
+    def test_fits_in_initial_window(self):
+        assert ideal_round_trips(5 * MSS, 10 * MSS) == 1
+
+    def test_exactly_fills_initial_window(self):
+        assert ideal_round_trips(10 * MSS, 10 * MSS) == 1
+
+    def test_one_byte_over_initial_window(self):
+        assert ideal_round_trips(10 * MSS + 1, 10 * MSS) == 2
+
+    def test_doubling_schedule(self):
+        # Rounds carry W, 2W, 4W ... so 7W fits in 3 rounds, 7W+1 needs 4.
+        w = 10 * MSS
+        assert ideal_round_trips(7 * w, w) == 3
+        assert ideal_round_trips(7 * w + 1, w) == 4
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ideal_round_trips(0, MSS)
+        with pytest.raises(ValueError):
+            ideal_round_trips(MSS, 0)
+
+
+class TestWindowAtRound:
+    def test_first_round_is_wstart(self):
+        assert window_at_round(1, 15000) == 15000
+
+    def test_doubles_each_round(self):
+        assert window_at_round(3, 15000) == 60000
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(ValueError):
+            window_at_round(0, 15000)
+
+
+class TestFigure4:
+    """The paper's worked example: 60 ms RTT, icw 10, 1500 B packets."""
+
+    def test_txn1_testable_goodput(self):
+        g = max_testable_goodput(2 * MSS, 10 * MSS, RTT)
+        assert mbps(g) == pytest.approx(0.4)
+
+    def test_txn2_testable_goodput(self):
+        g = max_testable_goodput(24 * MSS, 10 * MSS, RTT)
+        assert mbps(g) == pytest.approx(2.8)
+
+    def test_txn2_grows_ideal_window_to_20(self):
+        assert ideal_wstart(24 * MSS, 10 * MSS) == 20 * MSS
+
+    def test_txn3_testable_goodput_with_chained_window(self):
+        wstart = ideal_wstart(24 * MSS, 10 * MSS)
+        g = max_testable_goodput(14 * MSS, wstart, RTT)
+        assert mbps(g) == pytest.approx(2.8)
+
+    def test_txn3_with_collapsed_cwnd_still_tests_hd(self):
+        # §3.2.2: if real losses collapsed Wnic to 1 packet, the *ideal*
+        # chained window must still be used so poor performance is measured
+        # rather than excluded.
+        assessment = assess_transaction(
+            total_bytes=14 * MSS,
+            transfer_time_seconds=0.500,  # badly degraded transfer
+            wnic_bytes=1 * MSS,
+            min_rtt_seconds=RTT,
+            prev_ideal_wstart_bytes=20 * MSS,
+        )
+        assert assessment.can_test
+        assert not assessment.achieved
+
+    def test_txn1_cannot_test_hd(self):
+        assessment = assess_transaction(
+            total_bytes=2 * MSS,
+            transfer_time_seconds=RTT,
+            wnic_bytes=10 * MSS,
+            min_rtt_seconds=RTT,
+        )
+        assert not assessment.can_test
+        assert not assessment.achieved
+
+    def test_txn2_achieves_hd_under_ideal_conditions(self):
+        assessment = assess_transaction(
+            total_bytes=24 * MSS,
+            transfer_time_seconds=2 * RTT,
+            wnic_bytes=10 * MSS,
+            min_rtt_seconds=RTT,
+        )
+        assert assessment.can_test
+        assert assessment.achieved
+
+
+class TestSlowStartRounds:
+    def test_no_rounds_when_window_covers_bdp(self):
+        # 2.5 Mbps * 60 ms = 18750 bytes BDP; a 20-packet window covers it.
+        assert slow_start_rounds_for_rate(HD_GOODPUT_BYTES_PER_SEC, 20 * MSS, RTT) == 0
+
+    def test_one_round_when_one_doubling_needed(self):
+        assert slow_start_rounds_for_rate(HD_GOODPUT_BYTES_PER_SEC, 10 * MSS, RTT) == 1
+
+    def test_many_rounds_from_cold_window(self):
+        n = slow_start_rounds_for_rate(HD_GOODPUT_BYTES_PER_SEC, MSS, RTT)
+        assert n == math.ceil(math.log2(18750 / 1500))
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            slow_start_rounds_for_rate(0.0, MSS, RTT)
+
+
+class TestModelTransferTime:
+    def test_single_rtt_regime(self):
+        # Response fits in Wnic: one round trip plus the payload's
+        # transmission time at the bottleneck (paper footnote 5 charges
+        # payload transmission even for single-window responses).
+        total = 5 * MSS
+        t = model_transfer_time(1e9, total, 10 * MSS, RTT)
+        assert t == pytest.approx(total / 1e9 + RTT)
+
+    def test_short_response_rate_form(self):
+        # n = 0 branch: T = Btotal / R + MinRTT.
+        rate = 250_000.0
+        total = 10 * MSS
+        t = model_transfer_time(rate, total, 20 * MSS, RTT)
+        assert t == pytest.approx(total / rate + RTT)
+
+    def test_slow_start_plus_rate_regime(self):
+        rate = HD_GOODPUT_BYTES_PER_SEC  # needs 1 doubling from icw 10
+        total = 24 * MSS
+        expected = 1 * RTT + (total - 10 * MSS) / rate + RTT
+        assert model_transfer_time(rate, total, 10 * MSS, RTT) == pytest.approx(expected)
+
+    def test_monotone_nonincreasing_in_rate(self):
+        total, wnic = 200 * MSS, 10 * MSS
+        times = [
+            model_transfer_time(rate, total, wnic, RTT)
+            for rate in (1e5, 2e5, 5e5, 1e6, 5e6, 1e8)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_floor_is_ideal_slow_start_time(self):
+        total, wnic = 100 * MSS, 10 * MSS
+        ideal = ideal_round_trips(total, wnic) * RTT
+        assert model_transfer_time(1e12, total, wnic, RTT) == pytest.approx(ideal)
+
+
+class TestEstimateDeliveryRate:
+    def test_single_rtt_closed_form(self):
+        # 6000 bytes in 108 ms with 60 ms MinRTT: R = 6000 / 48 ms.
+        rate = estimate_delivery_rate(6000, 0.108, 15000, RTT)
+        assert rate == pytest.approx(6000 / 0.048)
+
+    def test_ideal_transfer_returns_ceiling(self):
+        total, wnic = 24 * MSS, 10 * MSS
+        ideal = ideal_round_trips(total, wnic) * RTT
+        assert estimate_delivery_rate(total, ideal, wnic, RTT) == pytest.approx(125e6)
+
+    def test_round_trip_consistency_with_model(self):
+        # The estimated rate R must satisfy Ttotal <= Tmodel(R) and any
+        # slightly higher rate must not.
+        total, wnic, ttotal = 300 * MSS, 10 * MSS, 1.2
+        rate = estimate_delivery_rate(total, ttotal, wnic, RTT)
+        assert ttotal <= model_transfer_time(rate, total, wnic, RTT) + 1e-9
+        assert ttotal > model_transfer_time(rate * 1.05, total, wnic, RTT) - 1e-9
+
+    def test_slower_transfer_lower_rate(self):
+        total, wnic = 300 * MSS, 10 * MSS
+        fast = estimate_delivery_rate(total, 0.8, wnic, RTT)
+        slow = estimate_delivery_rate(total, 2.0, wnic, RTT)
+        assert slow < fast
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            estimate_delivery_rate(MSS, 0.0, MSS, RTT)
+
+
+class TestNaiveGoodput:
+    def test_value(self):
+        assert naive_goodput(36000, 0.120) == pytest.approx(300_000.0)
+
+    def test_underestimates_model(self):
+        # Same transfer: naive divides by the full wall time including the
+        # propagation round trips, so it reports a lower rate.
+        total, wnic, ttotal = 24 * MSS, 10 * MSS, 0.150
+        model = estimate_delivery_rate(total, ttotal, wnic, RTT)
+        assert naive_goodput(total, ttotal) < model
+
+
+class TestAssessTransaction:
+    def test_wstart_takes_max_of_wnic_and_chain(self):
+        a = assess_transaction(10 * MSS, RTT, wnic_bytes=30 * MSS,
+                               min_rtt_seconds=RTT, prev_ideal_wstart_bytes=20 * MSS)
+        assert a.wstart_bytes == 30 * MSS
+        b = assess_transaction(10 * MSS, RTT, wnic_bytes=5 * MSS,
+                               min_rtt_seconds=RTT, prev_ideal_wstart_bytes=20 * MSS)
+        assert b.wstart_bytes == 20 * MSS
+
+    def test_next_wstart_chains_ideal_growth(self):
+        a = assess_transaction(24 * MSS, 2 * RTT, wnic_bytes=10 * MSS,
+                               min_rtt_seconds=RTT)
+        assert a.next_wstart_bytes == 20 * MSS
+
+    def test_model_time_present_only_when_testable(self):
+        small = assess_transaction(2 * MSS, RTT, 10 * MSS, RTT)
+        assert small.model_time_seconds is None
+        large = assess_transaction(100 * MSS, 0.5, 10 * MSS, RTT)
+        assert large.model_time_seconds is not None
+
+
+# --------------------------------------------------------------------- #
+# Property-based invariants
+# --------------------------------------------------------------------- #
+sizes = st.integers(min_value=1, max_value=2_000_000)
+windows = st.integers(min_value=MSS, max_value=100 * MSS)
+rtts = st.floats(min_value=0.005, max_value=0.500)
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, windows, rtts)
+def test_testable_goodput_bounded_by_total_bytes_per_rtt(total, wstart, rtt):
+    g = max_testable_goodput(total, wstart, rtt)
+    assert 0 < g <= total / rtt + 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, windows, rtts)
+def test_testable_goodput_monotone_in_wstart(total, wstart, rtt):
+    g1 = max_testable_goodput(total, wstart, rtt)
+    g2 = max_testable_goodput(total, wstart * 2, rtt)
+    assert g2 >= g1 - 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, windows)
+def test_round_trips_cover_bytes(total, wstart):
+    m = ideal_round_trips(total, wstart)
+    capacity = wstart * ((2 ** m) - 1)
+    assert capacity >= total
+    if m > 1:
+        assert wstart * ((2 ** (m - 1)) - 1) < total
+
+
+@settings(max_examples=200, deadline=None)
+@given(sizes, windows, rtts, st.floats(min_value=1e4, max_value=1e7))
+def test_model_time_at_least_slow_start_floor(total, wnic, rtt, rate):
+    t = model_transfer_time(rate, total, wnic, rtt)
+    assert t >= rtt - 1e-12  # at minimum one round trip
+    # And never faster than pure transmission plus one ack round trip.
+    assert t >= total / max(rate, 1e12) + rtt - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(sizes, windows, rtts, st.floats(min_value=1.2, max_value=20.0))
+def test_estimated_rate_consistent_with_model(total, wnic, rtt, slowdown):
+    m = ideal_round_trips(total, wnic)
+    ttotal = m * rtt * slowdown
+    rate = estimate_delivery_rate(total, ttotal, wnic, rtt)
+    if rate > 0 and rate < 125e6:
+        assert ttotal <= model_transfer_time(rate, total, wnic, rtt) + 1e-6
+
+
+@settings(max_examples=150, deadline=None)
+@given(sizes, windows)
+def test_ideal_wstart_matches_final_round_window(total, wstart):
+    nxt = ideal_wstart(total, wstart)
+    m = ideal_round_trips(total, wstart)
+    assert nxt == wstart * (2 ** (m - 1))

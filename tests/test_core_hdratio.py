@@ -1,0 +1,156 @@
+"""Tests for per-session HDratio (§3.2.4) and the naive-estimator ablation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constants import HD_GOODPUT_BYTES_PER_SEC
+from repro.core.goodput import model_transfer_time
+from repro.core.hdratio import naive_hdratio, session_goodput
+from repro.core.records import TransactionRecord
+
+MSS = 1500
+RTT = 0.060
+ICW = 10 * MSS
+
+
+def txn(start, ack, nbytes, last=MSS, cwnd=ICW, in_flight=0):
+    return TransactionRecord(
+        first_byte_time=start,
+        ack_time=ack,
+        response_bytes=nbytes,
+        last_packet_bytes=last,
+        cwnd_bytes_at_first_byte=cwnd,
+        bytes_in_flight_at_start=in_flight,
+    )
+
+
+def ideal_txn(start, nbytes, cwnd=ICW, rtt=RTT):
+    """A transaction that transfers at the ideal slow-start pace."""
+    measured = nbytes - MSS
+    # Transfer time just under the model time at HD rate => achieves HD
+    # whenever it can test.
+    t_hd = model_transfer_time(HD_GOODPUT_BYTES_PER_SEC, max(measured, 1), cwnd, rtt)
+    return txn(start, start + t_hd * 0.9, nbytes, cwnd=cwnd)
+
+
+class TestSessionGoodput:
+    def test_empty_session_has_no_hdratio(self):
+        result = session_goodput([], RTT)
+        assert result.hdratio is None
+        assert result.tested == 0
+
+    def test_small_transactions_cannot_test(self):
+        # 2-packet responses can never demonstrate 2.5 Mbps at 60 ms.
+        records = [txn(i, i + RTT, 2 * MSS) for i in range(3)]
+        result = session_goodput(records, RTT)
+        assert result.tested == 0
+        assert result.hdratio is None
+
+    def test_fast_large_transaction_achieves(self):
+        records = [ideal_txn(0.0, 100 * MSS)]
+        result = session_goodput(records, RTT)
+        assert result.tested == 1
+        assert result.achieved == 1
+        assert result.hdratio == 1.0
+
+    def test_slow_large_transaction_fails(self):
+        records = [txn(0.0, 10.0, 100 * MSS)]  # 150 KB over 10 s: ~0.12 Mbps
+        result = session_goodput(records, RTT)
+        assert result.tested == 1
+        assert result.achieved == 0
+        assert result.hdratio == 0.0
+
+    def test_mixed_session_fractional_ratio(self):
+        records = [
+            ideal_txn(0.0, 100 * MSS),
+            txn(10.0, 20.0, 100 * MSS),   # slow
+            ideal_txn(30.0, 100 * MSS),
+            txn(40.0, 40.0 + RTT, 2 * MSS),  # too small to test
+        ]
+        result = session_goodput(records, RTT)
+        assert result.tested == 3
+        assert result.achieved == 2
+        assert result.hdratio == pytest.approx(2 / 3)
+
+    def test_window_chain_lets_later_small_txn_test(self):
+        # A 24-packet transaction grows the ideal window to 20 packets, so
+        # a following 14-packet transaction CAN test for HD at 60 ms even
+        # though it could not with a cold 10-packet window (Figure 4).
+        first = ideal_txn(0.0, 24 * MSS)
+        second = ideal_txn(5.0, 14 * MSS + MSS)  # +MSS for excluded last pkt
+        result = session_goodput([first, second], RTT)
+        assert result.tested == 2
+
+        # Without the chain (cold window), the second alone cannot test.
+        alone = session_goodput([second], RTT)
+        assert alone.tested == 0
+
+    def test_ineligible_transactions_are_skipped(self):
+        records = [
+            ideal_txn(0.0, 100 * MSS),
+            txn(10.0, 11.0, 100 * MSS, in_flight=5000),  # contaminated
+        ]
+        result = session_goodput(records, RTT)
+        assert result.tested == 1
+        assert result.eligible == 1
+
+    def test_rejects_nonpositive_minrtt(self):
+        with pytest.raises(ValueError):
+            session_goodput([], 0.0)
+
+
+class TestNaiveAblation:
+    def test_naive_underestimates_achievement(self):
+        # Transfers completing exactly at the HD model time: the model says
+        # achieved; the naive estimator (which ignores the slow-start and
+        # propagation rounds) says not achieved.
+        measured = 100 * MSS - MSS
+        t_hd = model_transfer_time(HD_GOODPUT_BYTES_PER_SEC, measured, ICW, RTT)
+        records = [txn(0.0, t_hd, 100 * MSS)]
+        model_result = session_goodput(records, RTT)
+        naive_result = naive_hdratio(records, RTT)
+        assert model_result.hdratio == 1.0
+        assert naive_result == 0.0
+
+    def test_naive_agrees_on_very_fast_transfers(self):
+        # A transfer far faster than HD passes both estimators.
+        records = [txn(0.0, 0.05, 200 * MSS)]  # 300 KB in 50 ms = 48 Mbps
+        assert session_goodput(records, RTT).hdratio == 1.0
+        assert naive_hdratio(records, RTT) == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=2 * MSS, max_value=500 * MSS),  # size
+            st.floats(min_value=0.01, max_value=5.0),             # duration
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_hdratio_is_a_valid_ratio(txn_specs):
+    records = []
+    t = 0.0
+    for size, duration in txn_specs:
+        records.append(txn(t, t + duration, size))
+        t += duration + 1.0  # keep transactions disjoint
+    result = session_goodput(records, RTT)
+    if result.hdratio is not None:
+        assert 0.0 <= result.hdratio <= 1.0
+    assert result.achieved <= result.tested <= len(records)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=20 * MSS, max_value=500 * MSS))
+def test_naive_never_beats_model(size):
+    # For any single transaction, if the naive estimator says HD was
+    # achieved then the model must agree (the model corrects *upward*).
+    for duration in (0.05, 0.1, 0.5, 1.0, 3.0):
+        records = [txn(0.0, duration, size)]
+        model = session_goodput(records, RTT)
+        naive = naive_hdratio(records, RTT)
+        if naive == 1.0 and model.tested:
+            assert model.hdratio == 1.0

@@ -1,0 +1,111 @@
+"""Tests for windowed MinRTT and smoothed-RTT estimators (§3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minrtt import MinRttEstimator, SmoothedRttEstimator
+
+
+class TestMinRtt:
+    def test_tracks_minimum(self):
+        est = MinRttEstimator(window_seconds=100.0)
+        est.update(0.0, 0.050)
+        est.update(1.0, 0.030)
+        est.update(2.0, 0.070)
+        assert est.current(2.0) == 0.030
+
+    def test_window_expiry(self):
+        est = MinRttEstimator(window_seconds=10.0)
+        est.update(0.0, 0.020)
+        est.update(5.0, 0.050)
+        assert est.current(5.0) == 0.020
+        assert est.current(11.0) == 0.050  # 20 ms sample expired
+        assert est.current(16.0) is None   # everything expired
+
+    def test_at_termination_falls_back_to_lifetime_min(self):
+        est = MinRttEstimator(window_seconds=10.0)
+        est.update(0.0, 0.020)
+        # Session goes idle for far longer than the window, then closes.
+        assert est.current(100.0) is None
+        assert est.at_termination(100.0) == 0.020
+
+    def test_at_termination_prefers_windowed_value(self):
+        est = MinRttEstimator(window_seconds=10.0)
+        est.update(0.0, 0.020)
+        est.update(95.0, 0.060)
+        # At close, the 20 ms sample is stale; the kernel reports the
+        # windowed min (60 ms), not the lifetime min.
+        assert est.at_termination(100.0) == 0.060
+
+    def test_rejects_nonpositive_rtt(self):
+        est = MinRttEstimator()
+        with pytest.raises(ValueError):
+            est.update(0.0, 0.0)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            MinRttEstimator(window_seconds=0.0)
+
+    def test_sample_count(self):
+        est = MinRttEstimator()
+        for i in range(5):
+            est.update(float(i), 0.05)
+        assert est.sample_count == 5
+
+    def test_empty_estimator(self):
+        est = MinRttEstimator()
+        assert est.current(0.0) is None
+        assert est.at_termination(0.0) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1000.0),
+            st.floats(min_value=0.001, max_value=1.0),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_windowed_min_matches_bruteforce(samples):
+    samples = sorted(samples, key=lambda pair: pair[0])
+    window = 50.0
+    est = MinRttEstimator(window_seconds=window)
+    for now, rtt in samples:
+        est.update(now, rtt)
+    final_time = samples[-1][0]
+    expected = min(
+        (rtt for now, rtt in samples if now >= final_time - window), default=None
+    )
+    assert est.current(final_time) == expected
+
+
+class TestSmoothedRtt:
+    def test_first_sample_initializes(self):
+        est = SmoothedRttEstimator()
+        est.update(0.100)
+        assert est.srtt == 0.100
+        assert est.rttvar == 0.050
+
+    def test_ewma_converges(self):
+        est = SmoothedRttEstimator()
+        for _ in range(200):
+            est.update(0.080)
+        assert est.srtt == pytest.approx(0.080, abs=1e-6)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_rto_floor(self):
+        est = SmoothedRttEstimator()
+        for _ in range(100):
+            est.update(0.001)
+        assert est.rto == pytest.approx(SmoothedRttEstimator.MIN_RTO)
+
+    def test_initial_rto_is_one_second(self):
+        assert SmoothedRttEstimator().rto == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SmoothedRttEstimator().update(0.0)

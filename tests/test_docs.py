@@ -1,0 +1,81 @@
+"""Documentation consistency checks.
+
+Docs rot silently; these tests pin the load-bearing cross-references:
+every benchmark DESIGN.md's experiment index names must exist, every
+example README names must exist, and the README's module table must match
+the actual package layout.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+class TestDesignDoc:
+    def test_experiment_index_benchmarks_exist(self):
+        design = read("DESIGN.md")
+        referenced = set(re.findall(r"benchmarks/(test_\w+\.py)", design))
+        assert referenced, "DESIGN.md lists no benchmark targets"
+        for name in referenced:
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_inventory_modules_exist(self):
+        design = read("DESIGN.md")
+        for module in re.findall(r"^\s{4}(\w+\.py)\s", design, re.MULTILINE):
+            matches = list((ROOT / "src" / "repro").rglob(module))
+            assert matches, f"DESIGN.md lists missing module {module}"
+
+
+class TestReadme:
+    def test_benchmark_table_targets_exist(self):
+        readme = read("README.md")
+        for name in set(re.findall(r"benchmarks/(test_\w+\.py)", readme)):
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_example_listing_matches_directory(self):
+        readme = read("README.md")
+        for name in set(re.findall(r"examples/(\w+\.py)", readme)):
+            assert (ROOT / "examples" / name).exists(), name
+
+    def test_docs_reference_exists(self):
+        assert (ROOT / "docs" / "methodology.md").exists()
+        assert "docs/methodology.md" in read("README.md")
+
+
+class TestExamplesReadme:
+    def test_listed_scripts_exist_and_vice_versa(self):
+        examples_readme = read("examples/README.md")
+        listed = set(re.findall(r"`(\w+\.py)`", examples_readme))
+        actual = {
+            path.name
+            for path in (ROOT / "examples").glob("*.py")
+        }
+        assert listed == actual, (listed, actual)
+
+
+class TestBenchmarkCoverage:
+    def test_every_paper_artifact_has_a_benchmark(self):
+        names = {path.name for path in (ROOT / "benchmarks").glob("test_*.py")}
+        for artifact in (
+            "test_fig1_sessions.py",
+            "test_fig2_bytes.py",
+            "test_fig3_transactions.py",
+            "test_fig4_walkthrough.py",
+            "test_fig5_population_mix.py",
+            "test_fig6_global.py",
+            "test_fig7_rtt_vs_hd.py",
+            "test_fig8_degradation.py",
+            "test_fig9_opportunity.py",
+            "test_fig10_relationships.py",
+            "test_table1_classes.py",
+            "test_table2_relationships.py",
+            "test_validation_goodput.py",
+        ):
+            assert artifact in names, f"missing benchmark for {artifact}"

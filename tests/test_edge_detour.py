@@ -1,0 +1,140 @@
+"""Tests for the §6.2.2 detour controllers and their closed loop."""
+
+import math
+
+import pytest
+
+from repro.edge.detour import (
+    CongestibleRoute,
+    GradualController,
+    GreedyShifter,
+    simulate_control_loop,
+)
+from repro.stats.median_ci import MedianComparison
+
+
+def comparison(difference, half_width=0.5, valid=True):
+    return MedianComparison(
+        difference=difference,
+        ci_low=difference - half_width,
+        ci_high=difference + half_width,
+        valid=valid,
+        n_a=100,
+        n_b=100,
+    )
+
+
+class TestCongestibleRoute:
+    def test_flat_below_knee(self):
+        route = CongestibleRoute(base_rtt_ms=30.0, capacity=10.0)
+        assert route.rtt_at_load(0.0) == 30.0
+        assert route.rtt_at_load(6.9) == 30.0
+
+    def test_penalty_grows_past_knee(self):
+        route = CongestibleRoute(base_rtt_ms=30.0, capacity=10.0)
+        mild = route.rtt_at_load(8.0)
+        heavy = route.rtt_at_load(9.8)
+        assert 30.0 < mild < heavy
+        assert heavy <= 30.0 + route.max_penalty_ms
+
+    def test_zero_capacity(self):
+        route = CongestibleRoute(base_rtt_ms=30.0, capacity=0.0)
+        assert route.rtt_at_load(1.0) == 30.0 + route.max_penalty_ms
+
+
+class TestGreedyShifter:
+    def test_all_or_nothing(self):
+        shifter = GreedyShifter()
+        assert shifter.update(comparison(+5.0)) == 1.0
+        assert shifter.update(comparison(-1.0)) == 0.0
+
+    def test_invalid_comparison_means_no_shift(self):
+        shifter = GreedyShifter()
+        shifter.update(comparison(+5.0))
+        assert shifter.update(comparison(+5.0, valid=False)) == 0.0
+
+
+class TestGradualController:
+    def test_only_moves_on_confident_win(self):
+        controller = GradualController(step=0.1, improve_threshold_ms=3.0)
+        # Difference 3.2 with CI low 2.7 does not clear the 3 ms bar.
+        assert controller.update(comparison(3.2)) == 0.0
+        # Clear win: one step.
+        assert controller.update(comparison(8.0)) == pytest.approx(0.1)
+
+    def test_bounded_steps(self):
+        controller = GradualController(step=0.1)
+        for _ in range(5):
+            controller.update(comparison(10.0))
+        assert controller.split == pytest.approx(0.5)
+
+    def test_backoff_and_cooldown(self):
+        controller = GradualController(step=0.2, backoff=0.5, cooldown=2)
+        controller.update(comparison(10.0))
+        controller.update(comparison(10.0))
+        assert controller.split == pytest.approx(0.4)
+        controller.update(comparison(-2.0))   # advantage gone
+        assert controller.split == pytest.approx(0.2)
+        # Cooldown: the next confident win does not move the split yet.
+        controller.update(comparison(10.0))
+        controller.update(comparison(10.0))
+        assert controller.split == pytest.approx(0.2)
+        controller.update(comparison(10.0))
+        assert controller.split == pytest.approx(0.4)
+
+    def test_congestion_onset_freezes(self):
+        controller = GradualController(step=0.2, congestion_onset_ms=2.0, cooldown=0)
+        controller.update(comparison(10.0), alternate_median_ms=28.0)
+        controller.update(comparison(10.0), alternate_median_ms=28.1)
+        assert controller.split == pytest.approx(0.4)
+        # Load-driven RTT inflation on the alternate: retreat one step and
+        # freeze further increases.
+        controller.update(comparison(10.0), alternate_median_ms=31.5)
+        assert controller.split == pytest.approx(0.2)
+        assert controller.onset_stops == 1
+        controller.update(comparison(10.0), alternate_median_ms=28.0)
+        assert controller.split == pytest.approx(0.2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradualController(step=0.0)
+        with pytest.raises(ValueError):
+            GradualController(backoff=1.0)
+
+
+class TestClosedLoop:
+    def _routes(self):
+        preferred = CongestibleRoute(base_rtt_ms=40.0, capacity=100.0)
+        alternate = CongestibleRoute(base_rtt_ms=28.0, capacity=7.0)
+        return preferred, alternate
+
+    def test_greedy_oscillates(self):
+        preferred, alternate = self._routes()
+        trace = simulate_control_loop(GreedyShifter(), preferred, alternate)
+        assert trace.oscillations() > 10
+        assert not trace.settled()
+
+    def test_gradual_converges(self):
+        preferred, alternate = self._routes()
+        trace = simulate_control_loop(GradualController(), preferred, alternate)
+        assert trace.oscillations() == 0
+        assert trace.settled()
+        assert 0.0 < trace.final_split < 1.0
+
+    def test_gradual_improves_mean_latency(self):
+        preferred, alternate = self._routes()
+        trace = simulate_control_loop(GradualController(), preferred, alternate)
+        tail = trace.mean_rtts[-10:]
+        assert sum(tail) / len(tail) < 40.0  # better than never shifting
+
+    def test_gradual_stays_off_worse_alternate(self):
+        preferred = CongestibleRoute(base_rtt_ms=30.0, capacity=100.0)
+        alternate = CongestibleRoute(base_rtt_ms=45.0, capacity=100.0)
+        trace = simulate_control_loop(GradualController(), preferred, alternate)
+        assert trace.final_split == 0.0
+
+    def test_gradual_uses_ample_alternate_fully(self):
+        preferred = CongestibleRoute(base_rtt_ms=40.0, capacity=100.0)
+        alternate = CongestibleRoute(base_rtt_ms=25.0, capacity=100.0)
+        trace = simulate_control_loop(GradualController(), preferred, alternate)
+        assert trace.final_split >= 0.9

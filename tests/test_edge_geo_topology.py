@@ -1,0 +1,138 @@
+"""Tests for geography, PoP catalogue, and client networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.geo import (
+    Continent,
+    Location,
+    great_circle_km,
+    propagation_rtt_ms,
+)
+from repro.edge.topology import DEFAULT_METROS, ClientNetwork, Metro, default_pops
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle_km(52.0, 4.0, 52.0, 4.0) == 0.0
+
+    def test_known_distance_ams_lhr(self):
+        # Amsterdam to London is ~360 km.
+        d = great_circle_km(52.37, 4.90, 51.51, -0.13)
+        assert 330 < d < 390
+
+    def test_known_distance_nyc_lax(self):
+        d = great_circle_km(40.71, -74.01, 34.05, -118.24)
+        assert 3900 < d < 4000
+
+    def test_symmetry(self):
+        d1 = great_circle_km(10, 20, -30, 100)
+        d2 = great_circle_km(-30, 100, 10, 20)
+        assert d1 == pytest.approx(d2)
+
+    def test_antipodal_is_half_circumference(self):
+        d = great_circle_km(0, 0, 0, 180)
+        assert d == pytest.approx(20015, rel=0.01)
+
+
+class TestPropagation:
+    def test_500km_within_10ms(self):
+        # The paper: half of traffic is within 500 km of its PoP and most
+        # such users see low RTTs.
+        assert propagation_rtt_ms(500.0) < 10.0
+
+    def test_2500km_tens_of_ms(self):
+        rtt = propagation_rtt_ms(2500.0)
+        assert 25.0 < rtt < 50.0
+
+    def test_zero_distance(self):
+        assert propagation_rtt_ms(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_rtt_ms(-1.0)
+
+    def test_inflation_scales(self):
+        assert propagation_rtt_ms(1000.0, inflation=2.0) == pytest.approx(
+            2.0 * propagation_rtt_ms(1000.0, inflation=1.0)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=-90, max_value=90),
+    st.floats(min_value=-180, max_value=180),
+    st.floats(min_value=-90, max_value=90),
+    st.floats(min_value=-180, max_value=180),
+)
+def test_distance_bounds(lat1, lon1, lat2, lon2):
+    d = great_circle_km(lat1, lon1, lat2, lon2)
+    assert 0.0 <= d <= 20038.0  # half circumference
+
+
+class TestLocation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Location(91.0, 0.0, "XX", Continent.EUROPE)
+        with pytest.raises(ValueError):
+            Location(0.0, 181.0, "XX", Continent.EUROPE)
+
+    def test_distance_method(self):
+        a = Location(52.37, 4.90, "NL", Continent.EUROPE)
+        b = Location(51.51, -0.13, "GB", Continent.EUROPE)
+        assert 330 < a.distance_km(b) < 390
+
+
+class TestCatalogue:
+    def test_pops_cover_six_continents(self):
+        continents = {pop.continent for pop in default_pops()}
+        assert continents == set(Continent)
+
+    def test_pop_density_skew(self):
+        # EU+NA have more PoPs than AF+SA+OC combined — the infrastructure
+        # skew behind Figure 6(b).
+        pops = default_pops()
+        dense = sum(
+            1 for p in pops
+            if p.continent in (Continent.EUROPE, Continent.NORTH_AMERICA)
+        )
+        sparse = sum(
+            1 for p in pops
+            if p.continent
+            in (Continent.AFRICA, Continent.SOUTH_AMERICA, Continent.OCEANIA)
+        )
+        assert dense > 2 * sparse
+
+    def test_pop_names_unique(self):
+        names = [pop.name for pop in default_pops()]
+        assert len(names) == len(set(names))
+
+    def test_metros_cover_six_continents(self):
+        continents = {m.location.continent for m in DEFAULT_METROS}
+        assert continents == set(Continent)
+
+
+class TestClientNetwork:
+    def _metro(self):
+        return DEFAULT_METROS[0]
+
+    def test_requires_prefixes(self):
+        with pytest.raises(ValueError):
+            ClientNetwork(asn=65001, prefixes=[], metro=self._metro())
+
+    def test_secondary_share_needs_metro(self):
+        with pytest.raises(ValueError):
+            ClientNetwork(
+                asn=65001,
+                prefixes=["10.0.0.0/20"],
+                metro=self._metro(),
+                secondary_share=0.5,
+            )
+
+    def test_country_and_continent_follow_metro(self):
+        network = ClientNetwork(
+            asn=65001, prefixes=["10.0.0.0/20"], metro=self._metro()
+        )
+        assert network.country == self._metro().location.country
+        assert network.continent is self._metro().location.continent

@@ -1,0 +1,169 @@
+"""Tests for IPv4 prefix arithmetic and the LPM trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.lpm import Ipv4Prefix, PrefixTrie, parse_ipv4
+
+
+class TestParse:
+    def test_parse_ipv4(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+        assert parse_ipv4("10.1.2.3") == (10 << 24) | (1 << 16) | (2 << 8) | 3
+
+    @pytest.mark.parametrize("bad", ["10.1.2", "10.1.2.3.4", "a.b.c.d", "10.1.2.256", "10.-1.2.3"])
+    def test_rejects_bad_addresses(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_prefix_parse_and_str(self):
+        prefix = Ipv4Prefix.parse("192.168.16.0/20")
+        assert str(prefix) == "192.168.16.0/20"
+        assert prefix.size == 4096
+
+    def test_prefix_canonicalizes_host_bits(self):
+        prefix = Ipv4Prefix.parse("10.1.2.3/8")
+        assert str(prefix) == "10.0.0.0/8"
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Ipv4Prefix.parse("10.0.0.0/33")
+        with pytest.raises(ValueError):
+            Ipv4Prefix.parse("10.0.0.0")
+
+
+class TestPrefixOps:
+    def test_contains(self):
+        prefix = Ipv4Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(parse_ipv4("10.255.0.1"))
+        assert not prefix.contains(parse_ipv4("11.0.0.1"))
+
+    def test_contains_prefix(self):
+        aggregate = Ipv4Prefix.parse("10.0.0.0/8")
+        specific = Ipv4Prefix.parse("10.4.0.0/16")
+        assert aggregate.contains_prefix(specific)
+        assert not specific.contains_prefix(aggregate)
+
+    def test_subnets(self):
+        prefix = Ipv4Prefix.parse("10.0.0.0/14")
+        subnets = list(prefix.subnets(16))
+        assert len(subnets) == 4
+        assert str(subnets[0]) == "10.0.0.0/16"
+        assert str(subnets[-1]) == "10.3.0.0/16"
+        assert all(prefix.contains_prefix(s) for s in subnets)
+
+    def test_subnets_invalid_length(self):
+        with pytest.raises(ValueError):
+            list(Ipv4Prefix.parse("10.0.0.0/16").subnets(8))
+
+
+class TestTrie:
+    def test_longest_match_wins(self):
+        trie = PrefixTrie()
+        trie.insert(Ipv4Prefix.parse("10.0.0.0/8"), "transit-aggregate")
+        trie.insert(Ipv4Prefix.parse("10.1.0.0/16"), "peer-specific")
+        match, value = trie.lookup(parse_ipv4("10.1.2.3"))
+        assert value == "peer-specific"
+        assert match.length == 16
+        _, value = trie.lookup(parse_ipv4("10.200.0.1"))
+        assert value == "transit-aggregate"
+
+    def test_no_match(self):
+        trie = PrefixTrie()
+        trie.insert(Ipv4Prefix.parse("10.0.0.0/8"), "x")
+        assert trie.lookup(parse_ipv4("11.0.0.1")) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Ipv4Prefix.parse("0.0.0.0/0"), "default")
+        trie.insert(Ipv4Prefix.parse("10.0.0.0/8"), "specific")
+        assert trie.lookup(parse_ipv4("8.8.8.8"))[1] == "default"
+        assert trie.lookup(parse_ipv4("10.0.0.1"))[1] == "specific"
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        prefix = Ipv4Prefix.parse("10.0.0.0/8")
+        trie.insert(prefix, "old")
+        trie.insert(prefix, "new")
+        assert len(trie) == 1
+        assert trie.lookup_exact(prefix) == "new"
+
+    def test_exact_lookup_misses_covering(self):
+        trie = PrefixTrie()
+        trie.insert(Ipv4Prefix.parse("10.0.0.0/8"), "x")
+        assert trie.lookup_exact(Ipv4Prefix.parse("10.1.0.0/16")) is None
+
+    def test_items_enumerates_everything(self):
+        trie = PrefixTrie()
+        prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/24", "0.0.0.0/0"]
+        for index, text in enumerate(prefixes):
+            trie.insert(Ipv4Prefix.parse(text), index)
+        assert {str(p) for p, _ in trie.items()} == set(prefixes)
+        assert len(trie) == 4
+
+    def test_policy_tiebreak_one(self):
+        """§6.1 tiebreak 1: a more-specific peer route beats a covering
+        transit aggregate even though peers normally win anyway — and a
+        more-specific TRANSIT route beats a covering PEER aggregate."""
+        trie = PrefixTrie()
+        trie.insert(Ipv4Prefix.parse("203.0.0.0/16"), ("peer", "aggregate"))
+        trie.insert(Ipv4Prefix.parse("203.0.16.0/20"), ("transit", "specific"))
+        _, value = trie.lookup(parse_ipv4("203.0.17.1"))
+        assert value == ("transit", "specific")
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            st.integers(min_value=0, max_value=32),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_trie_matches_bruteforce(address, raw_prefixes):
+    prefixes = [Ipv4Prefix(network, length) for network, length in raw_prefixes]
+    trie = PrefixTrie()
+    for index, prefix in enumerate(prefixes):
+        trie.insert(prefix, index)
+
+    matching = [p for p in prefixes if p.contains(address)]
+    result = trie.lookup(address)
+    if not matching:
+        assert result is None
+    else:
+        best_length = max(p.length for p in matching)
+        assert result is not None
+        match, value = result
+        assert match.length == best_length
+        assert prefixes[value].length == best_length
+        assert prefixes[value].contains(address)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            st.integers(min_value=0, max_value=32),
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+)
+def test_covering_matches_bruteforce(address, raw_prefixes):
+    prefixes = {Ipv4Prefix(network, length) for network, length in raw_prefixes}
+    trie = PrefixTrie()
+    for prefix in prefixes:
+        trie.insert(prefix, str(prefix))
+    expected = {p for p in prefixes if p.contains(address)}
+    covering = trie.covering(address)
+    assert {p for p, _ in covering} == expected
+    lengths = [p.length for p, _ in covering]
+    assert lengths == sorted(lengths)  # shortest first

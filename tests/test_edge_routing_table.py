@@ -1,0 +1,86 @@
+"""Tests for the LPM-backed routing table (policy tiebreak 1 end to end)."""
+
+import pytest
+
+from repro.core.records import Relationship
+from repro.edge.bgp import BgpRoute, PathCondition
+from repro.edge.routing import RoutingTable
+
+
+def route(prefix, relationship, as_path=(64500,), prepended=False):
+    length = int(prefix.rsplit("/", 1)[1])
+    return BgpRoute(
+        prefix=prefix,
+        prefix_length=length,
+        as_path=tuple(as_path),
+        relationship=relationship,
+        prepended=prepended,
+        condition=PathCondition(),
+    )
+
+
+class TestRoutingTable:
+    def test_resolve_single_prefix(self):
+        table = RoutingTable()
+        pni = route("203.0.112.0/20", Relationship.PRIVATE)
+        transit = route("203.0.112.0/20", Relationship.TRANSIT, (1299, 64500))
+        table.announce_all([transit, pni])
+        ranked = table.resolve("203.0.112.55")
+        assert ranked is not None
+        assert ranked.preferred is pni
+        assert len(ranked.routes) == 2
+
+    def test_more_specific_beats_covering_peer(self):
+        """Tiebreak 1 precedes tiebreak 2: a transit-announced /20 beats a
+        peer-announced covering /16 — the destination's ingress TE wins."""
+        table = RoutingTable()
+        peer_aggregate = route("203.0.0.0/16", Relationship.PRIVATE)
+        transit_specific = route(
+            "203.0.112.0/20", Relationship.TRANSIT, (1299, 64500)
+        )
+        table.announce_all([peer_aggregate, transit_specific])
+        ranked = table.resolve("203.0.112.9")
+        assert ranked.preferred is transit_specific
+        # The aggregate remains available as the measured alternate.
+        assert peer_aggregate in ranked.routes
+
+    def test_address_outside_specific_uses_aggregate(self):
+        table = RoutingTable()
+        peer_aggregate = route("203.0.0.0/16", Relationship.PRIVATE)
+        transit_specific = route(
+            "203.0.112.0/20", Relationship.TRANSIT, (1299, 64500)
+        )
+        table.announce_all([peer_aggregate, transit_specific])
+        ranked = table.resolve("203.0.5.1")  # not in the /20
+        assert ranked.preferred is peer_aggregate
+        assert transit_specific not in ranked.routes
+
+    def test_unknown_destination(self):
+        table = RoutingTable()
+        table.announce(route("203.0.0.0/16", Relationship.PRIVATE))
+        assert table.resolve("8.8.8.8") is None
+
+    def test_default_route_fallback(self):
+        table = RoutingTable()
+        default = route("0.0.0.0/0", Relationship.TRANSIT, (1299,))
+        table.announce(default)
+        ranked = table.resolve("8.8.8.8")
+        assert ranked.preferred is default
+
+    def test_mismatched_length_rejected(self):
+        table = RoutingTable()
+        bad = BgpRoute(
+            prefix="203.0.0.0/16",
+            prefix_length=20,
+            as_path=(64500,),
+            relationship=Relationship.PRIVATE,
+        )
+        with pytest.raises(ValueError):
+            table.announce(bad)
+
+    def test_prefix_count(self):
+        table = RoutingTable()
+        table.announce(route("203.0.0.0/16", Relationship.PRIVATE))
+        table.announce(route("203.0.0.0/16", Relationship.TRANSIT, (1299, 64500)))
+        table.announce(route("203.0.112.0/20", Relationship.PUBLIC))
+        assert table.prefix_count == 2  # two distinct prefixes

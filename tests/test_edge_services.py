@@ -1,0 +1,167 @@
+"""Tests for Cartographer, Edge Fabric, and Proxygen sampling."""
+
+import random
+
+import pytest
+
+from repro.core.records import HttpVersion, Relationship, SessionSample
+from repro.edge.bgp import RouteGenerator
+from repro.edge.cartographer import Cartographer
+from repro.edge.edge_fabric import EdgeFabric
+from repro.edge.geo import Continent
+from repro.edge.proxygen import LoadBalancer
+from repro.edge.routing import rank_routes
+from repro.edge.topology import DEFAULT_METROS, ClientNetwork, default_pops
+
+
+def network_for(metro_name, asn=65001):
+    metro = next(m for m in DEFAULT_METROS if m.name == metro_name)
+    return ClientNetwork(asn=asn, prefixes=["10.1.0.0/20"], metro=metro)
+
+
+class TestCartographer:
+    def test_amsterdam_maps_to_ams(self):
+        carto = Cartographer(default_pops(), random.Random(1))
+        pop = carto.primary_pop(network_for("amsterdam"))
+        assert pop.name == "ams1"
+
+    def test_sydney_maps_to_syd(self):
+        carto = Cartographer(default_pops(), random.Random(1))
+        assert carto.primary_pop(network_for("sydney")).name == "syd1"
+
+    def test_steer_returns_consistent_rtt(self):
+        carto = Cartographer(default_pops(), random.Random(2))
+        pop, rtt = carto.steer(network_for("london"))
+        assert rtt < 10.0  # London is ~0 km from lhr1
+
+    def test_remote_steering_fraction(self):
+        carto = Cartographer(
+            default_pops(), random.Random(3), remote_steer_probability=0.3
+        )
+        network = network_for("lagos")
+        remote = 0
+        for _ in range(2000):
+            pop, _ = carto.steer(network)
+            if pop.continent is not Continent.AFRICA:
+                remote += 1
+        assert 0.2 < remote / 2000 < 0.4
+
+    def test_no_remote_steering_for_europe(self):
+        carto = Cartographer(
+            default_pops(), random.Random(4), remote_steer_probability=0.5,
+            resteer_probability=0.0,
+        )
+        network = network_for("paris")
+        for _ in range(200):
+            pop, _ = carto.steer(network)
+            assert pop.continent is Continent.EUROPE
+
+    def test_empty_pops_rejected(self):
+        with pytest.raises(ValueError):
+            Cartographer([], random.Random(1))
+
+
+class TestEdgeFabric:
+    def _ranked(self, seed=1):
+        gen = RouteGenerator(random.Random(seed))
+        return rank_routes(gen.routes_for_prefix("10.1.0.0/20", 65001))
+
+    def test_uncongested_traffic_stays_on_preferred(self):
+        fabric = EdgeFabric()
+        ranked = self._ranked()
+        route, rank = fabric.route_for_flow(ranked, demand_units=0.1)
+        assert rank == 0
+        assert route is ranked.preferred
+
+    def test_congestion_detours(self):
+        fabric = EdgeFabric(detour_threshold=0.9)
+        ranked = self._ranked()
+        capacity = ranked.preferred.condition.congestion_capacity
+        ranks = set()
+        for _ in range(int(capacity * 30)):
+            _, rank = fabric.route_for_flow(ranked, demand_units=0.1)
+            ranks.add(rank)
+        assert 1 in ranks  # some traffic detoured
+        assert fabric.detours > 0
+
+    def test_measurement_traffic_overrides_detours(self):
+        fabric = EdgeFabric(detour_threshold=0.01)  # everything congested
+        ranked = self._ranked()
+        route, rank = fabric.route_for_flow(
+            ranked,
+            demand_units=1.0,
+            is_measurement=True,
+            measurement_route=ranked.preferred,
+            measurement_rank=0,
+        )
+        assert rank == 0
+        assert fabric.overrides == 1
+
+    def test_measurement_requires_route(self):
+        fabric = EdgeFabric()
+        with pytest.raises(ValueError):
+            fabric.route_for_flow(self._ranked(), 1.0, is_measurement=True)
+
+    def test_interval_reset(self):
+        fabric = EdgeFabric()
+        ranked = self._ranked()
+        fabric.route_for_flow(ranked, demand_units=5.0)
+        assert fabric.utilization(ranked.preferred, 0) > 0
+        fabric.reset_interval()
+        assert fabric.utilization(ranked.preferred, 0) == 0.0
+
+
+class TestLoadBalancer:
+    def _ranked(self):
+        gen = RouteGenerator(random.Random(9))
+        return rank_routes(gen.routes_for_prefix("10.1.0.0/20", 65001))
+
+    def test_sample_rate(self):
+        lb = LoadBalancer("ams1", random.Random(1), sample_rate=0.25)
+        ranked = self._ranked()
+        for _ in range(4000):
+            lb.admit(ranked)
+        assert lb.effective_sample_rate == pytest.approx(0.25, abs=0.03)
+
+    def test_full_sampling(self):
+        lb = LoadBalancer("ams1", random.Random(2), sample_rate=1.0)
+        decision = lb.admit(self._ranked())
+        assert decision.sampled
+        assert decision.route is not None
+
+    def test_finalize_attaches_route(self):
+        lb = LoadBalancer("ams1", random.Random(3))
+        decision = lb.admit(self._ranked())
+        sample = SessionSample(
+            session_id=1,
+            start_time=0.0,
+            end_time=10.0,
+            http_version=HttpVersion.HTTP_2,
+            min_rtt_seconds=0.040,
+            bytes_sent=1000,
+            busy_time_seconds=1.0,
+        )
+        lb.finalize(sample, decision)
+        assert sample.route is not None
+        assert sample.pop == "ams1"
+        assert sample.route.preference_rank == decision.preference_rank
+
+    def test_finalize_unsampled_rejected(self):
+        lb = LoadBalancer("ams1", random.Random(4), sample_rate=0.5)
+        from repro.edge.proxygen import SamplingDecision
+
+        sample = SessionSample(
+            session_id=1,
+            start_time=0.0,
+            end_time=1.0,
+            http_version=HttpVersion.HTTP_1_1,
+            min_rtt_seconds=0.040,
+            bytes_sent=0,
+            busy_time_seconds=0.0,
+        )
+        with pytest.raises(ValueError):
+            lb.finalize(sample, SamplingDecision(sampled=False))
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            LoadBalancer("ams1", random.Random(5), sample_rate=0.0)

@@ -1,0 +1,115 @@
+"""End-to-end integration: packet-level simulator output through the full
+analysis pipeline.
+
+The design claim in DESIGN.md is that the two simulation tiers (packet-level
+netsim, analytic channel model) feed the *same* measurement/analysis code.
+These tests prove it by building SessionSamples directly from simulator
+transfers and running them through aggregation, comparison, and the figure
+drivers.
+"""
+
+import pytest
+
+from repro.core.aggregation import AggregationStore
+from repro.core.comparison import opportunity_series
+from repro.core.hdratio import session_goodput
+from repro.core.records import HttpVersion, SessionSample
+from repro.netsim.scenarios import run_transfer
+from repro.pipeline.dataset import StudyDataset
+
+from tests.helpers import DEFAULT_GROUP, make_route
+
+MSS = 1500
+
+
+def simulated_sample(
+    session_id,
+    end_time,
+    rank=0,
+    bottleneck_mbps=8.0,
+    rtt_ms=50.0,
+    loss=0.0,
+    seed=1,
+):
+    """One SessionSample whose transactions come from the packet simulator."""
+    transfer = run_transfer(
+        [40 * MSS, 40 * MSS],
+        bottleneck_mbps=bottleneck_mbps,
+        rtt_ms=rtt_ms,
+        loss_probability=loss,
+        seed=seed,
+        max_duration=120.0,
+    )
+    duration = max(transfer.completion_time, 1.0)
+    return SessionSample(
+        session_id=session_id,
+        start_time=end_time - duration,
+        end_time=end_time,
+        http_version=HttpVersion.HTTP_2,
+        min_rtt_seconds=transfer.min_rtt_seconds,
+        bytes_sent=transfer.total_bytes,
+        busy_time_seconds=min(transfer.completion_time, duration),
+        transactions=transfer.records,
+        route=make_route(rank=rank),
+        pop=DEFAULT_GROUP.pop,
+        client_country=DEFAULT_GROUP.country,
+        client_continent="EU",
+    )
+
+
+class TestSimulatorThroughPipeline:
+    def test_sample_yields_hdratio_via_store(self):
+        store = AggregationStore()
+        sample = simulated_sample(1, end_time=100.0)
+        aggregation = store.add(sample)
+        assert aggregation.hdratios == [1.0]
+        assert aggregation.minrtt_p50 == pytest.approx(50.0, rel=0.1)
+
+    def test_lossy_path_scores_below_clean_path(self):
+        clean = simulated_sample(1, 100.0, bottleneck_mbps=8.0, seed=2)
+        lossy = simulated_sample(
+            2, 100.0, bottleneck_mbps=2.0, loss=0.05, seed=3
+        )
+        clean_hd = session_goodput(clean.transactions, clean.min_rtt_seconds)
+        lossy_hd = session_goodput(lossy.transactions, lossy.min_rtt_seconds)
+        assert clean_hd.hdratio == 1.0
+        assert lossy_hd.hdratio is not None and lossy_hd.hdratio < 1.0
+
+    def test_opportunity_detected_on_simulated_routes(self):
+        # Preferred route: 70 ms; alternate: 45 ms. Thirty-plus simulated
+        # sessions per side in one window.
+        store = AggregationStore()
+        for index in range(32):
+            store.add(
+                simulated_sample(
+                    index, end_time=10.0 + index, rank=0, rtt_ms=70.0,
+                    seed=index,
+                )
+            )
+            store.add(
+                simulated_sample(
+                    100 + index, end_time=10.0 + index, rank=1, rtt_ms=45.0,
+                    seed=100 + index,
+                )
+            )
+        verdicts = opportunity_series(store, DEFAULT_GROUP, "minrtt")
+        assert len(verdicts) == 1
+        assert verdicts[0].valid
+        assert verdicts[0].event_at(5.0)
+        assert verdicts[0].difference == pytest.approx(25.0, abs=5.0)
+
+    def test_study_dataset_ingests_simulator_samples(self):
+        samples = [
+            simulated_sample(index, end_time=50.0 + index, seed=index)
+            for index in range(10)
+        ]
+        dataset = StudyDataset(study_windows=96)
+        dataset.ingest(samples)
+        assert dataset.session_count == 10
+        assert all(row.hdratio == 1.0 for row in dataset.rows)
+
+        from repro.pipeline.experiments import fig6_global_performance
+
+        result = fig6_global_performance(dataset)
+        assert result.median_minrtt == pytest.approx(50.0, rel=0.1)
+        assert result.hdratio_positive_fraction == 1.0

@@ -1,0 +1,134 @@
+"""Tests for the pluggable congestion controllers (Reno, CUBIC+HyStart)."""
+
+import pytest
+
+from repro.netsim.congestion import CubicControl, RenoControl
+from repro.netsim.scenarios import run_transfer
+from repro.netsim.tcp import TcpParams
+
+MSS = 1500
+
+
+class TestReno:
+    def test_slow_start_byte_counting(self):
+        cc = RenoControl(MSS, 10 * MSS)
+        cc.on_ack(3 * MSS, now=0.1, rtt_sample=0.05)
+        assert cc.cwnd_bytes == 13 * MSS
+
+    def test_congestion_avoidance_linear(self):
+        cc = RenoControl(MSS, 10 * MSS)
+        cc.ssthresh_bytes = 10 * MSS  # out of slow start
+        # One full window of ACKs grows cwnd by ~1 MSS.
+        for _ in range(10):
+            cc.on_ack(MSS, now=0.1, rtt_sample=0.05)
+        assert cc.cwnd_bytes == pytest.approx(11 * MSS, abs=MSS // 2)
+
+    def test_loss_halves_flight(self):
+        cc = RenoControl(MSS, 20 * MSS)
+        cc.on_loss(bytes_in_flight=20 * MSS)
+        assert cc.cwnd_bytes == 10 * MSS
+        assert cc.ssthresh_bytes == 10 * MSS
+
+    def test_timeout_collapses_to_one_segment(self):
+        cc = RenoControl(MSS, 20 * MSS)
+        cc.on_timeout(bytes_in_flight=20 * MSS)
+        assert cc.cwnd_bytes == MSS
+
+    def test_floor_of_two_segments(self):
+        cc = RenoControl(MSS, 2 * MSS)
+        cc.on_loss(bytes_in_flight=MSS)
+        assert cc.cwnd_bytes >= 2 * MSS
+
+
+class TestCubic:
+    def test_slow_start_grows_like_reno(self):
+        cc = CubicControl(MSS, 10 * MSS)
+        cc.on_ack(3 * MSS, now=0.1, rtt_sample=0.05)
+        assert cc.cwnd_bytes == 13 * MSS
+
+    def test_beta_decrease(self):
+        cc = CubicControl(MSS, 20 * MSS)
+        cc.on_loss(bytes_in_flight=20 * MSS)
+        assert cc.cwnd_bytes == int(20 * MSS * CubicControl.BETA)
+
+    def test_cubic_growth_toward_wmax(self):
+        cc = CubicControl(MSS, 20 * MSS)
+        cc.on_loss(20 * MSS)        # sets Wmax = 20 segments
+        cc.ssthresh_bytes = cc.cwnd_bytes  # stay in CA
+        start = cc.cwnd_bytes
+        now = 0.0
+        for _ in range(200):
+            now += 0.05
+            cc.on_ack(MSS, now=now, rtt_sample=0.05)
+        assert cc.cwnd_bytes > start
+        # Approaches (and then probes past) the previous maximum.
+        assert cc.cwnd_bytes >= 18 * MSS
+
+    def test_hystart_exits_on_rtt_inflation(self):
+        cc = CubicControl(MSS, 10 * MSS)
+        # First round: flat RTTs.
+        for _ in range(cc.HYSTART_MIN_SAMPLES):
+            cc.on_ack(MSS, now=0.1, rtt_sample=0.050)
+        # Second round: RTTs inflated well past eta.
+        for _ in range(cc.HYSTART_MIN_SAMPLES):
+            cc.on_ack(MSS, now=0.2, rtt_sample=0.080)
+        assert cc.hystart_exits == 1
+        assert not cc.in_slow_start
+
+    def test_hystart_tolerates_flat_rtts(self):
+        cc = CubicControl(MSS, 10 * MSS)
+        for _ in range(5 * cc.HYSTART_MIN_SAMPLES):
+            cc.on_ack(MSS, now=0.1, rtt_sample=0.050)
+        assert cc.hystart_exits == 0
+        assert cc.in_slow_start
+
+
+class TestIntegration:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            run_transfer([10 * MSS], congestion_control="vegas")
+
+    @pytest.mark.parametrize("algorithm", ["reno", "cubic"])
+    def test_both_complete_clean_transfer(self, algorithm):
+        result = run_transfer(
+            [200 * MSS],
+            bottleneck_mbps=5.0,
+            rtt_ms=40.0,
+            delayed_ack=False,
+            congestion_control=algorithm,
+        )
+        assert result.total_bytes == 200 * MSS
+        assert result.records
+
+    @pytest.mark.parametrize("algorithm", ["reno", "cubic"])
+    def test_both_survive_loss(self, algorithm):
+        result = run_transfer(
+            [150 * MSS],
+            bottleneck_mbps=5.0,
+            rtt_ms=40.0,
+            loss_probability=0.03,
+            congestion_control=algorithm,
+            seed=9,
+            max_duration=120.0,
+        )
+        assert result.total_bytes == 150 * MSS
+
+    def test_cubic_hystart_fires_through_deep_queue(self):
+        # A slow bottleneck with a deep queue inflates RTTs during slow
+        # start — exactly what HyStart watches for.
+        from repro.netsim.engine import Simulator
+        from repro.netsim.link import Link
+        from repro.netsim.tcp import TcpConnection
+
+        sim = Simulator()
+        data = Link(sim, rate_bps=2e6, propagation_delay=0.020, queue_packets=500)
+        ack = Link(sim, rate_bps=None, propagation_delay=0.020)
+        conn = TcpConnection(
+            sim, data, ack,
+            TcpParams(initial_cwnd_packets=4, delayed_ack=False,
+                      congestion_control="cubic"),
+        )
+        conn.write(400 * MSS)
+        sim.run(until=60.0)
+        assert conn.all_acked
+        assert conn.cc.hystart_exits >= 1

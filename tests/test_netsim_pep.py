@@ -1,0 +1,63 @@
+"""Tests for the PEP split-connection study (§2.2.1)."""
+
+import pytest
+
+from repro.netsim.pep import run_end_to_end_transfer, run_split_transfer
+
+MSS = 1500
+
+
+class TestSplitTransfer:
+    @pytest.fixture(scope="class")
+    def split(self):
+        return run_split_transfer([100 * MSS, 100 * MSS])
+
+    def test_all_bytes_reach_the_client(self, split):
+        assert split.client_received_bytes == 200 * MSS
+
+    def test_server_underestimates_latency(self, split):
+        # The server measures RTT to the PEP (~20 ms), not to the client
+        # (~570 ms) — the paper's "may underestimate latency".
+        assert split.server_min_rtt_ms < 30.0
+
+    def test_server_overestimates_goodput(self, split):
+        # Server-side goodput reflects the clean middle mile; end-to-end
+        # delivery is bottlenecked by the 2 Mbps satellite hop.
+        assert split.server_goodput_bps > 2.0 * split.end_to_end_goodput_bps
+        assert split.end_to_end_goodput_bps < 2.5e6
+
+    def test_server_sees_hd_capable_session(self, split):
+        # The measurement bias in full: HDratio says HD-capable while the
+        # client cannot actually sustain HD.
+        assert split.server_hdratio == 1.0
+
+    def test_end_to_end_completion_lags_server_view(self, split):
+        assert split.end_to_end_completion > split.server_view.completion_time
+
+
+class TestEndToEndComparison:
+    def test_unsplit_connection_measures_truth(self):
+        result = run_end_to_end_transfer([100 * MSS])
+        # Without the PEP, the server's MinRTT includes the satellite hop.
+        assert result.min_rtt_seconds * 1000 > 400.0
+
+    def test_split_completes_for_multiple_responses(self):
+        split = run_split_transfer([20 * MSS, 20 * MSS, 20 * MSS])
+        assert split.client_received_bytes == 60 * MSS
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_split_transfer([])
+
+
+class TestProxylessEquivalence:
+    def test_split_with_clean_last_mile_matches_direct(self):
+        # With a fast clean last mile the PEP's effect on totals vanishes.
+        split = run_split_transfer(
+            [50 * MSS],
+            last_mile_rtt_ms=20.0,
+            last_mile_mbps=100.0,
+            last_mile_loss=0.0,
+        )
+        assert split.client_received_bytes == 50 * MSS
+        assert split.end_to_end_completion < 1.0

@@ -1,0 +1,189 @@
+"""Tests for canned scenarios, instrumentation, and the validation sweep."""
+
+import pytest
+
+from repro.core.goodput import estimate_delivery_rate, max_testable_goodput
+from repro.core.hdratio import session_goodput
+from repro.netsim.scenarios import run_figure4_scenario, run_transfer
+from repro.netsim.validation import SweepConfig, run_validation_sweep
+
+MSS = 1500
+
+
+class TestFigure4:
+    """End-to-end reproduction of the paper's Figure 4 walkthrough."""
+
+    def test_observed_goodputs_match_paper(self):
+        result = run_figure4_scenario()
+        assert result.observed_goodputs_mbps == pytest.approx(
+            [0.4, 2.4, 2.8], rel=0.02
+        )
+
+    def test_testable_goodputs_match_paper(self):
+        result = run_figure4_scenario()
+        assert result.testable_goodputs_mbps == pytest.approx(
+            [0.4, 2.8, 2.8], rel=0.01
+        )
+
+    def test_min_rtt_is_60ms(self):
+        result = run_figure4_scenario()
+        assert result.min_rtt_ms == pytest.approx(60.0, rel=0.02)
+
+    def test_hdratio_of_the_session(self):
+        # Transactions 2 and 3 can test for HD (2.8 > 2.5 Mbps) and both
+        # achieve it under ideal conditions; transaction 1 cannot test.
+        result = run_figure4_scenario()
+        summary = session_goodput(
+            result.result.records, result.result.min_rtt_seconds
+        )
+        assert summary.tested == 2
+        assert summary.achieved == 2
+        assert summary.hdratio == 1.0
+
+    def test_wnic_chain_in_simulator(self):
+        result = run_figure4_scenario()
+        records = result.result.records
+        assert records[0].cwnd_bytes_at_first_byte == 10 * MSS
+        assert records[1].cwnd_bytes_at_first_byte == 10 * MSS
+        # By transaction 3, slow start has grown the window past 20 MSS.
+        assert records[2].cwnd_bytes_at_first_byte >= 20 * MSS
+
+
+class TestInstrumentation:
+    def test_delayed_ack_correction_excludes_last_packet(self):
+        result = run_transfer([10 * MSS], rtt_ms=60.0, delayed_ack=True)
+        record = result.records[0]
+        assert record.response_bytes == 10 * MSS
+        assert record.measured_bytes == 9 * MSS
+        # Measured time must not include the delayed-ACK 40 ms penalty.
+        assert record.transfer_time < 0.100
+
+    def test_partial_final_packet_size(self):
+        result = run_transfer([10 * MSS + 700], rtt_ms=60.0)
+        assert result.records[0].last_packet_bytes == 700
+
+    def test_single_packet_response_has_no_measured_bytes(self):
+        result = run_transfer([800], rtt_ms=60.0)
+        record = result.records[0]
+        assert record.measured_bytes == 0
+
+    def test_sequential_transactions_disjoint_records(self):
+        result = run_transfer([5 * MSS, 5 * MSS, 5 * MSS], rtt_ms=40.0)
+        assert len(result.records) == 3
+        times = [r.first_byte_time for r in result.records]
+        assert times == sorted(times)
+        # Each later transaction starts only after the previous final ACK.
+        for (f1, a1, _), (f2, _, _) in zip(result.spans, result.spans[1:]):
+            assert f2 >= a1 - 1e-9
+
+    def test_total_bytes(self):
+        result = run_transfer([5 * MSS, 3 * MSS], rtt_ms=40.0)
+        assert result.total_bytes == 8 * MSS
+
+    def test_empty_responses_rejected(self):
+        with pytest.raises(ValueError):
+            run_transfer([])
+
+
+class TestGoodputAgainstSimulator:
+    """The estimator consuming simulator output (mini §3.2.3 checks)."""
+
+    @pytest.mark.parametrize("bw", [1.0, 2.5, 5.0])
+    def test_estimate_never_exceeds_bottleneck(self, bw):
+        result = run_transfer(
+            [300 * MSS], bottleneck_mbps=bw, rtt_ms=60.0, delayed_ack=False
+        )
+        record = result.records[0]
+        estimated = estimate_delivery_rate(
+            record.measured_bytes,
+            record.transfer_time,
+            record.cwnd_bytes_at_first_byte,
+            result.min_rtt_seconds,
+        )
+        assert estimated * 8 / 1e6 <= bw * (1 + 1e-6)
+
+    def test_estimate_close_to_bottleneck_for_long_transfer(self):
+        result = run_transfer(
+            [400 * MSS], bottleneck_mbps=2.0, rtt_ms=60.0, delayed_ack=False
+        )
+        record = result.records[0]
+        estimated = estimate_delivery_rate(
+            record.measured_bytes,
+            record.transfer_time,
+            record.cwnd_bytes_at_first_byte,
+            result.min_rtt_seconds,
+        )
+        assert estimated * 8 / 1e6 == pytest.approx(2.0, rel=0.10)
+
+    def test_loss_reduces_estimated_goodput(self):
+        clean = run_transfer(
+            [200 * MSS], bottleneck_mbps=5.0, rtt_ms=60.0, delayed_ack=False
+        )
+        lossy = run_transfer(
+            [200 * MSS],
+            bottleneck_mbps=5.0,
+            rtt_ms=60.0,
+            delayed_ack=False,
+            loss_probability=0.05,
+            seed=23,
+        )
+
+        def estimate(result):
+            record = result.records[0]
+            return estimate_delivery_rate(
+                record.measured_bytes,
+                record.transfer_time,
+                record.cwnd_bytes_at_first_byte,
+                result.min_rtt_seconds,
+            )
+
+        assert estimate(lossy) < estimate(clean)
+
+    def test_hd_session_through_hd_capable_path(self):
+        result = run_transfer(
+            [100 * MSS, 100 * MSS],
+            bottleneck_mbps=10.0,
+            rtt_ms=40.0,
+            delayed_ack=True,
+        )
+        summary = session_goodput(result.records, result.min_rtt_seconds)
+        assert summary.hdratio == 1.0
+
+    def test_non_hd_path_fails_hd(self):
+        result = run_transfer(
+            [100 * MSS, 100 * MSS],
+            bottleneck_mbps=1.0,  # below the 2.5 Mbps target
+            rtt_ms=40.0,
+        )
+        summary = session_goodput(result.records, result.min_rtt_seconds)
+        assert summary.tested >= 1
+        assert summary.hdratio == 0.0
+
+
+class TestValidationSweep:
+    def test_small_sweep_properties(self):
+        config = SweepConfig(
+            bottleneck_mbps=(1.0, 2.5),
+            rtt_ms=(40.0, 100.0),
+            initial_cwnd_packets=(10, 25),
+            transfer_packets=(50, 200),
+        )
+        result = run_validation_sweep(config)
+        assert len(result.points) == config.count == 16
+        testing = result.testing_points
+        assert testing  # some configurations must be able to test
+        assert not result.overestimates
+        # Errors should be small for these comfortable configurations.
+        assert result.relative_error_percentile(99) < 0.10
+
+    def test_untestable_configs_flagged(self):
+        # 1-packet transfers can never test a 5 Mbps bottleneck.
+        config = SweepConfig(
+            bottleneck_mbps=(5.0,),
+            rtt_ms=(100.0,),
+            initial_cwnd_packets=(10,),
+            transfer_packets=(1,),
+        )
+        result = run_validation_sweep(config)
+        assert not result.points[0].can_test_bottleneck
+        assert result.points[0].relative_error is None

@@ -1,0 +1,100 @@
+"""Tests for JSONL trace serialization."""
+
+import json
+
+import pytest
+
+from repro.core.records import TransactionRecord
+from repro.pipeline.io import (
+    read_samples,
+    sample_from_dict,
+    sample_to_dict,
+    write_samples,
+)
+
+from tests.helpers import make_route, make_sample
+
+
+def sample_with_txns():
+    sample = make_sample(25.0, 55.0, route=make_route(rank=1))
+    sample.geo_tag = "amsterdam"
+    sample.transactions = [
+        TransactionRecord(
+            first_byte_time=1.0,
+            ack_time=1.2,
+            response_bytes=30_000,
+            last_packet_bytes=1500,
+            cwnd_bytes_at_first_byte=15_000,
+            bytes_in_flight_at_start=0,
+            last_byte_write_time=1.1,
+        )
+    ]
+    return sample
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = sample_with_txns()
+        restored = sample_from_dict(sample_to_dict(original))
+        assert restored.session_id == original.session_id
+        assert restored.min_rtt_seconds == original.min_rtt_seconds
+        assert restored.route == original.route
+        assert restored.geo_tag == "amsterdam"
+        assert restored.transactions == original.transactions
+        assert restored.http_version is original.http_version
+
+    def test_file_round_trip(self, tmp_path):
+        samples = [sample_with_txns() for _ in range(5)]
+        path = tmp_path / "trace.jsonl"
+        assert write_samples(path, samples) == 5
+        restored = list(read_samples(path))
+        assert len(restored) == 5
+        assert restored[0].transactions == samples[0].transactions
+
+    def test_gzip_round_trip(self, tmp_path):
+        samples = [sample_with_txns() for _ in range(3)]
+        path = tmp_path / "trace.jsonl.gz"
+        write_samples(path, samples)
+        assert len(list(read_samples(path))) == 3
+
+    def test_sample_without_route(self, tmp_path):
+        sample = sample_with_txns()
+        sample.route = None
+        restored = sample_from_dict(sample_to_dict(sample))
+        assert restored.route is None
+
+
+class TestErrors:
+    def test_version_check(self):
+        payload = sample_to_dict(sample_with_txns())
+        payload["v"] = 99
+        with pytest.raises(ValueError):
+            sample_from_dict(payload)
+
+    def test_corrupt_line_reported_with_location(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_samples(path, [sample_with_txns()])
+        with open(path, "a") as handle:
+            handle.write("{not json}\n")
+        with pytest.raises(ValueError, match=":2"):
+            list(read_samples(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_samples(path, [sample_with_txns()])
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(list(read_samples(path))) == 1
+
+
+class TestAnalysisOverRestoredTrace:
+    def test_restored_trace_feeds_pipeline(self, tmp_path):
+        from repro.pipeline import StudyDataset
+
+        samples = [sample_with_txns() for _ in range(10)]
+        path = tmp_path / "trace.jsonl"
+        write_samples(path, samples)
+        dataset = StudyDataset(study_windows=96)
+        dataset.ingest(read_samples(path))
+        assert dataset.session_count == 10
+        assert len(dataset.store) == 1

@@ -1,0 +1,47 @@
+"""Tests for text report rendering."""
+
+from repro.pipeline.report import format_cdf_checkpoints, format_percent, format_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.839) == "83.9%"
+        assert format_percent(0.0204, digits=2) == "2.04%"
+        assert format_percent(1.0) == "100.0%"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1), ("beta-long", 22)],
+            title="Demo:",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo:"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        # Columns aligned: 'value' cells start at the same offset.
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+    def test_cells_coerced_to_str(self):
+        text = format_table(("x",), [(3.14159,)])
+        assert "3.14159" in text
+
+
+class TestFormatCheckpoints:
+    def test_labels_and_values(self):
+        text = format_cdf_checkpoints(
+            "Header:", [("short", 0.5), ("a longer label", 123.456)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Header:"
+        assert "short" in lines[1]
+        assert "123.5" in lines[2]
+
+    def test_empty_checkpoints(self):
+        assert format_cdf_checkpoints("H:", []) == "H:"

@@ -1,0 +1,102 @@
+"""Tests for the single-pass streaming route monitor."""
+
+import pytest
+
+from repro.core.constants import AGGREGATION_WINDOW_SECONDS
+from repro.pipeline.streaming import StreamingRouteMonitor
+
+from tests.helpers import DEFAULT_GROUP, make_route, make_sample
+
+
+def feed_window(monitor, window, rtt_ms, rank=0, count=40, hd_good=True):
+    base = window * AGGREGATION_WINDOW_SECONDS
+    route = make_route(rank=rank)
+    for index in range(count):
+        end = base + (index + 0.5) * AGGREGATION_WINDOW_SECONDS / (count + 1)
+        sample = make_sample(
+            end_time=end, min_rtt_ms=rtt_ms + (index % 5) * 0.2, route=route
+        )
+        monitor.observe(sample)
+
+
+class TestMonitor:
+    def test_hold_when_preferred_is_best(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=40.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=47.0, rank=1)
+        decisions = monitor.finish()
+        assert len(decisions) == 1
+        assert decisions[0].action == "hold"
+        assert not decisions[0].is_shift_candidate
+
+    def test_shift_candidate_on_confident_win(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=52.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=38.0, rank=1)
+        decisions = monitor.finish()
+        assert decisions[0].is_shift_candidate
+        assert decisions[0].alternate_rank == 1
+        assert decisions[0].minrtt_improvement_ms > 10.0
+
+    def test_windows_close_in_order(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=40.0, rank=0)
+        feed_window(monitor, 1, rtt_ms=40.0, rank=0)
+        feed_window(monitor, 2, rtt_ms=40.0, rank=0)
+        decisions = monitor.finish()
+        assert [d.window for d in decisions] == [0, 1, 2]
+
+    def test_thin_windows_hold(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=52.0, rank=0, count=10)
+        feed_window(monitor, 0, rtt_ms=38.0, rank=1, count=10)
+        decisions = monitor.finish()
+        assert decisions[0].action == "hold"
+
+    def test_missing_route_rejected(self):
+        monitor = StreamingRouteMonitor()
+        sample = make_sample(1.0, 40.0)
+        sample.route = None
+        with pytest.raises(ValueError):
+            monitor.observe(sample)
+
+    def test_state_cleared_between_windows(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=52.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=38.0, rank=1)
+        # Next window: no alternate data; monitor must not reuse stale state.
+        feed_window(monitor, 1, rtt_ms=52.0, rank=0)
+        decisions = monitor.finish()
+        assert decisions[0].is_shift_candidate
+        assert decisions[1].action == "hold"
+
+    def test_agrees_with_batch_analysis(self):
+        """The streaming monitor and the batch opportunity analysis must
+        reach the same conclusion on the same stream."""
+        from repro.core.aggregation import AggregationStore
+        from repro.core.comparison import opportunity_series
+
+        monitor = StreamingRouteMonitor()
+        store = AggregationStore()
+
+        from tests.helpers import fill_window
+
+        samples = []
+        base_route, alt_route = make_route(rank=0), make_route(rank=1)
+        for window in range(2):
+            base = window * AGGREGATION_WINDOW_SECONDS
+            for index in range(45):
+                end = base + index * 15.0
+                preferred = make_sample(end, 50.0 + (index % 7) * 0.3, route=base_route)
+                alternate = make_sample(end, 39.0 + (index % 7) * 0.3, route=alt_route)
+                samples.extend([preferred, alternate])
+        for sample in samples:
+            store.add(sample, hdratio=None)
+            monitor.observe(sample)
+        decisions = monitor.finish()
+
+        batch = opportunity_series(store, DEFAULT_GROUP, "minrtt")
+        batch_events = [v for v in batch if v.event_at(5.0)]
+        streaming_events = [d for d in decisions if d.is_shift_candidate]
+        assert bool(batch_events) == bool(streaming_events)
+        assert len(streaming_events) == 2

@@ -1,0 +1,94 @@
+"""Tests for streaming (t-digest based) median comparison."""
+
+import random
+
+import pytest
+
+from repro.stats.median_ci import compare_medians
+from repro.stats.streaming import (
+    StreamingAggregate,
+    streaming_compare,
+    streaming_median_se,
+)
+from repro.stats.tdigest import TDigest
+
+
+class TestStreamingSe:
+    def test_matches_exact_estimator(self):
+        rng = random.Random(5)
+        values = [rng.gauss(40.0, 4.0) for _ in range(2000)]
+        digest = TDigest.of(values)
+        from repro.stats.median_ci import median_standard_error
+
+        exact = median_standard_error(values)
+        streamed = streaming_median_se(digest)
+        assert streamed == pytest.approx(exact, rel=0.25)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            streaming_median_se(TDigest.of([1.0, 2.0]))
+
+
+class TestStreamingCompare:
+    def test_matches_exact_comparison(self):
+        rng = random.Random(7)
+        a = [rng.gauss(50.0, 3.0) for _ in range(1000)]
+        b = [rng.gauss(42.0, 3.0) for _ in range(1000)]
+        exact = compare_medians(a, b)
+        streamed = streaming_compare(TDigest.of(a), TDigest.of(b))
+        assert streamed.valid
+        assert streamed.difference == pytest.approx(exact.difference, abs=0.5)
+        assert streamed.exceeds(5.0) == exact.exceeds(5.0)
+
+    def test_detects_clear_shift(self):
+        rng = random.Random(9)
+        a = TDigest.of([rng.gauss(50.0, 2.0) for _ in range(500)])
+        b = TDigest.of([rng.gauss(40.0, 2.0) for _ in range(500)])
+        result = streaming_compare(a, b)
+        assert result.exceeds(5.0)
+
+    def test_identical_distributions_no_event(self):
+        rng = random.Random(11)
+        a = TDigest.of([rng.gauss(40.0, 2.0) for _ in range(500)])
+        b = TDigest.of([rng.gauss(40.0, 2.0) for _ in range(500)])
+        result = streaming_compare(a, b)
+        assert not result.exceeds(2.0)
+
+    def test_min_samples_rule(self):
+        a = TDigest.of([1.0] * 20)
+        b = TDigest.of([2.0] * 100)
+        assert not streaming_compare(a, b).valid
+
+    def test_tight_ci_rule(self):
+        rng = random.Random(13)
+        a = TDigest.of([rng.gauss(100.0, 90.0) for _ in range(40)])
+        b = TDigest.of([rng.gauss(100.0, 90.0) for _ in range(40)])
+        assert not streaming_compare(a, b, max_ci_width=5.0).valid
+
+
+class TestStreamingAggregate:
+    def test_add_and_query(self):
+        aggregate = StreamingAggregate.empty()
+        for index in range(100):
+            aggregate.add(40.0 + index % 5, 1.0 if index % 4 else 0.0, 1000)
+        assert aggregate.session_count == 100
+        assert aggregate.traffic_bytes == 100_000
+        assert 40.0 <= aggregate.minrtt_p50 <= 45.0
+        assert aggregate.hdratio_p50 == 1.0
+
+    def test_untestable_sessions_skip_hd_digest(self):
+        aggregate = StreamingAggregate.empty()
+        aggregate.add(40.0, None, 500)
+        assert aggregate.hdratio_p50 is None
+        assert aggregate.minrtt_p50 == 40.0
+
+    def test_merge_combines_collectors(self):
+        left = StreamingAggregate.empty()
+        right = StreamingAggregate.empty()
+        for _ in range(50):
+            left.add(30.0, 1.0, 100)
+            right.add(50.0, 0.0, 100)
+        left.merge(right)
+        assert left.session_count == 100
+        assert left.traffic_bytes == 10_000
+        assert 30.0 < left.minrtt_p50 < 50.0

@@ -1,0 +1,144 @@
+"""Tests for the merging t-digest."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import TDigest
+
+
+class TestBasics:
+    def test_empty_digest_rejects_queries(self):
+        digest = TDigest()
+        with pytest.raises(ValueError):
+            digest.quantile(0.5)
+        with pytest.raises(ValueError):
+            digest.cdf(1.0)
+
+    def test_single_value(self):
+        digest = TDigest()
+        digest.add(42.0)
+        assert digest.quantile(0.0) == 42.0
+        assert digest.quantile(0.5) == 42.0
+        assert digest.quantile(1.0) == 42.0
+
+    def test_rejects_nan_and_nonpositive_weight(self):
+        digest = TDigest()
+        with pytest.raises(ValueError):
+            digest.add(float("nan"))
+        with pytest.raises(ValueError):
+            digest.add(1.0, weight=0.0)
+
+    def test_rejects_tiny_compression(self):
+        with pytest.raises(ValueError):
+            TDigest(compression=5)
+
+    def test_len_counts_weight(self):
+        digest = TDigest()
+        digest.add_many(range(100))
+        assert len(digest) == 100
+        assert digest.total_weight == 100
+
+    def test_extremes_are_exact(self):
+        digest = TDigest.of([5.0, 1.0, 9.0, 3.0])
+        assert digest.quantile(0.0) == 1.0
+        assert digest.quantile(1.0) == 9.0
+
+
+class TestAccuracy:
+    def test_median_of_uniform(self):
+        rng = random.Random(1)
+        values = [rng.random() for _ in range(20000)]
+        digest = TDigest.of(values)
+        assert abs(digest.median() - 0.5) < 0.01
+
+    def test_tail_quantiles_of_uniform(self):
+        rng = random.Random(2)
+        values = [rng.random() for _ in range(20000)]
+        digest = TDigest.of(values)
+        assert abs(digest.quantile(0.99) - 0.99) < 0.005
+        assert abs(digest.quantile(0.01) - 0.01) < 0.005
+
+    def test_lognormal_median(self):
+        rng = random.Random(3)
+        values = [rng.lognormvariate(3.0, 1.0) for _ in range(20000)]
+        digest = TDigest.of(values)
+        exact = sorted(values)[10000]
+        assert abs(digest.median() - exact) / exact < 0.03
+
+    def test_cdf_roundtrip(self):
+        rng = random.Random(4)
+        values = [rng.gauss(0, 1) for _ in range(10000)]
+        digest = TDigest.of(values)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            x = digest.quantile(q)
+            assert abs(digest.cdf(x) - q) < 0.02
+
+    def test_centroid_count_is_bounded(self):
+        digest = TDigest(compression=100)
+        digest.add_many(range(50000))
+        assert digest.centroid_count < 300
+
+    def test_weighted_add(self):
+        digest = TDigest()
+        digest.add(0.0, weight=900)
+        digest.add(100.0, weight=100)
+        # 90% of the weight sits at 0. With only two (far-apart) centroids
+        # the linear interpolation between centroid midpoints is crude, but
+        # the skew must be clearly visible and the extremes exact.
+        assert digest.cdf(50.0) > 0.6
+        assert digest.cdf(-1.0) == 0.0
+        assert digest.cdf(100.0) == 1.0
+        assert digest.quantile(0.5) < 50.0
+
+
+class TestMerge:
+    def test_merge_preserves_weight_and_extremes(self):
+        a = TDigest.of([1.0, 2.0, 3.0])
+        b = TDigest.of([10.0, 20.0])
+        a.merge(b)
+        assert a.total_weight == 5
+        assert a.quantile(0.0) == 1.0
+        assert a.quantile(1.0) == 20.0
+
+    def test_merge_matches_pooled_median(self):
+        rng = random.Random(5)
+        left = [rng.gauss(10, 2) for _ in range(5000)]
+        right = [rng.gauss(20, 2) for _ in range(5000)]
+        merged = TDigest.of(left).merge(TDigest.of(right))
+        pooled = sorted(left + right)[5000]
+        assert abs(merged.median() - pooled) < 0.3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=500))
+def test_quantiles_within_data_range(values):
+    digest = TDigest.of(values)
+    lo, hi = min(values), max(values)
+    for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+        estimate = digest.quantile(q)
+        assert lo - 1e-9 <= estimate <= hi + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=2, max_size=300))
+def test_quantile_function_is_monotone(values):
+    digest = TDigest.of(values)
+    qs = [i / 20 for i in range(21)]
+    estimates = [digest.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0, max_value=100), min_size=30, max_size=300),
+    st.floats(min_value=0, max_value=100),
+)
+def test_cdf_within_unit_interval_and_monotone(values, probe):
+    digest = TDigest.of(values)
+    assert 0.0 <= digest.cdf(probe) <= 1.0
+    assert digest.cdf(min(values) - 1) == 0.0
+    assert digest.cdf(max(values) + 1) == 1.0

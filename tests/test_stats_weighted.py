@@ -1,0 +1,116 @@
+"""Tests for weighted percentiles and ECDFs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    ecdf,
+    weighted_ecdf,
+    weighted_fraction_at_most,
+    weighted_percentile,
+)
+from repro.stats.weighted import percentile
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50.0) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50.0) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestWeightedPercentile:
+    def test_uniform_weights_match_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        weights = [1.0] * 4
+        assert weighted_percentile(values, weights, 50.0) == 20.0
+        assert weighted_percentile(values, weights, 100.0) == 40.0
+
+    def test_heavy_weight_dominates(self):
+        values = [1.0, 100.0]
+        weights = [99.0, 1.0]
+        assert weighted_percentile(values, weights, 90.0) == 1.0
+        assert weighted_percentile(values, weights, 99.9) == 100.0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0], [1.0, 2.0], 50.0)
+
+    def test_zero_total_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0, 2.0], [0.0, 0.0], 50.0)
+
+
+class TestEcdf:
+    def test_unweighted_fractions(self):
+        xs, fs = ecdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert fs == [pytest.approx(1 / 3), pytest.approx(2 / 3), pytest.approx(1.0)]
+
+    def test_weighted_fractions(self):
+        xs, fs = weighted_ecdf([10.0, 20.0], [3.0, 1.0])
+        assert xs == [10.0, 20.0]
+        assert fs == [pytest.approx(0.75), pytest.approx(1.0)]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+class TestFractionAtMost:
+    def test_basic(self):
+        values = [10.0, 20.0, 30.0]
+        weights = [1.0, 1.0, 2.0]
+        assert weighted_fraction_at_most(values, weights, 20.0) == pytest.approx(0.5)
+        assert weighted_fraction_at_most(values, weights, 9.0) == 0.0
+        assert weighted_fraction_at_most(values, weights, 30.0) == 1.0
+
+    def test_threshold_between_points(self):
+        assert weighted_fraction_at_most([1.0, 3.0], [1.0, 1.0], 2.0) == pytest.approx(0.5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-1e3, max_value=1e3),
+            st.floats(min_value=0.01, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_weighted_percentile_monotone_in_q(pairs):
+    values = [v for v, _ in pairs]
+    weights = [w for _, w in pairs]
+    results = [weighted_percentile(values, weights, q) for q in (0, 25, 50, 75, 100)]
+    assert results == sorted(results)
+    assert min(values) <= results[0]
+    assert results[-1] <= max(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=100),
+)
+def test_weighted_matches_unweighted_with_unit_weights(values):
+    weights = [1.0] * len(values)
+    # The weighted definition is the inverse ECDF (lower step); it must agree
+    # with the unweighted rank definition at q=100 and never exceed max.
+    assert weighted_percentile(values, weights, 100.0) == max(values)
+    assert weighted_percentile(values, weights, 0.0) == min(values)

@@ -1,0 +1,132 @@
+"""Cross-validation of the two simulation tiers.
+
+DESIGN.md's central fidelity argument: the analytic channel model
+(:mod:`repro.workload.channel`) may replace the packet simulator for trace
+generation because both produce transfer times with the same structure and
+both feed the same measurement code. These tests make that claim concrete:
+for matched configurations, per-transaction transfer times and the derived
+HD verdicts from the two tiers must agree statistically.
+"""
+
+import random
+
+import pytest
+
+from repro.core.hdratio import session_goodput
+from repro.netsim.scenarios import run_transfer
+from repro.workload.channel import ChannelModel, PathState
+from repro.workload.sessions import SessionSpec, TransactionSpec
+from repro.core.records import HttpVersion
+
+MSS = 1500
+
+
+def channel_transfer(size_bytes, path, seed):
+    """One transaction through the channel model; returns its record."""
+    model = ChannelModel(random.Random(seed))
+    spec = SessionSpec(
+        http_version=HttpVersion.HTTP_2,
+        target_duration_seconds=1.0,
+        is_media_session=False,
+        transactions=[TransactionSpec(size_bytes, 0.0, False)],
+    )
+    sample = model.simulate_session(spec, path, start_time=0.0)
+    return sample
+
+
+class TestTransferTimes:
+    @pytest.mark.parametrize(
+        "bw,rtt_ms,packets",
+        [(2.0, 60.0, 100), (5.0, 40.0, 200), (1.0, 100.0, 60)],
+    )
+    def test_clean_path_times_agree(self, bw, rtt_ms, packets):
+        size = packets * MSS
+        netsim = run_transfer(
+            [size], bottleneck_mbps=bw, rtt_ms=rtt_ms, delayed_ack=False
+        )
+        net_time = netsim.records[0].transfer_time
+
+        path = PathState(base_rtt_ms=rtt_ms, bottleneck_mbps=bw)
+        chan = channel_transfer(size, path, seed=3)
+        chan_time = chan.transactions[0].transfer_time
+
+        # Deterministic clean paths: within 20% of each other.
+        assert chan_time == pytest.approx(net_time, rel=0.20)
+
+    def test_lossy_path_times_agree_in_aggregate(self):
+        bw, rtt_ms, packets, loss = 3.0, 60.0, 120, 0.02
+        size = packets * MSS
+
+        net_times = []
+        for seed in range(15):
+            result = run_transfer(
+                [size],
+                bottleneck_mbps=bw,
+                rtt_ms=rtt_ms,
+                loss_probability=loss,
+                delayed_ack=False,
+                seed=seed,
+                max_duration=120.0,
+            )
+            net_times.append(result.records[0].transfer_time)
+
+        path = PathState(base_rtt_ms=rtt_ms, bottleneck_mbps=bw, loss_probability=loss)
+        chan_times = [
+            channel_transfer(size, path, seed).transactions[0].transfer_time
+            for seed in range(15)
+        ]
+
+        net_mean = sum(net_times) / len(net_times)
+        chan_mean = sum(chan_times) / len(chan_times)
+        assert chan_mean == pytest.approx(net_mean, rel=0.45)
+        # Both tiers slower than the loss-free fluid bound.
+        clean = run_transfer(
+            [size], bottleneck_mbps=bw, rtt_ms=rtt_ms, delayed_ack=False
+        ).records[0].transfer_time
+        assert net_mean > clean
+        assert chan_mean > clean
+
+
+class TestHdVerdicts:
+    @pytest.mark.parametrize("bw,expected", [(8.0, 1.0), (1.0, 0.0)])
+    def test_same_hd_verdict_on_clear_paths(self, bw, expected):
+        size = 150 * MSS
+        netsim = run_transfer(
+            [size], bottleneck_mbps=bw, rtt_ms=50.0, delayed_ack=False
+        )
+        net_hd = session_goodput(netsim.records, netsim.min_rtt_seconds).hdratio
+
+        path = PathState(base_rtt_ms=50.0, bottleneck_mbps=bw)
+        chan = channel_transfer(size, path, seed=5)
+        chan_hd = session_goodput(chan.transactions, chan.min_rtt_seconds).hdratio
+
+        assert net_hd == expected
+        assert chan_hd == expected
+
+    def test_marginal_path_rates_agree(self):
+        """Near the HD boundary both tiers estimate similar delivery rates."""
+        from repro.core.goodput import estimate_delivery_rate
+
+        size = 200 * MSS
+        bw, rtt_ms = 3.0, 60.0
+        netsim = run_transfer(
+            [size], bottleneck_mbps=bw, rtt_ms=rtt_ms, delayed_ack=False
+        )
+        record = netsim.records[0]
+        net_rate = estimate_delivery_rate(
+            record.measured_bytes,
+            record.transfer_time,
+            record.cwnd_bytes_at_first_byte,
+            netsim.min_rtt_seconds,
+        )
+
+        path = PathState(base_rtt_ms=rtt_ms, bottleneck_mbps=bw)
+        chan = channel_transfer(size, path, seed=7)
+        chan_record = chan.transactions[0]
+        chan_rate = estimate_delivery_rate(
+            chan_record.measured_bytes,
+            chan_record.transfer_time,
+            chan_record.cwnd_bytes_at_first_byte,
+            chan.min_rtt_seconds,
+        )
+        assert chan_rate == pytest.approx(net_rate, rel=0.25)

@@ -1,0 +1,112 @@
+"""Unit tests for EdgeScenario.path_state — the point where geography,
+route condition, events, and access draws combine."""
+
+import pytest
+
+from repro.workload.events import ContinuousImpairment
+from repro.workload.scenario import EdgeScenario, ROUTE_BASE_MBPS, ScenarioConfig
+
+QUIET = ScenarioConfig(
+    seed=21,
+    days=1,
+    base_sessions_per_window=1.0,
+    diurnal_fraction=0.0,
+    episodic_fraction=0.0,
+    continuous_fraction=0.0,
+    route_episodic_fraction=0.0,
+    mispreferred_fraction=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return EdgeScenario(QUIET)
+
+
+def mean_path(scenario, state, rank=0, window=0, draws=200, **kwargs):
+    rtts, bottlenecks, losses = [], [], []
+    route = state.ranked.routes[rank]
+    for _ in range(draws):
+        path = scenario.path_state(state, route, rank, window, **kwargs)
+        rtts.append(path.base_rtt_ms)
+        bottlenecks.append(path.bottleneck_mbps)
+        losses.append(path.loss_probability)
+    n = len(rtts)
+    return sum(rtts) / n, sum(bottlenecks) / n, sum(losses) / n
+
+
+class TestBaseline:
+    def test_rtt_floor_is_geography(self, scenario):
+        state = scenario.networks[0]
+        rtt, _, _ = mean_path(scenario, state)
+        # base propagation + last mile: can never be below the propagation.
+        assert rtt > state.base_rtt_ms
+
+    def test_route_penalty_applied(self, scenario):
+        state = next(
+            s for s in scenario.networks
+            if len(s.ranked.routes) >= 2
+            and s.ranked.routes[1].condition.rtt_penalty_ms
+            > s.ranked.routes[0].condition.rtt_penalty_ms + 2.0
+        )
+        rtt0, _, _ = mean_path(scenario, state, rank=0)
+        rtt1, _, _ = mean_path(scenario, state, rank=1)
+        assert rtt1 > rtt0
+
+    def test_bottleneck_capped_by_route_capacity(self, scenario):
+        state = scenario.networks[0]
+        _, bottleneck, _ = mean_path(scenario, state)
+        route = state.ranked.preferred
+        assert bottleneck <= ROUTE_BASE_MBPS * route.condition.congestion_capacity
+
+
+class TestEvents:
+    def test_continuous_impairment_shifts_everything(self, scenario):
+        state = scenario.networks[1]
+        base_rtt, base_bw, base_loss = mean_path(scenario, state)
+        state.dest_events = [
+            ContinuousImpairment(queue_ms=25.0, loss=0.05, capacity_factor=0.02)
+        ]
+        try:
+            rtt, bw, loss = mean_path(scenario, state)
+        finally:
+            state.dest_events = []
+        assert rtt > base_rtt + 15.0
+        assert loss > base_loss + 0.03
+        assert bw < base_bw
+
+    def test_route_specific_event_hits_one_rank(self, scenario):
+        state = next(s for s in scenario.networks if len(s.ranked.routes) >= 2)
+        state.route_events = {
+            1: [ContinuousImpairment(queue_ms=30.0, loss=0.05, capacity_factor=0.5)]
+        }
+        try:
+            rtt0, _, loss0 = mean_path(scenario, state, rank=0)
+            rtt1, _, loss1 = mean_path(scenario, state, rank=1)
+        finally:
+            state.route_events = {}
+        assert loss1 > loss0 + 0.02
+        assert rtt1 > rtt0 + 15.0
+
+
+class TestOverrides:
+    def test_base_rtt_override(self, scenario):
+        state = scenario.networks[0]
+        route = state.ranked.preferred
+        path = scenario.path_state(
+            state, route, 0, 0, base_rtt_override=140.0
+        )
+        assert path.base_rtt_ms >= 140.0
+
+    def test_dominant_class_narrows_last_mile_spread(self, scenario):
+        # With dominant-class sampling, most draws share a technology, so
+        # RTT draws cluster: interquartile spread far below the full-mix
+        # worst case (weak mobile tail at hundreds of ms).
+        state = scenario.networks[0]
+        route = state.ranked.preferred
+        rtts = sorted(
+            scenario.path_state(state, route, 0, 0).base_rtt_ms
+            for _ in range(300)
+        )
+        iqr = rtts[224] - rtts[74]
+        assert iqr < 80.0

@@ -1,0 +1,133 @@
+"""Integration tests for the end-to-end scenario generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.aggregation import AggregationStore
+from repro.core.records import Relationship
+from repro.workload.scenario import EdgeScenario, ScenarioConfig
+
+TINY = ScenarioConfig(
+    seed=7,
+    days=1,
+    base_sessions_per_window=3.0,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    scenario = EdgeScenario(TINY)
+    return scenario, list(scenario.generate())
+
+
+class TestUniverse:
+    def test_networks_cover_all_metros(self, tiny_trace):
+        scenario, _ = tiny_trace
+        from repro.edge.topology import DEFAULT_METROS
+
+        assert len(scenario.networks) == len(DEFAULT_METROS)
+
+    def test_every_network_has_routes(self, tiny_trace):
+        scenario, _ = tiny_trace
+        for state in scenario.networks:
+            assert len(state.ranked.routes) >= 1
+            assert state.ranked.preferred.prefix == state.network.prefixes[0]
+
+    def test_figure5_network_optional(self):
+        config = dataclasses.replace(TINY, include_figure5_network=True)
+        scenario = EdgeScenario(config)
+        fig5 = [s for s in scenario.networks if s.network.secondary_metro]
+        assert len(fig5) == 1
+        assert fig5[0].network.prefixes == ["198.51.0.0/16"]
+
+    def test_deterministic_universe(self):
+        a = EdgeScenario(TINY)
+        b = EdgeScenario(TINY)
+        assert [s.network.asn for s in a.networks] == [
+            s.network.asn for s in b.networks
+        ]
+        assert [s.pop.name for s in a.networks] == [s.pop.name for s in b.networks]
+
+
+class TestTrace:
+    def test_samples_are_complete(self, tiny_trace):
+        _, samples = tiny_trace
+        assert len(samples) > 500
+        for sample in samples[:200]:
+            assert sample.route is not None
+            assert sample.pop
+            assert sample.client_country
+            assert sample.client_continent
+            assert sample.min_rtt_seconds > 0
+            assert sample.transactions
+
+    def test_route_rank_mix(self, tiny_trace):
+        _, samples = tiny_trace
+        ranks = [s.route.preference_rank for s in samples]
+        total = len(ranks)
+        preferred_share = sum(1 for r in ranks if r == 0) / total
+        # ~47% preferred; rest on alternates (when alternates exist).
+        assert 0.40 < preferred_share < 0.65
+        assert any(r > 0 for r in ranks)
+
+    def test_relationship_mix(self, tiny_trace):
+        _, samples = tiny_trace
+        relationships = {s.route.relationship for s in samples}
+        assert Relationship.TRANSIT in relationships
+        assert (
+            Relationship.PRIVATE in relationships
+            or Relationship.PUBLIC in relationships
+        )
+
+    def test_sessions_fall_in_their_windows(self, tiny_trace):
+        _, samples = tiny_trace
+        from repro.core.constants import AGGREGATION_WINDOW_SECONDS
+
+        horizon = TINY.total_windows * AGGREGATION_WINDOW_SECONDS
+        for sample in samples:
+            assert 0 <= sample.start_time < horizon
+
+    def test_hosting_networks_marked(self, tiny_trace):
+        scenario, samples = tiny_trace
+        flagged_networks = [
+            s for s in scenario.networks if s.network.is_hosting_provider
+        ]
+        flagged_samples = [s for s in samples if s.client_ip_is_hosting]
+        assert bool(flagged_networks) == bool(flagged_samples)
+
+    def test_trace_feeds_aggregation_store(self, tiny_trace):
+        _, samples = tiny_trace
+        store = AggregationStore()
+        for sample in samples[:1000]:
+            store.add(sample)
+        assert len(store) > 0
+        assert store.windows()
+
+    def test_continent_latency_ordering(self):
+        # With enough sessions, Africa's median MinRTT must exceed Europe's
+        # (Figure 6(b) ordering) — the central spatial claim.
+        config = dataclasses.replace(
+            TINY, base_sessions_per_window=12.0, seed=11
+        )
+        samples = list(EdgeScenario(config).generate())
+        from repro.stats.weighted import percentile
+
+        def median_rtt(code):
+            values = [
+                s.min_rtt_ms for s in samples if s.client_continent == code
+            ]
+            return percentile(values, 50.0)
+
+        assert median_rtt("AF") > median_rtt("EU") + 10.0
+        assert median_rtt("AS") > median_rtt("EU") + 5.0
+
+    def test_diurnal_traffic_volume(self, tiny_trace):
+        scenario, _ = tiny_trace
+        state = scenario.networks[0]
+        volumes = [
+            scenario.sessions_in_window(state, w) for w in range(96)
+        ]
+        # Activity varies over the day: peak windows carry clearly more
+        # than trough windows on average.
+        assert max(volumes) > min(volumes)

@@ -1,0 +1,80 @@
+"""Tests for §2.1 traffic-locality behaviour of the generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.edge.geo import Continent
+from repro.workload.scenario import EdgeScenario, ScenarioConfig
+
+CFG = ScenarioConfig(
+    seed=9, days=1, base_sessions_per_window=4.0, networks_per_metro=2
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    scenario = EdgeScenario(CFG)
+    pops = {pop.name: pop for pop in scenario.pops}
+    return scenario, pops, list(scenario.generate())
+
+
+class TestLocality:
+    def test_majority_of_traffic_near_pop(self, trace):
+        scenario, pops, samples = trace
+        by_prefix = {
+            state.network.prefixes[0]: state for state in scenario.networks
+        }
+        within_500 = within_2500 = 0
+        for sample in samples:
+            state = by_prefix[sample.route.prefix]
+            pop = pops[sample.pop]
+            distance = state.network.metro.location.distance_km(pop.location)
+            within_500 += distance <= 500
+            within_2500 += distance <= 2500
+        # Paper: 50% within 500 km, 90% within 2500 km.
+        assert within_500 / len(samples) > 0.35
+        assert within_2500 / len(samples) > 0.80
+
+    def test_overflow_steering_present_for_af_as(self, trace):
+        scenario, pops, samples = trace
+        off_continent = [
+            s
+            for s in samples
+            if s.client_continent in ("AF", "AS")
+            and pops[s.pop].continent.code not in (s.client_continent,)
+        ]
+        total_af_as = sum(
+            1 for s in samples if s.client_continent in ("AF", "AS")
+        )
+        share = len(off_continent) / max(total_af_as, 1)
+        # Configured at 10% of AF/AS sessions (some networks' nearest PoP
+        # is already off-continent, so the share can exceed the knob).
+        assert 0.04 < share < 0.45
+
+    def test_overflow_disabled(self):
+        config = dataclasses.replace(CFG, overflow_steer_fraction=0.0)
+        scenario = EdgeScenario(config)
+        pops = {pop.name: pop for pop in scenario.pops}
+        for state in scenario.networks:
+            if state.network.continent in (Continent.AFRICA, Continent.ASIA):
+                assert state.overflow_pop is None or state.overflow_pop is not None
+        # With the knob at zero, every session uses the network's primary PoP.
+        samples = list(scenario.generate())
+        by_prefix = {s.network.prefixes[0]: s for s in scenario.networks}
+        for sample in samples:
+            assert sample.pop == by_prefix[sample.route.prefix].pop.name
+
+    def test_overflow_sessions_have_higher_rtt(self, trace):
+        scenario, pops, samples = trace
+        asia = [s for s in samples if s.client_continent == "AS"]
+        local = [
+            s.min_rtt_ms for s in asia if pops[s.pop].continent.code == "AS"
+        ]
+        remote = [
+            s.min_rtt_ms for s in asia if pops[s.pop].continent.code != "AS"
+        ]
+        if local and remote:
+            from repro.stats.weighted import percentile
+
+            assert percentile(remote, 50.0) > percentile(local, 50.0)
