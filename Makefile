@@ -1,0 +1,26 @@
+# Test tiers (see pyproject.toml [tool.pytest.ini_options]):
+#   test        - tier-1: fast suite; `slow` and `bench` marked tests excluded
+#                 by addopts.
+#   test-all    - everything in tests/, including the exhaustive `slow`
+#                 equivalence/property sweeps (`-m ""` clears the addopts
+#                 marker filter).
+#   bench       - the full figure/ablation benchmark harness.
+#   bench-scaling - just the parallel-pipeline throughput bench; writes
+#                 benchmarks/results/parallel_scaling.txt.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-all bench bench-scaling
+
+test:
+	$(PYTEST) -x -q
+
+test-all:
+	$(PYTEST) -q -m ""
+
+bench:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m "" benchmarks/
+
+bench-scaling:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_parallel_scaling.py

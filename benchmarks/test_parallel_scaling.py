@@ -1,0 +1,84 @@
+"""Throughput benchmark: sharded parallel ingestion vs the serial pass.
+
+Writes a ~50k-session trace to a temporary JSONL file, then times
+``build_dataset`` end to end (chunk planning, worker fan-out, merge) for
+the serial baseline and for a 4-worker process pool. The measured
+sessions/second and speedup land in ``benchmarks/results/parallel_scaling.txt``.
+
+The >=1.5x speedup assertion only applies on multi-core hosts: on a
+single-CPU container the process pool cannot beat the serial pass (it adds
+pickling and fork cost for zero extra parallelism), so there the bench
+records throughput without asserting scaling.
+
+Scale knob: ``REPRO_BENCH_PARALLEL_SESSIONS`` (default 50_000).
+
+Run with ``make bench-scaling`` or ``pytest -m bench benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.pipeline import ParallelOptions, StudyDataset, build_dataset
+from repro.pipeline.io import write_samples
+
+from tests.helpers import make_trace_samples
+
+pytestmark = pytest.mark.bench
+
+SESSIONS = int(os.environ.get("REPRO_BENCH_PARALLEL_SESSIONS", 50_000))
+STUDY_WINDOWS = 16
+WORKERS = 4
+SPEEDUP_FLOOR = 1.5
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_parallel_scaling(tmp_path, record_result):
+    trace = tmp_path / "scaling_trace.jsonl"
+    samples = make_trace_samples(SESSIONS, seed=29, windows=STUDY_WINDOWS)
+    write_samples(trace, samples)
+    del samples
+
+    serial, serial_s = _timed(
+        lambda: build_dataset(trace, study_windows=STUDY_WINDOWS)
+    )
+    parallel, parallel_s = _timed(
+        lambda: build_dataset(
+            trace,
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=WORKERS, executor="process"),
+        )
+    )
+
+    # The speedup claim is only meaningful if both paths did the same work.
+    assert parallel.rows == serial.rows
+    assert len(parallel.store) == len(serial.store)
+
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    lines = [
+        f"sessions                 {SESSIONS}",
+        f"cpu_cores                {cores}",
+        f"serial_seconds           {serial_s:.3f}",
+        f"serial_sessions_per_sec  {SESSIONS / serial_s:,.0f}",
+        f"parallel_workers         {WORKERS}",
+        f"parallel_seconds         {parallel_s:.3f}",
+        f"parallel_sessions_per_sec {SESSIONS / parallel_s:,.0f}",
+        f"speedup                  {speedup:.2f}x",
+        f"speedup_floor_asserted   {cores >= 2}",
+    ]
+    record_result("parallel_scaling", "\n".join(lines))
+
+    if cores >= 2:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"4-worker process pool only {speedup:.2f}x over serial "
+            f"(floor {SPEEDUP_FLOOR}x) on {cores} cores"
+        )

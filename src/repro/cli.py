@@ -34,6 +34,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_parallel_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers", type=int, default=1,
+            help="worker-pool size for sharded ingestion (1 = serial)",
+        )
+        command.add_argument(
+            "--shards", type=int, default=None,
+            help="number of partitions (defaults to --workers)",
+        )
+        command.add_argument(
+            "--executor", choices=("process", "thread", "serial"),
+            default="process",
+            help="worker pool kind for --workers > 1",
+        )
+
     fig4 = sub.add_parser("figure4", help="run the Figure-4 goodput walkthrough")
     fig4.add_argument(
         "--delayed-ack", action="store_true", help="enable delayed ACKs"
@@ -58,11 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument(
         "--networks-per-metro", type=int, default=3, dest="networks_per_metro"
     )
+    add_parallel_options(snapshot)
 
     routing = sub.add_parser("routing", help="run the §6 routing audit")
     routing.add_argument("--seed", type=int, default=42)
     routing.add_argument("--days", type=int, default=2)
     routing.add_argument("--rate", type=float, default=60.0)
+    add_parallel_options(routing)
 
     trace = sub.add_parser(
         "trace", help="generate a synthetic trace to a JSONL file"
@@ -83,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--windows", type=int, default=96,
         help="number of 15-minute windows the trace spans",
     )
+    add_parallel_options(analyze)
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -154,7 +172,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
-    from repro.pipeline import StudyDataset, fig6_global_performance
+    from repro.pipeline import dataset_from_source, fig6_global_performance
     from repro.pipeline.report import format_percent, format_table
     from repro.workload import EdgeScenario, ScenarioConfig
 
@@ -169,8 +187,13 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         f"Generating {args.days} day(s), {len(scenario.networks)} networks, "
         f"{len(scenario.pops)} PoPs…"
     )
-    dataset = StudyDataset(study_windows=config.total_windows)
-    dataset.ingest(scenario.generate())
+    dataset = dataset_from_source(
+        scenario.generate(),
+        study_windows=config.total_windows,
+        workers=args.workers,
+        shards=args.shards,
+        executor=args.executor,
+    )
     print(f"{dataset.session_count:,} sampled sessions")
 
     result = fig6_global_performance(dataset)
@@ -195,7 +218,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
 
 
 def _cmd_routing(args: argparse.Namespace) -> int:
-    from repro.pipeline import StudyDataset, fig9_opportunity
+    from repro.pipeline import dataset_from_source, fig9_opportunity
     from repro.pipeline.report import format_percent
     from repro.workload import EdgeScenario, ScenarioConfig
 
@@ -204,12 +227,15 @@ def _cmd_routing(args: argparse.Namespace) -> int:
     )
     scenario = EdgeScenario(config)
     print(f"Measuring preferred + alternates for {len(scenario.networks)} groups…")
-    dataset = StudyDataset(
+    dataset = dataset_from_source(
+        scenario.generate(),
         study_windows=args.days * 24,
         keep_response_sizes=False,
         window_seconds=3600.0,
+        workers=args.workers,
+        shards=args.shards,
+        executor=args.executor,
     )
-    dataset.ingest(scenario.generate())
     print(f"{dataset.session_count:,} sampled sessions")
 
     result = fig9_opportunity(dataset)
@@ -249,12 +275,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.pipeline import StudyDataset, fig6_global_performance
-    from repro.pipeline.io import read_samples
+    from repro.pipeline import dataset_from_source, fig6_global_performance
     from repro.pipeline.report import format_percent
 
-    dataset = StudyDataset(study_windows=args.windows)
-    dataset.ingest(read_samples(args.trace))
+    dataset = dataset_from_source(
+        args.trace,
+        study_windows=args.windows,
+        workers=args.workers,
+        shards=args.shards,
+        executor=args.executor,
+    )
     print(f"{dataset.session_count:,} sessions loaded from {args.trace}")
     result = fig6_global_performance(dataset)
     print(f"global MinRTT p50: {result.median_minrtt:.1f} ms")

@@ -100,6 +100,37 @@ class Aggregation:
             return None
         return self._hd_digest.median()
 
+    # ------------------------------------------------------------------ #
+    # Merging (parallel/sharded ingestion)
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "Aggregation") -> "Aggregation":
+        """Fold a later partition's state for the same key into this one.
+
+        ``other`` must describe the same (group, route rank, window) and its
+        samples must come later in the stream than this aggregation's (the
+        sharded pipeline merges partitions in stream order), so the raw
+        value lists are concatenated — which keeps the per-session order,
+        and hence medians and McKean–Schrader CIs, bit-identical to a
+        single-process pass.
+        """
+        if (self.group, self.route_rank, self.window) != (
+            other.group,
+            other.route_rank,
+            other.window,
+        ):
+            raise ValueError("cannot merge aggregations with different keys")
+        self.min_rtts_ms.extend(other.min_rtts_ms)
+        self.hdratios.extend(other.hdratios)
+        self.traffic_bytes += other.traffic_bytes
+        self.session_count += other.session_count
+        if self.route is None:
+            self.route = other.route
+        if self._rtt_digest is not None and other._rtt_digest is not None:
+            self._rtt_digest.merge(other._rtt_digest)
+        if self._hd_digest is not None and other._hd_digest is not None:
+            self._hd_digest.merge(other._hd_digest)
+        return self
+
     @property
     def has_min_samples(self) -> bool:
         return self.session_count >= MIN_AGGREGATION_SAMPLES
@@ -126,26 +157,29 @@ class AggregationStore:
         self.with_digests = with_digests
         self._store: Dict[Tuple[UserGroupKey, int, int], Aggregation] = {}
 
+    def key_for(self, sample: SessionSample) -> Tuple[UserGroupKey, int, int]:
+        """The (user group, route rank, window) key ``sample`` lands in."""
+        if sample.route is None:
+            raise ValueError("sample is missing its egress route annotation")
+        group = UserGroupKey(
+            pop=sample.pop, prefix=sample.route.prefix, country=sample.client_country
+        )
+        window = window_index(sample.end_time, self.window_seconds)
+        return (group, sample.route.preference_rank, window)
+
     def add(self, sample: SessionSample, hdratio: Optional[float] = None) -> Aggregation:
         """Route one sample into its aggregation; returns the aggregation.
 
         If ``hdratio`` is not supplied it is computed from the sample's
         transaction records.
         """
-        if sample.route is None:
-            raise ValueError("sample is missing its egress route annotation")
+        key = self.key_for(sample)
         if hdratio is None and sample.transactions:
             hdratio = compute_hdratio(sample)
-        group = UserGroupKey(
-            pop=sample.pop, prefix=sample.route.prefix, country=sample.client_country
-        )
-        window = window_index(sample.end_time, self.window_seconds)
-        key = (group, sample.route.preference_rank, window)
         aggregation = self._store.get(key)
         if aggregation is None:
-            aggregation = Aggregation(
-                group=group, route_rank=sample.route.preference_rank, window=window
-            )
+            group, rank, window = key
+            aggregation = Aggregation(group=group, route_rank=rank, window=window)
             if self.with_digests:
                 aggregation._rtt_digest = TDigest()
                 aggregation._hd_digest = TDigest()
@@ -208,3 +242,34 @@ class AggregationStore:
 
     def all_aggregations(self) -> List[Aggregation]:
         return list(self._store.values())
+
+    def items(self) -> List[Tuple[Tuple[UserGroupKey, int, int], Aggregation]]:
+        """(key, aggregation) pairs in insertion order."""
+        return list(self._store.items())
+
+    # ------------------------------------------------------------------ #
+    # Merging (parallel/sharded ingestion)
+    # ------------------------------------------------------------------ #
+    def put(self, key: Tuple[UserGroupKey, int, int], aggregation: Aggregation) -> None:
+        """Install (or fold into) an aggregation under ``key``.
+
+        Used by the sharded pipeline's merger to rebuild a store in exact
+        serial insertion order; ``key`` must match the aggregation's own
+        identity fields.
+        """
+        if key != (aggregation.group, aggregation.route_rank, aggregation.window):
+            raise ValueError("key does not match the aggregation's identity")
+        existing = self._store.get(key)
+        if existing is None:
+            self._store[key] = aggregation
+        else:
+            existing.merge(aggregation)
+
+    def merge_store(self, other: "AggregationStore") -> "AggregationStore":
+        """Key-wise merge of another store's aggregations (stream order:
+        ``other`` must hold samples later in the stream than ``self``)."""
+        if other.window_seconds != self.window_seconds:
+            raise ValueError("cannot merge stores with different windows")
+        for key, aggregation in other._store.items():
+            self.put(key, aggregation)
+        return self

@@ -5,6 +5,8 @@
 - :mod:`repro.pipeline.experiments` — Figures 1–7 and the naive-goodput
   ablation;
 - :mod:`repro.pipeline.routing_analysis` — Figures 8–10, Tables 1–2;
+- :mod:`repro.pipeline.parallel` — sharded parallel ingestion,
+  bit-identical to the serial pass;
 - :mod:`repro.pipeline.report` — text rendering.
 """
 
@@ -12,6 +14,7 @@ from repro.pipeline.dataset import SessionRow, StudyDataset
 from repro.pipeline.experiments import (
     CdfSeries,
     ablation_naive_goodput,
+    dataset_from_source,
     fig1_session_behaviour,
     fig2_transfer_sizes,
     fig3_transaction_counts,
@@ -22,6 +25,7 @@ from repro.pipeline.experiments import (
 )
 from repro.pipeline.filters import FilterStats, filter_hosting_providers
 from repro.pipeline.io import read_samples, write_samples
+from repro.pipeline.parallel import ParallelOptions, build_dataset
 from repro.pipeline.streaming import RouteDecision, StreamingRouteMonitor
 from repro.pipeline.routing_analysis import (
     fig8_degradation,
@@ -34,10 +38,13 @@ from repro.pipeline.routing_analysis import (
 __all__ = [
     "CdfSeries",
     "FilterStats",
+    "ParallelOptions",
     "RouteDecision",
     "SessionRow",
     "StreamingRouteMonitor",
     "StudyDataset",
+    "build_dataset",
+    "dataset_from_source",
     "read_samples",
     "write_samples",
     "ablation_naive_goodput",

@@ -20,7 +20,7 @@ from typing import Iterable, List, Optional
 from repro.core.aggregation import AggregationStore
 from repro.core.hdratio import compute_hdratio, naive_hdratio
 from repro.core.records import HttpVersion, SessionSample
-from repro.pipeline.filters import FilterStats, filter_hosting_providers
+from repro.pipeline.filters import FilterStats, record_sample
 
 __all__ = ["SessionRow", "StudyDataset"]
 
@@ -101,38 +101,51 @@ class StudyDataset:
         self._verdict_cache[key] = result
         return result
 
+    def ingest_one(self, sample: SessionSample) -> bool:
+        """Filter, measure, and aggregate one sample; True if it was kept.
+
+        This is the unit of work the sharded pipeline
+        (:mod:`repro.pipeline.parallel`) fans out, so everything a sample
+        contributes — row, aggregation, filter accounting — must happen
+        here and nowhere else.
+        """
+        if not record_sample(sample, self.filter_stats):
+            return False
+        hd = compute_hdratio(sample) if sample.transactions else None
+        naive = (
+            naive_hdratio(sample.transactions, sample.min_rtt_seconds)
+            if self.compute_naive and sample.transactions
+            else None
+        )
+        if self.keep_response_sizes:
+            sizes = tuple(t.response_bytes for t in sample.transactions)
+            media = tuple(sample.media_response_sizes)
+        else:
+            sizes = ()
+            media = ()
+        self.rows.append(
+            SessionRow(
+                min_rtt_ms=sample.min_rtt_ms,
+                hdratio=hd,
+                naive_hdratio=naive,
+                bytes_sent=sample.bytes_sent,
+                duration=sample.duration,
+                busy_fraction=sample.busy_fraction,
+                transaction_count=sample.transaction_count,
+                is_http2=sample.http_version is HttpVersion.HTTP_2,
+                continent=sample.client_continent,
+                geo_tag=sample.geo_tag,
+                response_sizes=sizes,
+                media_bytes=media,
+            )
+        )
+        self.store.add(sample, hdratio=hd)
+        return True
+
     def ingest(self, samples: Iterable[SessionSample]) -> "StudyDataset":
         """Filter, measure, and aggregate a sample stream. Returns self."""
-        for sample in filter_hosting_providers(samples, self.filter_stats):
-            hd = compute_hdratio(sample) if sample.transactions else None
-            naive = (
-                naive_hdratio(sample.transactions, sample.min_rtt_seconds)
-                if self.compute_naive and sample.transactions
-                else None
-            )
-            if self.keep_response_sizes:
-                sizes = tuple(t.response_bytes for t in sample.transactions)
-                media = tuple(sample.media_response_sizes)
-            else:
-                sizes = ()
-                media = ()
-            self.rows.append(
-                SessionRow(
-                    min_rtt_ms=sample.min_rtt_ms,
-                    hdratio=hd,
-                    naive_hdratio=naive,
-                    bytes_sent=sample.bytes_sent,
-                    duration=sample.duration,
-                    busy_fraction=sample.busy_fraction,
-                    transaction_count=sample.transaction_count,
-                    is_http2=sample.http_version is HttpVersion.HTTP_2,
-                    continent=sample.client_continent,
-                    geo_tag=sample.geo_tag,
-                    response_sizes=sizes,
-                    media_bytes=media,
-                )
-            )
-            self.store.add(sample, hdratio=hd)
+        for sample in samples:
+            self.ingest_one(sample)
         return self
 
     # ------------------------------------------------------------------ #

@@ -18,6 +18,7 @@ from repro.stats.weighted import ecdf, percentile
 
 __all__ = [
     "CdfSeries",
+    "dataset_from_source",
     "fig1_session_behaviour",
     "fig2_transfer_sizes",
     "fig3_transaction_counts",
@@ -27,6 +28,44 @@ __all__ = [
     "fig7_rtt_vs_hdratio",
     "ablation_naive_goodput",
 ]
+
+
+# --------------------------------------------------------------------- #
+# Dataset construction (serial or sharded-parallel)
+# --------------------------------------------------------------------- #
+def dataset_from_source(
+    source,
+    *,
+    study_windows: int,
+    keep_response_sizes: bool = True,
+    compute_naive: bool = False,
+    window_seconds: float = 900.0,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    executor: str = "process",
+) -> StudyDataset:
+    """Build the :class:`StudyDataset` every figure driver consumes.
+
+    ``source`` is a JSONL trace path or an in-memory sample stream. With
+    ``workers > 1`` (or ``shards > 1``) ingestion runs through the sharded
+    pipeline (:mod:`repro.pipeline.parallel`), whose output is bit-identical
+    to the serial pass — so fig6/fig8/fig10 results do not depend on how
+    the dataset was built.
+    """
+    from repro.pipeline.parallel import ParallelOptions, build_dataset
+
+    if workers == 1 and (shards is None or shards == 1):
+        options = None
+    else:
+        options = ParallelOptions(workers=workers, shards=shards, executor=executor)
+    return build_dataset(
+        source,
+        study_windows=study_windows,
+        keep_response_sizes=keep_response_sizes,
+        compute_naive=compute_naive,
+        window_seconds=window_seconds,
+        options=options,
+    )
 
 
 @dataclass(frozen=True)

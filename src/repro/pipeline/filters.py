@@ -15,7 +15,7 @@ from typing import Iterable, Iterator
 
 from repro.core.records import SessionSample
 
-__all__ = ["FilterStats", "filter_hosting_providers"]
+__all__ = ["FilterStats", "filter_hosting_providers", "record_sample"]
 
 
 @dataclass
@@ -34,16 +34,30 @@ class FilterStats:
             return 0.0
         return self.dropped_bytes / total
 
+    def merge(self, other: "FilterStats") -> "FilterStats":
+        """Fold another partition's counters in (sharded ingestion)."""
+        self.kept_sessions += other.kept_sessions
+        self.dropped_sessions += other.dropped_sessions
+        self.kept_bytes += other.kept_bytes
+        self.dropped_bytes += other.dropped_bytes
+        return self
+
+
+def record_sample(sample: SessionSample, stats: FilterStats) -> bool:
+    """Account one sample against ``stats``; True if it passes the filter."""
+    if sample.client_ip_is_hosting:
+        stats.dropped_sessions += 1
+        stats.dropped_bytes += sample.bytes_sent
+        return False
+    stats.kept_sessions += 1
+    stats.kept_bytes += sample.bytes_sent
+    return True
+
 
 def filter_hosting_providers(
     samples: Iterable[SessionSample], stats: FilterStats
 ) -> Iterator[SessionSample]:
     """Yield only samples from non-hosting client IPs, updating ``stats``."""
     for sample in samples:
-        if sample.client_ip_is_hosting:
-            stats.dropped_sessions += 1
-            stats.dropped_bytes += sample.bytes_sent
-            continue
-        stats.kept_sessions += 1
-        stats.kept_bytes += sample.bytes_sent
-        yield sample
+        if record_sample(sample, stats):
+            yield sample

@@ -19,6 +19,8 @@ import json
 import pathlib
 from typing import IO, Iterable, Iterator, Union
 
+from dataclasses import dataclass
+
 from repro.core.records import (
     HttpVersion,
     Relationship,
@@ -27,7 +29,16 @@ from repro.core.records import (
     TransactionRecord,
 )
 
-__all__ = ["read_samples", "write_samples", "sample_to_dict", "sample_from_dict"]
+__all__ = [
+    "TraceChunk",
+    "plan_chunks",
+    "read_chunk",
+    "read_samples",
+    "read_samples_chunked",
+    "write_samples",
+    "sample_to_dict",
+    "sample_from_dict",
+]
 
 FORMAT_VERSION = 1
 
@@ -69,6 +80,7 @@ def sample_to_dict(sample: SessionSample) -> dict:
                 "last_packet_bytes": txn.last_packet_bytes,
                 "cwnd_bytes_at_first_byte": txn.cwnd_bytes_at_first_byte,
                 "bytes_in_flight_at_start": txn.bytes_in_flight_at_start,
+                "coalesced_count": txn.coalesced_count,
                 "last_byte_write_time": txn.last_byte_write_time,
             }
             for txn in sample.transactions
@@ -99,6 +111,7 @@ def sample_from_dict(payload: dict) -> SessionSample:
             last_packet_bytes=raw["last_packet_bytes"],
             cwnd_bytes_at_first_byte=raw["cwnd_bytes_at_first_byte"],
             bytes_in_flight_at_start=raw["bytes_in_flight_at_start"],
+            coalesced_count=raw.get("coalesced_count", 1),
             last_byte_write_time=raw.get("last_byte_write_time"),
         )
         for raw in payload["transactions"]
@@ -154,3 +167,155 @@ def read_samples(path: PathLike) -> Iterator[SessionSample]:
                     f"{path}:{line_number}: invalid JSON ({error})"
                 ) from error
             yield sample_from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# Chunked reading (parallel ingestion)
+# --------------------------------------------------------------------- #
+def _is_gzip(path: PathLike) -> bool:
+    return pathlib.Path(path).suffix == ".gz"
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """One independently readable slice of a JSONL trace.
+
+    Plain files are split by **byte range** (``start_byte``/``end_byte``,
+    newline-aligned) so a worker can ``seek`` straight to its slice without
+    touching the rest of the file. Gzip members are not seekable, so ``.gz``
+    traces are split by **line block** (``start_line``/``end_line``,
+    half-open) instead; every worker decompresses from the start but only
+    parses its own block — JSON decoding, not decompression, dominates.
+
+    ``ordinal`` is a key that orders this chunk's samples against every
+    other chunk of the same file: the absolute byte offset of the chunk's
+    first line (byte-range mode) or its first line index (line-block mode).
+    :func:`read_chunk` yields ``(key, sample)`` pairs whose keys extend the
+    same ordering within the chunk, so a merger can restore the exact
+    serial stream order by sorting on the key.
+    """
+
+    path: str
+    ordinal: int
+    start_byte: int = 0
+    end_byte: int = 0
+    start_line: int = 0
+    end_line: int = 0
+    byte_range: bool = True
+
+
+def _newline_aligned_boundary(handle: IO, target: int) -> int:
+    """First byte position at/after ``target`` that starts a fresh line."""
+    if target <= 0:
+        return 0
+    handle.seek(target - 1)
+    handle.readline()  # finish the line straddling the target
+    return handle.tell()
+
+
+def plan_chunks(path: PathLike, num_chunks: int) -> list:
+    """Split a trace into up to ``num_chunks`` independently readable chunks.
+
+    Fewer chunks may be returned for small files (a chunk is never empty by
+    construction; an empty file yields no chunks). Concatenating the chunks
+    in order reproduces the whole file.
+    """
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    path = pathlib.Path(path)
+    if _is_gzip(path):
+        with _open(path, "r") as handle:
+            total_lines = sum(1 for _ in handle)
+        if total_lines == 0:
+            return []
+        bounds = sorted(
+            {(total_lines * i) // num_chunks for i in range(num_chunks)}
+            | {total_lines}
+        )
+        return [
+            TraceChunk(
+                path=str(path),
+                ordinal=start,
+                start_line=start,
+                end_line=end,
+                byte_range=False,
+            )
+            for start, end in zip(bounds, bounds[1:])
+            if end > start
+        ]
+    size = path.stat().st_size
+    if size == 0:
+        return []
+    with open(path, "rb") as handle:
+        raw_bounds = {
+            _newline_aligned_boundary(handle, (size * i) // num_chunks)
+            for i in range(num_chunks)
+        }
+    bounds = sorted(bound for bound in raw_bounds if bound < size) + [size]
+    return [
+        TraceChunk(path=str(path), ordinal=start, start_byte=start, end_byte=end)
+        for start, end in zip(bounds, bounds[1:])
+        if end > start
+    ]
+
+
+def _read_byte_range_chunk(chunk: TraceChunk) -> Iterator[tuple]:
+    with open(chunk.path, "rb") as handle:
+        handle.seek(chunk.start_byte)
+        offset = chunk.start_byte
+        while offset < chunk.end_byte:
+            raw = handle.readline()
+            if not raw:
+                break
+            line_start = offset
+            offset += len(raw)
+            text = raw.decode("utf-8").strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{chunk.path}@byte {line_start}: invalid JSON ({error})"
+                ) from error
+            yield line_start, sample_from_dict(payload)
+
+
+def _read_line_block_chunk(chunk: TraceChunk) -> Iterator[tuple]:
+    with _open(chunk.path, "r") as handle:
+        for index, line in enumerate(handle):
+            if index >= chunk.end_line:
+                break
+            if index < chunk.start_line:
+                continue
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{chunk.path}:{index + 1}: invalid JSON ({error})"
+                ) from error
+            yield index, sample_from_dict(payload)
+
+
+def read_chunk(chunk: TraceChunk) -> Iterator[tuple]:
+    """Yield ``(order_key, sample)`` pairs for one chunk (see
+    :class:`TraceChunk` for the key's ordering guarantee)."""
+    if chunk.byte_range:
+        return _read_byte_range_chunk(chunk)
+    return _read_line_block_chunk(chunk)
+
+
+def read_samples_chunked(
+    path: PathLike, num_chunks: int
+) -> Iterator[SessionSample]:
+    """Read a trace through the chunk planner (chunks in file order).
+
+    Equivalent to :func:`read_samples`; exists so the equivalence can be
+    tested directly and as the serial fallback of the parallel pipeline.
+    """
+    for chunk in plan_chunks(path, num_chunks):
+        for _, sample in read_chunk(chunk):
+            yield sample

@@ -1,0 +1,239 @@
+"""Sharded parallel analysis pipeline (§2.2.2 aggregation tier at scale).
+
+The paper's aggregation tier digests per-(PoP, BGP prefix, country) groups
+over 15-minute windows from every load balancer in the fleet; the serial
+:class:`~repro.pipeline.dataset.StudyDataset` pass reproduces the math but
+not the throughput. This module fans the same pass out over a worker pool
+and merges the partial states back into a ``StudyDataset`` that is
+**bit-identical** to the serial one — same rows in the same order, same
+aggregation insertion order, same per-group medians and confidence
+intervals. The equivalence is enforced by ``tests/test_pipeline_parallel.py``.
+
+Two partitioning strategies, both exact:
+
+- **group sharding** (in-memory streams): each sample is routed to shard
+  ``crc32(str(UserGroupKey)) % num_shards``. Every (group, route rank,
+  window) aggregation lives wholly inside one shard, so the merge step only
+  has to restore global ordering. The hash is CRC32 of the group's string
+  form — *not* Python's ``hash()``, which is salted per process and would
+  make shard assignment non-deterministic across runs and workers.
+- **chunk sharding** (trace files): the JSONL file is split into
+  newline-aligned byte ranges (line blocks for gzip — see
+  :func:`repro.pipeline.io.plan_chunks`) and each worker parses and
+  aggregates only its slice. Aggregations spanning chunks are folded
+  together with :meth:`~repro.core.aggregation.Aggregation.merge` in
+  stream order.
+
+Exactness argument: every sample carries a monotone *order key* (its
+position in the stream, or its byte offset / line index in the file).
+Workers preserve relative order within a partition, and the merger (a)
+re-sorts rows by order key, (b) rebuilds the aggregation store inserting
+keys by first-seen order key, and (c) concatenates each aggregation's raw
+value lists in order-key order. Since the serial pass is a fold over the
+same samples in the same order, every derived statistic — medians,
+McKean–Schrader CIs, window tables, verdict series — is exactly equal.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import zlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.aggregation import Aggregation
+from repro.core.records import SessionSample, UserGroupKey
+from repro.pipeline.dataset import SessionRow, StudyDataset
+from repro.pipeline.filters import FilterStats
+from repro.pipeline.io import PathLike, TraceChunk, plan_chunks, read_chunk, read_samples
+
+__all__ = [
+    "EXECUTORS",
+    "ParallelOptions",
+    "ShardResult",
+    "build_dataset",
+    "shard_of",
+    "shard_samples",
+]
+
+EXECUTORS = ("process", "thread", "serial")
+
+AggregationKey = Tuple[UserGroupKey, int, int]
+Source = Union[PathLike, Iterable[SessionSample]]
+
+
+def shard_of(group: UserGroupKey, num_shards: int) -> int:
+    """Deterministic shard index for a user group (stable across processes)."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    return zlib.crc32(str(group).encode("utf-8")) % num_shards
+
+
+def _sample_shard(sample: SessionSample, num_shards: int) -> int:
+    prefix = sample.route.prefix if sample.route is not None else ""
+    group = UserGroupKey(
+        pop=sample.pop, prefix=prefix, country=sample.client_country
+    )
+    return shard_of(group, num_shards)
+
+
+def shard_samples(
+    samples: Iterable[SessionSample], num_shards: int
+) -> List[List[Tuple[int, SessionSample]]]:
+    """Partition a stream into per-shard ``(order_key, sample)`` lists.
+
+    Within each shard the samples keep their stream order, so a shard-local
+    fold sees them exactly as the serial pass would.
+    """
+    shards: List[List[Tuple[int, SessionSample]]] = [[] for _ in range(num_shards)]
+    for index, sample in enumerate(samples):
+        shards[_sample_shard(sample, num_shards)].append((index, sample))
+    return shards
+
+
+@dataclass(frozen=True)
+class ParallelOptions:
+    """How to fan the analysis out.
+
+    ``workers`` is the pool size; ``shards`` the number of partitions
+    (defaults to ``workers`` — more shards than workers is fine and can
+    smooth load imbalance); ``executor`` selects ``process`` (true
+    parallelism, samples/chunks are pickled to children), ``thread``
+    (GIL-bound; useful when ingestion is I/O-dominated), or ``serial``
+    (same sharded code path, one task at a time — the determinism
+    baseline).
+    """
+
+    workers: int = 1
+    shards: Optional[int] = None
+    executor: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}")
+
+    @property
+    def effective_shards(self) -> int:
+        return self.shards if self.shards is not None else self.workers
+
+
+@dataclass
+class ShardResult:
+    """Picklable partial state produced by one shard worker."""
+
+    rows: List[Tuple[int, SessionRow]] = field(default_factory=list)
+    #: (first order key seen for the key, aggregation key, aggregation)
+    aggregations: List[Tuple[int, AggregationKey, Aggregation]] = field(
+        default_factory=list
+    )
+    filter_stats: FilterStats = field(default_factory=FilterStats)
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One unit of worker input (either a sample list or a file chunk)."""
+
+    dataset_kwargs: dict
+    indexed_samples: Optional[List[Tuple[int, SessionSample]]] = None
+    chunk: Optional[TraceChunk] = None
+
+
+def _run_shard(task: _ShardTask) -> ShardResult:
+    """Ingest one partition through the ordinary ``StudyDataset`` fold."""
+    dataset = StudyDataset(**task.dataset_kwargs)
+    if task.chunk is not None:
+        source = read_chunk(task.chunk)
+    else:
+        source = iter(task.indexed_samples or [])
+    result = ShardResult(filter_stats=dataset.filter_stats)
+    first_seen: Dict[AggregationKey, int] = {}
+    for order_key, sample in source:
+        if not dataset.ingest_one(sample):
+            continue
+        result.rows.append((order_key, dataset.rows[-1]))
+        key = dataset.store.key_for(sample)
+        first_seen.setdefault(key, order_key)
+    aggregations = dict(dataset.store.items())
+    result.aggregations = [
+        (first_seen[key], key, aggregations[key]) for key in aggregations
+    ]
+    return result
+
+
+def _execute(tasks: Sequence[_ShardTask], options: ParallelOptions) -> List[ShardResult]:
+    if not tasks:
+        return []
+    if options.executor == "serial" or len(tasks) == 1:
+        return [_run_shard(task) for task in tasks]
+    pool_cls = (
+        ThreadPoolExecutor if options.executor == "thread" else ProcessPoolExecutor
+    )
+    with pool_cls(max_workers=min(options.workers, len(tasks))) as pool:
+        return list(pool.map(_run_shard, tasks))
+
+
+def _merge_results(dataset: StudyDataset, results: Iterable[ShardResult]) -> StudyDataset:
+    """Fold shard results into ``dataset``, restoring exact serial order."""
+    indexed_rows: List[Tuple[int, SessionRow]] = []
+    parts: Dict[AggregationKey, List[Tuple[int, Aggregation]]] = {}
+    for result in results:
+        indexed_rows.extend(result.rows)
+        dataset.filter_stats.merge(result.filter_stats)
+        for first_index, key, aggregation in result.aggregations:
+            parts.setdefault(key, []).append((first_index, aggregation))
+    indexed_rows.sort(key=lambda item: item[0])
+    dataset.rows.extend(row for _, row in indexed_rows)
+    for key in sorted(parts, key=lambda k: min(i for i, _ in parts[k])):
+        pieces = sorted(parts[key], key=lambda item: item[0])
+        merged = pieces[0][1]
+        for _, piece in pieces[1:]:
+            merged.merge(piece)
+        dataset.store.put(key, merged)
+    return dataset
+
+
+def build_dataset(
+    source: Source,
+    *,
+    study_windows: int,
+    keep_response_sizes: bool = True,
+    compute_naive: bool = False,
+    window_seconds: float = 900.0,
+    options: Optional[ParallelOptions] = None,
+) -> StudyDataset:
+    """Build a :class:`StudyDataset` from a trace file or sample stream.
+
+    With ``options`` absent (or one shard under the serial executor) this
+    is exactly ``StudyDataset(...).ingest(...)``. Otherwise the source is
+    partitioned — trace files into byte-range/line-block chunks, in-memory
+    streams by group hash — executed per ``options``, and merged back into
+    a dataset whose state is bit-identical to the serial pass.
+    """
+    dataset_kwargs = dict(
+        study_windows=study_windows,
+        keep_response_sizes=keep_response_sizes,
+        compute_naive=compute_naive,
+        window_seconds=window_seconds,
+    )
+    dataset = StudyDataset(**dataset_kwargs)
+    is_path = isinstance(source, (str, pathlib.Path))
+    options = options or ParallelOptions(workers=1, executor="serial")
+    if options.effective_shards == 1 and options.executor == "serial":
+        return dataset.ingest(read_samples(source) if is_path else source)
+    if is_path:
+        tasks = [
+            _ShardTask(dataset_kwargs=dataset_kwargs, chunk=chunk)
+            for chunk in plan_chunks(source, options.effective_shards)
+        ]
+    else:
+        tasks = [
+            _ShardTask(dataset_kwargs=dataset_kwargs, indexed_samples=shard)
+            for shard in shard_samples(source, options.effective_shards)
+            if shard
+        ]
+    return _merge_results(dataset, _execute(tasks, options))

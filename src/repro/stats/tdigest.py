@@ -185,10 +185,19 @@ class TDigest:
     # Merging
     # ------------------------------------------------------------------ #
     def merge(self, other: "TDigest") -> "TDigest":
-        """Merge ``other`` into ``self`` (in place) and return ``self``."""
-        other._compress()
+        """Merge ``other`` into ``self`` (in place) and return ``self``.
+
+        ``other`` is left untouched. Both sides contribute their centroids
+        *and* any unbuffered raw points, so the merged state depends only on
+        the combined multiset of weighted points — ``merge(a, b)`` and
+        ``merge(b, a)`` produce identical centroid state. (N-way merges are
+        still order-sensitive at the usual t-digest approximation level,
+        because each pairwise merge re-clusters; total weight and min/max
+        are exact regardless of order.)
+        """
         for mean, weight in zip(other._means, other._weights):
             self._buffer.append((mean, weight))
+        self._buffer.extend(other._buffer)
         self._total_weight += other._total_weight
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
@@ -212,7 +221,10 @@ class TDigest:
         points = list(zip(self._means, self._weights))
         points.extend(self._buffer)
         self._buffer.clear()
-        points.sort(key=lambda item: item[0])
+        # Sorting on (mean, weight) — not mean alone — keeps the clustering
+        # independent of insertion order when distinct points share a value,
+        # which is what makes merge() commutative.
+        points.sort()
 
         total = sum(weight for _, weight in points)
         merged_means: List[float] = []
@@ -220,7 +232,6 @@ class TDigest:
 
         current_mean, current_weight = points[0]
         weight_so_far = 0.0
-        k_lower = _k1(0.0 if total == 0 else 0.0, self.compression)
         k_lower = _k1(max(weight_so_far / total, 0.0), self.compression)
 
         for mean, weight in points[1:]:

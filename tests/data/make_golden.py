@@ -1,0 +1,88 @@
+"""Regenerate the golden trace fixture and its report snapshot.
+
+Run from the repo root (only when an *intentional* format or semantics
+change invalidates the fixture — the whole point of the snapshot is that
+refactors can't silently shift the numbers):
+
+    PYTHONPATH=src:. python tests/data/make_golden.py
+
+Writes ``golden_trace.jsonl`` (a small deterministic session trace) and
+``golden_report.json`` (the fig6/fig8-style numbers the committed trace
+must keep producing).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+HERE = pathlib.Path(__file__).parent
+
+GOLDEN_SEED = 20260806
+#: Enough sessions that the dense group clears the 30-sample-per-window
+#: aggregation floor and fig8/fig9 produce valid (CI-gated) comparisons.
+GOLDEN_SESSIONS = 900
+STUDY_WINDOWS = 4
+
+
+def build_snapshot(trace_path: pathlib.Path) -> dict:
+    from repro.pipeline import (
+        StudyDataset,
+        fig6_global_performance,
+        fig8_degradation,
+        fig9_opportunity,
+        read_samples,
+    )
+
+    dataset = StudyDataset(study_windows=STUDY_WINDOWS)
+    dataset.ingest(read_samples(trace_path))
+    fig6 = fig6_global_performance(dataset)
+    fig8 = fig8_degradation(dataset)
+    fig9 = fig9_opportunity(dataset)
+    return {
+        "study_windows": STUDY_WINDOWS,
+        "session_count": dataset.session_count,
+        "dropped_sessions": dataset.filter_stats.dropped_sessions,
+        "kept_bytes": dataset.filter_stats.kept_bytes,
+        "aggregation_count": len(dataset.store),
+        "group_count": len(dataset.store.groups()),
+        "windows": dataset.store.windows(),
+        "fig6": {
+            "median_minrtt": fig6.median_minrtt,
+            "p80_minrtt": fig6.p80_minrtt,
+            "hdratio_positive_fraction": fig6.hdratio_positive_fraction,
+            "continent_median_minrtt": {
+                code: fig6.continent_median_minrtt(code)
+                for code in sorted(fig6.minrtt_by_continent)
+            },
+        },
+        "fig8": {
+            "minrtt_valid_traffic_fraction": fig8.minrtt.valid_traffic_fraction,
+            "minrtt_differences": fig8.minrtt.differences,
+            "hdratio_total_traffic": fig8.hdratio.total_traffic,
+        },
+        "fig9": {
+            "minrtt_valid_traffic_fraction": fig9.minrtt.valid_traffic_fraction,
+            "minrtt_differences": fig9.minrtt.differences,
+        },
+    }
+
+
+def main() -> None:
+    from repro.pipeline.io import write_samples
+    from tests.helpers import make_trace_samples
+
+    samples = make_trace_samples(
+        GOLDEN_SESSIONS, seed=GOLDEN_SEED, windows=STUDY_WINDOWS
+    )
+    trace_path = HERE / "golden_trace.jsonl.gz"
+    write_samples(trace_path, samples)
+    snapshot = build_snapshot(trace_path)
+    (HERE / "golden_report.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {trace_path} ({len(samples)} sessions) and golden_report.json")
+
+
+if __name__ == "__main__":
+    main()

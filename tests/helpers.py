@@ -8,6 +8,7 @@ be tested without running the workload generator.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterable, List, Optional
 
 from repro.core.aggregation import AggregationStore
@@ -17,6 +18,7 @@ from repro.core.records import (
     Relationship,
     RouteInfo,
     SessionSample,
+    TransactionRecord,
     UserGroupKey,
 )
 
@@ -64,6 +66,96 @@ def make_sample(
         pop=pop,
         client_country=country,
     )
+
+
+def make_trace_samples(
+    count: int,
+    seed: int = 0,
+    hosting_fraction: float = 0.05,
+    dense_fraction: float = 0.5,
+    windows: int = 8,
+) -> List[SessionSample]:
+    """A deterministic, diverse sample stream for pipeline-level tests.
+
+    Half the stream (``dense_fraction``) lands in one user group so at
+    least one group clears the 30-sample aggregation floor and produces
+    valid comparisons; the rest scatters across PoPs, prefixes, countries,
+    route ranks, hosting-flagged networks, and transaction mixes so every
+    ingestion branch is exercised.
+    """
+    rng = random.Random(seed)
+    pops = ("ams1", "sjc1", "gru1")
+    countries = {"ams1": ("NL", "DE"), "sjc1": ("US", "MX"), "gru1": ("BR", "AR")}
+    continents = {"NL": "EU", "DE": "EU", "US": "NA", "MX": "NA", "BR": "SA", "AR": "SA"}
+    samples: List[SessionSample] = []
+    for i in range(count):
+        dense = rng.random() < dense_fraction
+        if dense:
+            pop, country = "ams1", "NL"
+            # A third of the dense group's sessions ride the best alternate,
+            # mirroring the §6 parallel-measurement split, so opportunity
+            # comparisons have a populated rank-1 side.
+            prefix, rank = "203.0.112.0/20", rng.choice((0, 0, 1))
+        else:
+            pop = rng.choice(pops)
+            country = rng.choice(countries[pop])
+            prefix = f"198.51.{rng.randrange(4)}.0/24"
+            rank = rng.choice((0, 0, 1, 2))
+        window = rng.randrange(windows)
+        end_time = window * AGGREGATION_WINDOW_SECONDS + rng.uniform(1.0, 890.0)
+        duration = rng.uniform(0.5, 120.0)
+        # Per-group RTT stability (the paper's premise): a stable base per
+        # (pop, prefix, rank) with small jitter, so dense groups produce
+        # tight median CIs and CI-gated comparisons come out valid.
+        rtt_base_ms = (
+            20.0 + (zlib.crc32(f"{pop}|{prefix}".encode()) % 120) + 8.0 * rank
+        )
+        min_rtt_ms = max(rng.gauss(rtt_base_ms, 2.5), 1.0)
+        _session_counter[0] += 1
+        transactions = []
+        for _ in range(rng.choice((0, 1, 1, 2, 3))):
+            first_byte = end_time - duration + rng.uniform(0.0, duration / 2)
+            response = rng.randrange(2_000, 600_000)
+            transactions.append(
+                TransactionRecord(
+                    first_byte_time=first_byte,
+                    ack_time=first_byte + rng.uniform(0.01, 2.0),
+                    response_bytes=response,
+                    last_packet_bytes=min(1500, response),
+                    cwnd_bytes_at_first_byte=rng.randrange(4_000, 150_000),
+                    bytes_in_flight_at_start=rng.choice((0, 0, 3_000)),
+                    last_byte_write_time=first_byte + rng.uniform(0.0, 0.5),
+                )
+            )
+        transactions.sort(key=lambda txn: txn.first_byte_time)
+        samples.append(
+            SessionSample(
+                session_id=_session_counter[0],
+                start_time=end_time - duration,
+                end_time=end_time,
+                http_version=rng.choice((HttpVersion.HTTP_1_1, HttpVersion.HTTP_2)),
+                min_rtt_seconds=min_rtt_ms / 1000.0,
+                bytes_sent=sum(t.response_bytes for t in transactions) or 10_000,
+                busy_time_seconds=duration * rng.uniform(0.05, 0.9),
+                transactions=transactions,
+                route=RouteInfo(
+                    prefix=prefix,
+                    as_path=(64500, 64501 + rank),
+                    relationship=rng.choice(tuple(Relationship)),
+                    preference_rank=rank,
+                    prepended=rng.random() < 0.1,
+                ),
+                pop=pop,
+                client_country=country,
+                client_continent=continents[country],
+                client_ip_is_hosting=rng.random() < hosting_fraction,
+                geo_tag=rng.choice(("", "amsterdam", "honolulu")),
+                media_response_sizes=tuple(
+                    t.response_bytes for t in transactions if t.response_bytes >= 12_000
+                ),
+            )
+        )
+    return samples
 
 
 def fill_window(

@@ -124,3 +124,78 @@ class TestAggregationStore:
         store = AggregationStore()
         agg = store.add(sample)
         assert agg.hdratios == [1.0]
+
+
+class TestAggregationMerge:
+    """Merge contract backing the sharded pipeline (repro.pipeline.parallel)."""
+
+    def test_merge_rejects_key_mismatch(self):
+        store = AggregationStore()
+        a = store.add(make_sample(10.0, 40.0, route=make_route(rank=0)))
+        b = store.add(make_sample(10.0, 50.0, route=make_route(rank=1)))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_concatenates_in_argument_order(self):
+        first = AggregationStore()
+        second = AggregationStore()
+        for rtt in (30.0, 31.0):
+            first.add(make_sample(10.0, rtt), hdratio=0.2)
+        for rtt in (50.0, 51.0):
+            second.add(make_sample(20.0, rtt), hdratio=0.9)
+        merged = first.get(DEFAULT_GROUP, 0, 0).merge(second.get(DEFAULT_GROUP, 0, 0))
+        assert merged.min_rtts_ms == [30.0, 31.0, 50.0, 51.0]
+        assert merged.hdratios == [0.2, 0.2, 0.9, 0.9]
+
+    def test_merge_sums_counters_and_keeps_first_route(self):
+        first = AggregationStore()
+        second = AggregationStore()
+        route_a = make_route(rank=0, as_path=(64500, 1))
+        route_b = make_route(rank=0, as_path=(64500, 2))
+        first.add(make_sample(10.0, 40.0, route=route_a, bytes_sent=100))
+        second.add(make_sample(20.0, 41.0, route=route_b, bytes_sent=250))
+        second.add(make_sample(21.0, 42.0, route=route_b, bytes_sent=250))
+        merged = first.get(DEFAULT_GROUP, 0, 0).merge(second.get(DEFAULT_GROUP, 0, 0))
+        assert merged.session_count == 3
+        assert merged.traffic_bytes == 600
+        assert merged.route == route_a
+
+    def test_merge_combines_streaming_digests(self):
+        first = AggregationStore()
+        second = AggregationStore()
+        for i in range(40):
+            first.add(make_sample(10.0 + i * 0.1, 30.0), hdratio=0.5)
+            second.add(make_sample(14.0 + i * 0.1, 50.0), hdratio=0.5)
+        merged = first.get(DEFAULT_GROUP, 0, 0).merge(second.get(DEFAULT_GROUP, 0, 0))
+        assert 30.0 < merged.minrtt_p50_streaming() < 50.0
+        assert merged.minrtt_p50 == pytest.approx(40.0)
+
+
+class TestStoreMerge:
+    def test_put_merges_on_collision(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0))
+        other = AggregationStore()
+        other.add(make_sample(20.0, 50.0))
+        ((key, piece),) = other.items()
+        store.put(key, piece)
+        merged = store.get(DEFAULT_GROUP, 0, 0)
+        assert merged.min_rtts_ms == [40.0, 50.0]
+        assert merged.session_count == 2
+
+    def test_merge_store_requires_matching_window_seconds(self):
+        store = AggregationStore(window_seconds=900.0)
+        other = AggregationStore(window_seconds=60.0)
+        with pytest.raises(ValueError):
+            store.merge_store(other)
+
+    def test_merge_store_appends_new_keys_in_other_order(self):
+        store = AggregationStore()
+        store.add(make_sample(10.0, 40.0, route=make_route(rank=0)))
+        other = AggregationStore()
+        other.add(make_sample(10.0, 45.0, route=make_route(rank=1)))
+        other.add(make_sample(10.0, 41.0, route=make_route(rank=0)))
+        store.merge_store(other)
+        assert [rank for (_, rank, _), _ in store.items()] == [0, 1]
+        assert store.get(DEFAULT_GROUP, 0, 0).min_rtts_ms == [40.0, 41.0]
+        assert store.get(DEFAULT_GROUP, 1, 0).min_rtts_ms == [45.0]

@@ -1,0 +1,112 @@
+"""Golden-trace regression: the committed fixture must keep its numbers.
+
+``tests/data/golden_trace.jsonl.gz`` is a small deterministic session trace
+and ``golden_report.json`` the fig6/fig8/fig9 numbers it produced when
+committed. Any refactor of the ingestion, aggregation, or comparison layers
+that shifts these numbers — even in the last float bit — fails here and has
+to either be fixed or regenerate the fixture *deliberately* (see
+``tests/data/make_golden.py``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.pipeline import (
+    ParallelOptions,
+    StudyDataset,
+    build_dataset,
+    fig6_global_performance,
+    fig8_degradation,
+    fig9_opportunity,
+    read_samples,
+)
+
+DATA = pathlib.Path(__file__).parent / "data"
+TRACE = DATA / "golden_trace.jsonl.gz"
+
+exact = pytest.approx  # readability: approx with tight rel below means "exact"
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return json.loads((DATA / "golden_report.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def dataset(snapshot):
+    dataset = StudyDataset(study_windows=snapshot["study_windows"])
+    return dataset.ingest(read_samples(TRACE))
+
+
+def assert_matches_snapshot(dataset: StudyDataset, snapshot: dict) -> None:
+    assert dataset.session_count == snapshot["session_count"]
+    assert dataset.filter_stats.dropped_sessions == snapshot["dropped_sessions"]
+    assert dataset.filter_stats.kept_bytes == snapshot["kept_bytes"]
+    assert len(dataset.store) == snapshot["aggregation_count"]
+    assert len(dataset.store.groups()) == snapshot["group_count"]
+    assert dataset.store.windows() == snapshot["windows"]
+
+    fig6 = fig6_global_performance(dataset)
+    expected6 = snapshot["fig6"]
+    assert fig6.median_minrtt == exact(expected6["median_minrtt"], rel=1e-12)
+    assert fig6.p80_minrtt == exact(expected6["p80_minrtt"], rel=1e-12)
+    assert fig6.hdratio_positive_fraction == exact(
+        expected6["hdratio_positive_fraction"], rel=1e-12
+    )
+    for code, value in expected6["continent_median_minrtt"].items():
+        assert fig6.continent_median_minrtt(code) == exact(value, rel=1e-12)
+
+    fig8 = fig8_degradation(dataset)
+    expected8 = snapshot["fig8"]
+    assert fig8.minrtt.valid_traffic_fraction == exact(
+        expected8["minrtt_valid_traffic_fraction"], rel=1e-12
+    )
+    assert fig8.minrtt.differences == exact(
+        expected8["minrtt_differences"], rel=1e-12
+    )
+    assert fig8.hdratio.total_traffic == exact(
+        expected8["hdratio_total_traffic"], rel=1e-12
+    )
+
+    fig9 = fig9_opportunity(dataset)
+    expected9 = snapshot["fig9"]
+    assert fig9.minrtt.valid_traffic_fraction == exact(
+        expected9["minrtt_valid_traffic_fraction"], rel=1e-12
+    )
+    assert fig9.minrtt.differences == exact(
+        expected9["minrtt_differences"], rel=1e-12
+    )
+
+
+class TestGoldenTrace:
+    def test_fixture_is_present_and_nontrivial(self, snapshot):
+        assert TRACE.exists()
+        assert snapshot["session_count"] > 500
+        # The fixture must carry actual CI-gated comparison signal, or the
+        # regression test would not notice a broken comparison layer.
+        assert snapshot["fig8"]["minrtt_differences"]
+        assert snapshot["fig9"]["minrtt_differences"]
+
+    def test_serial_pipeline_matches_snapshot(self, dataset, snapshot):
+        assert_matches_snapshot(dataset, snapshot)
+
+    def test_parallel_pipeline_matches_snapshot(self, snapshot):
+        parallel = build_dataset(
+            TRACE,
+            study_windows=snapshot["study_windows"],
+            options=ParallelOptions(workers=2, shards=3, executor="serial"),
+        )
+        assert_matches_snapshot(parallel, snapshot)
+
+    def test_parallel_equals_serial_exactly(self, dataset, snapshot):
+        parallel = build_dataset(
+            TRACE,
+            study_windows=snapshot["study_windows"],
+            options=ParallelOptions(workers=2, shards=4, executor="thread"),
+        )
+        assert parallel.rows == dataset.rows
+        assert [k for k, _ in parallel.store.items()] == [
+            k for k, _ in dataset.store.items()
+        ]

@@ -1,12 +1,23 @@
-"""Tests for JSONL trace serialization."""
+"""Tests for JSONL trace serialization and chunked parallel reading."""
 
 import json
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
-from repro.core.records import TransactionRecord
+from repro.core.records import (
+    HttpVersion,
+    Relationship,
+    RouteInfo,
+    SessionSample,
+    TransactionRecord,
+)
 from repro.pipeline.io import (
+    plan_chunks,
+    read_chunk,
     read_samples,
+    read_samples_chunked,
     sample_from_dict,
     sample_to_dict,
     write_samples,
@@ -85,6 +96,196 @@ class TestErrors:
         with open(path, "a") as handle:
             handle.write("\n\n")
         assert len(list(read_samples(path))) == 1
+
+
+# --------------------------------------------------------------------- #
+# Property-based round trips (Hypothesis)
+# --------------------------------------------------------------------- #
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def transactions_strategy(draw):
+    count = draw(st.integers(min_value=0, max_value=4))
+    records = []
+    clock = 0.0
+    for _ in range(count):
+        first_byte = clock + draw(st.floats(min_value=0.0, max_value=5.0, **finite))
+        response = draw(st.integers(min_value=1, max_value=1_000_000))
+        records.append(
+            TransactionRecord(
+                first_byte_time=first_byte,
+                ack_time=first_byte
+                + draw(st.floats(min_value=0.0, max_value=10.0, **finite)),
+                response_bytes=response,
+                last_packet_bytes=draw(st.integers(min_value=0, max_value=response)),
+                cwnd_bytes_at_first_byte=draw(
+                    st.integers(min_value=1, max_value=500_000)
+                ),
+                bytes_in_flight_at_start=draw(
+                    st.integers(min_value=0, max_value=100_000)
+                ),
+                coalesced_count=draw(st.integers(min_value=1, max_value=5)),
+                last_byte_write_time=draw(
+                    st.one_of(
+                        st.none(),
+                        st.floats(min_value=first_byte, max_value=first_byte + 20.0, **finite),
+                    )
+                ),
+            )
+        )
+        clock = first_byte
+    return records
+
+
+name_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=8
+)
+
+
+@st.composite
+def samples_strategy(draw):
+    start = draw(st.floats(min_value=0.0, max_value=1e6, **finite))
+    route = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                RouteInfo,
+                prefix=name_text,
+                as_path=st.tuples(st.integers(min_value=1, max_value=2**31)),
+                relationship=st.sampled_from(Relationship),
+                preference_rank=st.integers(min_value=0, max_value=3),
+                prepended=st.booleans(),
+            ),
+        )
+    )
+    return SessionSample(
+        session_id=draw(st.integers(min_value=0, max_value=2**62)),
+        start_time=start,
+        end_time=start + draw(st.floats(min_value=0.0, max_value=1e4, **finite)),
+        http_version=draw(st.sampled_from(HttpVersion)),
+        min_rtt_seconds=draw(st.floats(min_value=1e-6, max_value=10.0, **finite)),
+        bytes_sent=draw(st.integers(min_value=0, max_value=2**40)),
+        busy_time_seconds=draw(st.floats(min_value=0.0, max_value=1e4, **finite)),
+        transactions=draw(transactions_strategy()),
+        route=route,
+        pop=draw(name_text),
+        client_country=draw(name_text),
+        client_continent=draw(name_text),
+        client_ip_is_hosting=draw(st.booleans()),
+        geo_tag=draw(name_text),
+        media_response_sizes=draw(
+            st.tuples(st.integers(min_value=0, max_value=2**31))
+        ),
+    )
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(sample=samples_strategy())
+    def test_dict_round_trip_is_lossless(self, sample):
+        payload = json.loads(json.dumps(sample_to_dict(sample)))
+        assert sample_from_dict(payload) == sample
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        samples=st.lists(samples_strategy(), max_size=12),
+        blank_every=st.integers(min_value=0, max_value=3),
+        trailing_newline=st.booleans(),
+        gzip_file=st.booleans(),
+        num_chunks=st.integers(min_value=1, max_value=6),
+    )
+    def test_chunked_reads_equal_whole_file(
+        self, samples, blank_every, trailing_newline, gzip_file, num_chunks, tmp_path_factory
+    ):
+        import gzip as gzip_module
+
+        root = tmp_path_factory.mktemp("chunked")
+        path = root / ("trace.jsonl.gz" if gzip_file else "trace.jsonl")
+        lines = []
+        for index, sample in enumerate(samples):
+            lines.append(json.dumps(sample_to_dict(sample)))
+            if blank_every and index % blank_every == 0:
+                lines.append("")  # blank lines must be skipped everywhere
+        text = "\n".join(lines)
+        if trailing_newline and text:
+            text += "\n"
+        if gzip_file:
+            with gzip_module.open(path, "wt", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            path.write_text(text, encoding="utf-8")
+
+        whole = list(read_samples(path))
+        chunked = list(read_samples_chunked(path, num_chunks))
+        assert chunked == whole == samples
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        samples=st.lists(samples_strategy(), min_size=1, max_size=10),
+        num_chunks=st.integers(min_value=1, max_value=5),
+        gzip_file=st.booleans(),
+    )
+    def test_chunk_order_keys_are_global_and_monotone(
+        self, samples, num_chunks, gzip_file, tmp_path_factory
+    ):
+        root = tmp_path_factory.mktemp("keys")
+        path = root / ("trace.jsonl.gz" if gzip_file else "trace.jsonl")
+        write_samples(path, samples)
+        chunks = plan_chunks(path, num_chunks)
+        assert len(chunks) <= num_chunks
+        keys = []
+        restored = []
+        for chunk in chunks:
+            for key, sample in read_chunk(chunk):
+                keys.append(key)
+                restored.append(sample)
+        assert keys == sorted(keys) and len(set(keys)) == len(keys)
+        assert restored == samples
+
+
+class TestChunkPlanning:
+    def test_empty_file_has_no_chunks(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert plan_chunks(path, 4) == []
+
+    def test_zero_chunks_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_samples(path, [sample_with_txns()])
+        with pytest.raises(ValueError):
+            plan_chunks(path, 0)
+
+    def test_chunks_cover_file_without_overlap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_samples(path, [sample_with_txns() for _ in range(25)])
+        chunks = plan_chunks(path, 4)
+        assert chunks[0].start_byte == 0
+        assert chunks[-1].end_byte == path.stat().st_size
+        for previous, current in zip(chunks, chunks[1:]):
+            assert previous.end_byte == current.start_byte
+
+    def test_more_chunks_than_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_samples(path, [sample_with_txns(), sample_with_txns()])
+        restored = list(read_samples_chunked(path, 10))
+        assert len(restored) == 2
+
+    def test_corrupt_chunk_line_reports_location(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_samples(path, [sample_with_txns()])
+        with open(path, "a") as handle:
+            handle.write("{not json}\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            list(read_samples_chunked(path, 2))
 
 
 class TestAnalysisOverRestoredTrace:

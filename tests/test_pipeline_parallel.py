@@ -1,0 +1,267 @@
+"""Equivalence tests: the sharded parallel pipeline vs the serial pass.
+
+The contract under test (see ``repro/pipeline/parallel.py``): for any shard
+count and any executor, ``build_dataset`` produces a ``StudyDataset`` whose
+state — rows in stream order, aggregation-store insertion order, raw
+per-aggregation value lists, filter counters — is **exactly** equal to the
+serial pass, and therefore every derived statistic (per-group medians,
+McKean–Schrader CIs, window tables, figure results) is exactly equal too.
+"""
+
+import math
+
+import pytest
+
+from repro.core.records import UserGroupKey
+from repro.pipeline import (
+    ParallelOptions,
+    StudyDataset,
+    build_dataset,
+    fig6_global_performance,
+    fig8_degradation,
+    fig9_opportunity,
+)
+from repro.pipeline.io import write_samples
+from repro.pipeline.parallel import EXECUTORS, shard_of, shard_samples
+
+from tests.helpers import make_trace_samples
+
+STUDY_WINDOWS = 8
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return make_trace_samples(600, seed=11, windows=STUDY_WINDOWS)
+
+
+@pytest.fixture(scope="module")
+def serial_dataset(samples):
+    return StudyDataset(study_windows=STUDY_WINDOWS).ingest(iter(samples))
+
+
+@pytest.fixture(scope="module")
+def trace_paths(samples, tmp_path_factory):
+    root = tmp_path_factory.mktemp("traces")
+    plain = root / "trace.jsonl"
+    gz = root / "trace.jsonl.gz"
+    write_samples(plain, samples)
+    write_samples(gz, samples)
+    return {"plain": plain, "gz": gz}
+
+
+def assert_datasets_equal(parallel: StudyDataset, serial: StudyDataset) -> None:
+    """Exact-state equality, then derived-result equality."""
+    # Session rows: same rows, same stream order.
+    assert parallel.rows == serial.rows
+    assert parallel.filter_stats == serial.filter_stats
+    # Aggregation store: same keys in the same insertion order, with
+    # identical raw value lists (-> identical medians and CIs).
+    parallel_items = parallel.store.items()
+    serial_items = serial.store.items()
+    assert [key for key, _ in parallel_items] == [key for key, _ in serial_items]
+    for (_, ours), (_, theirs) in zip(parallel_items, serial_items):
+        assert ours.min_rtts_ms == theirs.min_rtts_ms
+        assert ours.hdratios == theirs.hdratios
+        assert ours.traffic_bytes == theirs.traffic_bytes
+        assert ours.session_count == theirs.session_count
+        assert ours.route == theirs.route
+    # Window tables.
+    assert parallel.store.windows() == serial.store.windows()
+    for group in serial.store.groups():
+        assert parallel.store.group_windows(group) == serial.store.group_windows(group)
+    # Figure-level results (medians, CI-gated weighted CDFs).
+    fig6_p = fig6_global_performance(parallel)
+    fig6_s = fig6_global_performance(serial)
+    assert fig6_p.minrtt_all.xs == fig6_s.minrtt_all.xs
+    assert fig6_p.hdratio_all.xs == fig6_s.hdratio_all.xs
+    assert fig6_p.median_minrtt == fig6_s.median_minrtt
+    for fig in (fig8_degradation, fig9_opportunity):
+        result_p, result_s = fig(parallel), fig(serial)
+        for metric in ("minrtt", "hdratio"):
+            cdf_p, cdf_s = getattr(result_p, metric), getattr(result_s, metric)
+            assert cdf_p.differences == cdf_s.differences
+            assert cdf_p.ci_lows == cdf_s.ci_lows
+            assert cdf_p.ci_highs == cdf_s.ci_highs
+            assert cdf_p.weights == cdf_s.weights
+            assert cdf_p.valid_traffic == cdf_s.valid_traffic
+            assert cdf_p.total_traffic == cdf_s.total_traffic
+
+
+# --------------------------------------------------------------------- #
+# In-memory (group-sharded) equivalence
+# --------------------------------------------------------------------- #
+class TestInMemoryEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_serial_executor(self, samples, serial_dataset, shards):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=shards, executor="serial"),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_thread_executor(self, samples, serial_dataset, shards):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=4, shards=shards, executor="thread"),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+
+    def test_process_executor(self, samples, serial_dataset):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=4, executor="process"),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_full_matrix(self, samples, serial_dataset, executor, shards):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=4, shards=shards, executor=executor),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_traces(self, seed):
+        randomized = make_trace_samples(400, seed=seed, windows=STUDY_WINDOWS)
+        serial = StudyDataset(study_windows=STUDY_WINDOWS).ingest(iter(randomized))
+        for executor in EXECUTORS:
+            for shards in (1, 2, 4, 8):
+                dataset = build_dataset(
+                    iter(randomized),
+                    study_windows=STUDY_WINDOWS,
+                    options=ParallelOptions(
+                        workers=2, shards=shards, executor=executor
+                    ),
+                )
+                assert_datasets_equal(dataset, serial)
+
+
+# --------------------------------------------------------------------- #
+# File-backed (chunk-sharded) equivalence
+# --------------------------------------------------------------------- #
+class TestFileEquivalence:
+    @pytest.mark.parametrize("kind,shards", [("plain", 1), ("plain", 3), ("gz", 2)])
+    def test_chunked_serial(self, trace_paths, serial_dataset, kind, shards):
+        dataset = build_dataset(
+            trace_paths[kind],
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=shards, executor="serial"),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+
+    def test_chunked_process(self, trace_paths, serial_dataset):
+        dataset = build_dataset(
+            trace_paths["plain"],
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=3, executor="process"),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("kind", ["plain", "gz"])
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("shards", [1, 2, 5, 8])
+    def test_full_matrix(self, trace_paths, serial_dataset, kind, executor, shards):
+        dataset = build_dataset(
+            trace_paths[kind],
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=4, shards=shards, executor=executor),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+
+
+# --------------------------------------------------------------------- #
+# Mechanics
+# --------------------------------------------------------------------- #
+class TestSharding:
+    def test_shard_of_is_deterministic_and_in_range(self):
+        group = UserGroupKey(pop="ams1", prefix="203.0.112.0/20", country="NL")
+        first = shard_of(group, 7)
+        assert 0 <= first < 7
+        assert all(shard_of(group, 7) == first for _ in range(5))
+
+    def test_shard_of_rejects_bad_count(self):
+        group = UserGroupKey(pop="a", prefix="p", country="c")
+        with pytest.raises(ValueError):
+            shard_of(group, 0)
+
+    def test_shard_samples_partitions_and_preserves_order(self, samples):
+        shards = shard_samples(iter(samples), 4)
+        assert sum(len(shard) for shard in shards) == len(samples)
+        seen = sorted(index for shard in shards for index, _ in shard)
+        assert seen == list(range(len(samples)))
+        for shard in shards:
+            indices = [index for index, _ in shard]
+            assert indices == sorted(indices)
+        # Same group -> same shard.
+        by_group = {}
+        for shard_id, shard in enumerate(shards):
+            for _, sample in shard:
+                key = (sample.pop, sample.route.prefix, sample.client_country)
+                assert by_group.setdefault(key, shard_id) == shard_id
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            ParallelOptions(workers=0)
+        with pytest.raises(ValueError):
+            ParallelOptions(workers=1, shards=0)
+        with pytest.raises(ValueError):
+            ParallelOptions(workers=1, executor="gpu")
+        assert ParallelOptions(workers=3).effective_shards == 3
+        assert ParallelOptions(workers=3, shards=5).effective_shards == 5
+
+    def test_empty_source(self):
+        dataset = build_dataset(
+            iter([]),
+            study_windows=4,
+            options=ParallelOptions(workers=2, shards=4, executor="serial"),
+        )
+        assert dataset.session_count == 0
+        assert len(dataset.store) == 0
+
+    def test_missing_route_raises_like_serial(self, samples):
+        broken = [samples[0]]
+        broken[0] = type(broken[0])(
+            **{
+                **broken[0].__dict__,
+                "route": None,
+                "transactions": [],
+                "client_ip_is_hosting": False,
+            }
+        )
+        with pytest.raises(ValueError, match="route"):
+            build_dataset(
+                iter(broken),
+                study_windows=STUDY_WINDOWS,
+                options=ParallelOptions(workers=2, shards=2, executor="serial"),
+            )
+
+    def test_dataset_kwargs_forwarded(self, samples):
+        dataset = build_dataset(
+            iter(samples[:50]),
+            study_windows=STUDY_WINDOWS,
+            keep_response_sizes=False,
+            compute_naive=True,
+            window_seconds=3600.0,
+            options=ParallelOptions(workers=2, shards=2, executor="serial"),
+        )
+        serial = StudyDataset(
+            study_windows=STUDY_WINDOWS,
+            keep_response_sizes=False,
+            compute_naive=True,
+            window_seconds=3600.0,
+        ).ingest(iter(samples[:50]))
+        assert dataset.rows == serial.rows
+        assert [k for k, _ in dataset.store.items()] == [
+            k for k, _ in serial.store.items()
+        ]
+        assert dataset.window_seconds == 3600.0

@@ -92,3 +92,39 @@ class TestStreamingAggregate:
         assert left.session_count == 100
         assert left.traffic_bytes == 10_000
         assert 30.0 < left.minrtt_p50 < 50.0
+
+    def test_merge_is_commutative(self):
+        rng = random.Random(17)
+        observations = [
+            (rng.gauss(40.0, 5.0), rng.choice((None, 0.0, 0.5, 1.0)), rng.randrange(100, 5000))
+            for _ in range(300)
+        ]
+        left_half, right_half = observations[:150], observations[150:]
+
+        def collect(obs):
+            aggregate = StreamingAggregate.empty()
+            for rtt, hd, sent in obs:
+                aggregate.add(rtt, hd, sent)
+            return aggregate
+
+        ab = collect(left_half).merge(collect(right_half))
+        ba = collect(right_half).merge(collect(left_half))
+        assert ab.session_count == ba.session_count == 300
+        assert ab.traffic_bytes == ba.traffic_bytes
+        assert ab.rtt_digest.total_weight == ba.rtt_digest.total_weight
+        assert ab.hd_digest.total_weight == ba.hd_digest.total_weight
+        # Exact same digest state either way (see TDigest merge contract).
+        assert ab.minrtt_p50 == ba.minrtt_p50
+        assert ab.hdratio_p50 == ba.hdratio_p50
+
+    def test_merge_with_empty_is_identity_both_ways(self):
+        filled = StreamingAggregate.empty()
+        for _ in range(40):
+            filled.add(25.0, 1.0, 200)
+        before = (filled.session_count, filled.traffic_bytes, filled.minrtt_p50)
+        filled.merge(StreamingAggregate.empty())
+        assert (filled.session_count, filled.traffic_bytes, filled.minrtt_p50) == before
+        empty = StreamingAggregate.empty()
+        empty.merge(filled)
+        assert empty.session_count == 40
+        assert empty.minrtt_p50 == filled.minrtt_p50

@@ -113,6 +113,99 @@ class TestMerge:
         assert abs(merged.median() - pooled) < 0.3
 
 
+def _state(digest: TDigest):
+    digest._compress()
+    return (
+        tuple(digest._means),
+        tuple(digest._weights),
+        digest._total_weight,
+        digest._min,
+        digest._max,
+    )
+
+
+class TestMergeLaws:
+    """Order-independence of merged digest state.
+
+    ``merge`` must be commutative on the *exact centroid state*: both
+    orders see the identical multiset of weighted points (centroids plus
+    raw buffers from both sides) and cluster it deterministically.
+    Associativity is exact for total weight and extremes, and holds at the
+    t-digest approximation level for quantiles (each pairwise merge
+    re-clusters, so grouping changes centroid boundaries slightly).
+    """
+
+    values = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=0, max_size=300
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=values, right=values)
+    def test_merge_is_commutative_on_exact_state(self, left, right):
+        ab = TDigest.of(left).merge(TDigest.of(right))
+        ba = TDigest.of(right).merge(TDigest.of(left))
+        assert _state(ab) == _state(ba)
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=values, right=values)
+    def test_merge_does_not_mutate_other(self, left, right):
+        target = TDigest.of(left)
+        other = TDigest.of(right)
+        before = (
+            list(other._means),
+            list(other._weights),
+            list(other._buffer),
+            other._total_weight,
+        )
+        target.merge(other)
+        assert (
+            list(other._means),
+            list(other._weights),
+            list(other._buffer),
+            other._total_weight,
+        ) == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=300),
+        b=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=300),
+        c=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=300),
+    )
+    def test_merge_is_associative(self, a, b, c):
+        left = TDigest.of(a).merge(TDigest.of(b)).merge(TDigest.of(c))
+        right = TDigest.of(a).merge(TDigest.of(b).merge(TDigest.of(c)))
+        # Exact invariants under any grouping.
+        assert left.total_weight == right.total_weight
+        assert left.quantile(0.0) == right.quantile(0.0)
+        assert left.quantile(1.0) == right.quantile(1.0)
+        # Quantile state agrees to t-digest accuracy (relative to spread).
+        spread = max(left.quantile(1.0) - left.quantile(0.0), 1e-9)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert abs(left.quantile(q) - right.quantile(q)) <= 0.05 * spread
+
+    def test_merge_with_empty_is_identity(self):
+        digest = TDigest.of([1.0, 2.0, 3.0])
+        before = _state(digest)
+        digest.merge(TDigest())
+        assert _state(digest) == before
+        empty = TDigest()
+        empty.merge(TDigest.of([1.0, 2.0, 3.0]))
+        assert empty.median() == 2.0
+        both_empty = TDigest().merge(TDigest())
+        assert both_empty.total_weight == 0
+
+    def test_ties_with_unequal_weights_stay_commutative(self):
+        a = TDigest()
+        a.add(5.0, 1.0)
+        a.add(5.0, 7.0)
+        b = TDigest()
+        b.add(5.0, 3.0)
+        b.add(4.0, 2.0)
+        assert _state(TDigest.of([]).merge(a).merge(b)) == _state(
+            TDigest.of([]).merge(b).merge(a)
+        )
+
+
 @settings(max_examples=50, deadline=None)
 @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=500))
 def test_quantiles_within_data_range(values):
