@@ -3,7 +3,11 @@
 #                 by addopts.
 #   test-all    - everything in tests/, including the exhaustive `slow`
 #                 equivalence/property sweeps (`-m ""` clears the addopts
-#                 marker filter).
+#                 marker filter) and the observability coverage floor.
+#   coverage    - the obs-subsystem tests under pytest-cov with a fail-under
+#                 floor on src/repro/obs/. Gated: when pytest-cov is not
+#                 installed the tests still run, without the floor, instead
+#                 of erroring (the container may not ship coverage tooling).
 #   bench       - the full figure/ablation benchmark harness.
 #   bench-scaling - just the parallel-pipeline throughput bench; writes
 #                 benchmarks/results/parallel_scaling.txt.
@@ -11,13 +15,28 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all bench bench-scaling
+OBS_TESTS = tests/test_obs_registry.py tests/test_obs_tracing.py \
+            tests/test_obs_manifest.py tests/test_obs_pipeline.py
+OBS_COV_FLOOR = 85
+
+.PHONY: test test-all coverage bench bench-scaling
 
 test:
 	$(PYTEST) -x -q
 
-test-all:
+test-all: coverage
 	$(PYTEST) -q -m ""
+
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTEST) -q -m "" $(OBS_TESTS) \
+			--cov=repro.obs --cov-report=term-missing \
+			--cov-fail-under=$(OBS_COV_FLOOR); \
+	else \
+		echo "pytest-cov not installed; running obs tests without the" \
+		     "$(OBS_COV_FLOOR)% floor"; \
+		$(PYTEST) -q -m "" $(OBS_TESTS); \
+	fi
 
 bench:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m "" benchmarks/

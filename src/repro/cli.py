@@ -9,6 +9,11 @@ Four subcommands mirror the library's main entry points:
   global-performance report;
 - ``repro routing`` — run the §6 preferred-vs-alternate audit.
 
+Every subcommand supports ``--metrics-out PATH`` (write a
+:class:`repro.obs.RunManifest` JSON recording config, shard plan, stage
+wall times, and the full sample-accounting counters) and ``--profile``
+(print the per-stage wall-time table after the run).
+
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
 """
@@ -20,6 +25,17 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_observability_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--metrics-out", default=None, metavar="PATH", dest="metrics_out",
+        help="write a JSON run manifest (metrics, stage timings, config)",
+    )
+    command.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage wall-time table after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,11 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="print the packet-level sequence diagram",
     )
+    _add_observability_options(fig4)
 
     sweep = sub.add_parser("sweep", help="run the §3.2.3 validation sweep")
     sweep.add_argument(
         "--dense", action="store_true", help="use the dense, paper-shaped grid"
     )
+    _add_observability_options(sweep)
 
     snapshot = sub.add_parser("snapshot", help="generate + analyse a snapshot")
     snapshot.add_argument("--seed", type=int, default=42)
@@ -74,12 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--networks-per-metro", type=int, default=3, dest="networks_per_metro"
     )
     add_parallel_options(snapshot)
+    _add_observability_options(snapshot)
 
     routing = sub.add_parser("routing", help="run the §6 routing audit")
     routing.add_argument("--seed", type=int, default=42)
     routing.add_argument("--days", type=int, default=2)
     routing.add_argument("--rate", type=float, default=60.0)
     add_parallel_options(routing)
+    _add_observability_options(routing)
 
     trace = sub.add_parser(
         "trace", help="generate a synthetic trace to a JSONL file"
@@ -91,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--networks-per-metro", type=int, default=1, dest="networks_per_metro"
     )
+    _add_observability_options(trace)
 
     analyze = sub.add_parser(
         "analyze", help="run the global-performance report over a saved trace"
@@ -101,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of 15-minute windows the trace spans",
     )
     add_parallel_options(analyze)
+    _add_observability_options(analyze)
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -108,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     calibrate.add_argument("--seed", type=int, default=101)
     calibrate.add_argument("--rate", type=float, default=9.0)
+    _add_observability_options(calibrate)
     return parser
 
 
@@ -173,7 +196,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.pipeline import dataset_from_source, fig6_global_performance
-    from repro.pipeline.report import format_percent, format_table
+    from repro.pipeline.report import format_metric, format_percent, format_table
     from repro.workload import EdgeScenario, ScenarioConfig
 
     config = ScenarioConfig(
@@ -205,13 +228,13 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         rows.append(
             (
                 code,
-                f"{result.continent_median_minrtt(code):.0f} ms",
+                format_metric(result.continent_median_minrtt(code), ".0f", " ms"),
                 format_percent(hd.fraction_at_most(0.0)),
             )
         )
     print(format_table(("continent", "MinRTT p50", "HDratio=0"), rows))
     print(
-        f"global MinRTT p50 {result.median_minrtt:.0f} ms; "
+        f"global MinRTT p50 {format_metric(result.median_minrtt, '.0f', ' ms')}; "
         f"HDratio>0 {format_percent(result.hdratio_positive_fraction)}"
     )
     return 0
@@ -257,6 +280,7 @@ def _cmd_routing(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import active_metrics
     from repro.pipeline.io import write_samples
     from repro.workload import EdgeScenario, ScenarioConfig
 
@@ -268,7 +292,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     scenario = EdgeScenario(config)
     print(f"Generating {args.days} day(s) across {len(scenario.networks)} networks…")
-    count = write_samples(args.output, scenario.generate())
+    count = write_samples(args.output, scenario.generate(), metrics=active_metrics())
     print(f"wrote {count:,} samples to {args.output}")
     print(f"(the trace spans {config.total_windows} fifteen-minute windows)")
     return 0
@@ -276,7 +300,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.pipeline import dataset_from_source, fig6_global_performance
-    from repro.pipeline.report import format_percent
+    from repro.pipeline.report import format_metric, format_percent
 
     dataset = dataset_from_source(
         args.trace,
@@ -287,8 +311,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     print(f"{dataset.session_count:,} sessions loaded from {args.trace}")
     result = fig6_global_performance(dataset)
-    print(f"global MinRTT p50: {result.median_minrtt:.1f} ms")
-    print(f"global MinRTT p80: {result.p80_minrtt:.1f} ms")
+    print(f"global MinRTT p50: {format_metric(result.median_minrtt, '.1f', ' ms')}")
+    print(f"global MinRTT p80: {format_metric(result.p80_minrtt, '.1f', ' ms')}")
     print(
         f"HD-testable sessions with HDratio > 0: "
         f"{format_percent(result.hdratio_positive_fraction)}"
@@ -297,6 +321,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.obs import merge_into_active
     from repro.pipeline import StudyDataset
     from repro.workload import EdgeScenario, ScenarioConfig
     from repro.workload.calibration import render_report, run_calibration
@@ -311,6 +336,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     print(f"Generating calibration snapshot ({len(scenario.networks)} networks)…")
     dataset = StudyDataset(study_windows=config.total_windows)
     dataset.ingest(scenario.generate())
+    merge_into_active(dataset.metrics)
     results = run_calibration(dataset)
     print(render_report(results))
     return 0 if all(result.passed for result in results) else 1
@@ -327,11 +353,82 @@ _COMMANDS = {
 }
 
 
+def _validate_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject option combinations that would otherwise be silently ignored."""
+    workers = getattr(args, "workers", None)
+    shards = getattr(args, "shards", None)
+    if shards is not None and (workers is None or workers <= 1):
+        parser.error(
+            f"--shards {shards} has no effect without --workers > 1; "
+            "pass --workers N (or drop --shards) to run sharded"
+        )
+
+
+def _shard_plan(args: argparse.Namespace) -> dict:
+    """Describe the partitioning this invocation asked for (execution facts)."""
+    if not hasattr(args, "workers"):
+        return {}
+    return {
+        "workers": args.workers,
+        "shards": args.shards if args.shards is not None else args.workers,
+        "executor": args.executor,
+    }
+
+
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """The invocation's config: every CLI option except the obs plumbing."""
+    config = dict(vars(args))
+    for key in ("command", "metrics_out", "profile"):
+        config.pop(key, None)
+    return config
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for the ``repro`` console script; returns the exit code."""
+    """Entry point for the ``repro`` console script; returns the exit code.
+
+    Every subcommand runs under an activated metrics registry and tracer;
+    ``--profile`` prints the stage-time table and ``--metrics-out`` writes
+    the :class:`repro.obs.RunManifest` after the command returns.
+    """
+    from repro.obs import (
+        MetricsRegistry,
+        RunManifest,
+        Tracer,
+        activate_metrics,
+        activate_tracer,
+        span,
+    )
+    from repro.pipeline.report import format_table
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _validate_args(parser, args)
+
+    registry = MetricsRegistry()
+    tracer = Tracer(metrics=registry)
+    with activate_metrics(registry), activate_tracer(tracer):
+        with span(f"cli.{args.command}"):
+            code = _COMMANDS[args.command](args)
+
+    if args.profile:
+        rows = [
+            (row["stage"], row["calls"], f"{row['wall_seconds']:.3f}")
+            for row in tracer.stage_table()
+        ]
+        print()
+        print(format_table(("stage", "calls", "wall s"), rows, title="profile"))
+    if args.metrics_out:
+        manifest = RunManifest.collect(
+            command=args.command,
+            config=_manifest_config(args),
+            registry=registry,
+            tracer=tracer,
+            shard_plan=_shard_plan(args),
+            exit_code=code,
+        )
+        manifest.write(args.metrics_out)
+        print(f"wrote run manifest to {args.metrics_out}")
+    return code
 
 
 if __name__ == "__main__":

@@ -152,9 +152,14 @@ class AggregationStore:
         self,
         window_seconds: float = AGGREGATION_WINDOW_SECONDS,
         with_digests: bool = True,
+        metrics=None,
     ):
         self.window_seconds = window_seconds
         self.with_digests = with_digests
+        #: Optional :class:`repro.obs.MetricsRegistry`. Only :meth:`add`
+        #: counts into it (one count per sample routed), never the merge
+        #: path — so sharded rebuilds keep counters plan-invariant.
+        self.metrics = metrics
         self._store: Dict[Tuple[UserGroupKey, int, int], Aggregation] = {}
 
     def key_for(self, sample: SessionSample) -> Tuple[UserGroupKey, int, int]:
@@ -185,6 +190,10 @@ class AggregationStore:
                 aggregation._hd_digest = TDigest()
             self._store[key] = aggregation
         aggregation.add(sample, hdratio)
+        if self.metrics is not None:
+            self.metrics.inc("core.aggregation.samples")
+            if hdratio is not None:
+                self.metrics.inc("core.aggregation.hd_samples")
         return aggregation
 
     def add_all(self, samples: Iterable[SessionSample]) -> None:

@@ -27,7 +27,12 @@ from typing import List, Sequence
 
 from repro.core.records import TransactionRecord
 
-__all__ = ["CoalescedTransaction", "coalesce_transactions", "eligible_transactions"]
+__all__ = [
+    "CoalescedTransaction",
+    "coalesce_transactions",
+    "eligible_transactions",
+    "filter_eligible",
+]
 
 #: Responses whose NIC writes are separated by at most this gap are treated
 #: as back-to-back. The paper uses socket/NIC timestamps to detect a literal
@@ -129,7 +134,19 @@ def eligible_transactions(
     eligible — any bytes in flight at that point are handshake/TLS bytes,
     not an earlier response.
     """
-    coalesced = coalesce_transactions(transactions)
+    return filter_eligible(transactions, coalesce_transactions(transactions))
+
+
+def filter_eligible(
+    transactions: Sequence[TransactionRecord],
+    coalesced: Sequence[CoalescedTransaction],
+) -> List[CoalescedTransaction]:
+    """Apply the bytes-in-flight rule to an already-coalesced sequence.
+
+    ``coalesced`` must be ``coalesce_transactions(transactions)``; exposed
+    separately so callers that need both the coalesced and the eligible
+    counts (methodology accounting) coalesce only once.
+    """
     eligible: List[CoalescedTransaction] = []
     opener_index = 0
     for position, txn in enumerate(coalesced):

@@ -15,9 +15,13 @@ carry many-transaction sessions from being over-represented in aggregates
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
-from repro.core.coalesce import CoalescedTransaction, eligible_transactions
+from repro.core.coalesce import (
+    CoalescedTransaction,
+    coalesce_transactions,
+    filter_eligible,
+)
 from repro.core.constants import HD_GOODPUT_BYTES_PER_SEC
 from repro.core.goodput import assess_transaction, naive_goodput
 from repro.core.records import SessionSample, TransactionRecord
@@ -32,11 +36,20 @@ class SessionGoodput:
     ``hdratio`` is ``None`` when no transaction could test for the target —
     such sessions are excluded from HDratio aggregates rather than counted
     as zero.
+
+    The count fields form the §3.2 funnel, in order: ``raw_count`` records
+    in, ``coalesced_count`` logical transactions after coalescing (§3.2.5),
+    ``eligible`` after the bytes-in-flight rule, ``tested`` Gtestable at
+    the target (§3.2.2), ``achieved`` at or under Tmodel (§3.2.3). The
+    observability layer sums these per-session funnels into the pipeline's
+    methodology counters.
     """
 
     tested: int
     achieved: int
     eligible: int
+    raw_count: int = 0
+    coalesced_count: int = 0
 
     @property
     def hdratio(self) -> Optional[float]:
@@ -44,13 +57,24 @@ class SessionGoodput:
             return None
         return self.achieved / self.tested
 
+    @property
+    def merged_away(self) -> int:
+        """Raw records absorbed into another transaction by coalescing."""
+        return self.raw_count - self.coalesced_count
+
+    @property
+    def inflight_dropped(self) -> int:
+        """Coalesced transactions excluded by the bytes-in-flight rule."""
+        return self.coalesced_count - self.eligible
+
 
 def _assess_session(
     transactions: Sequence[CoalescedTransaction],
     min_rtt_seconds: float,
     target_rate_bytes_per_sec: float,
     use_model: bool,
-) -> SessionGoodput:
+) -> Tuple[int, int]:
+    """(tested, achieved) over already-eligible coalesced transactions."""
     tested = 0
     achieved = 0
     prev_ideal_wstart = 0
@@ -85,7 +109,7 @@ def _assess_session(
                 >= target_rate_bytes_per_sec
             ):
                 achieved += 1
-    return SessionGoodput(tested=tested, achieved=achieved, eligible=len(transactions))
+    return tested, achieved
 
 
 def session_goodput(
@@ -101,9 +125,17 @@ def session_goodput(
     """
     if min_rtt_seconds <= 0:
         raise ValueError("min_rtt_seconds must be positive")
-    coalesced = eligible_transactions(transactions)
-    return _assess_session(
-        coalesced, min_rtt_seconds, target_rate_bytes_per_sec, use_model=True
+    coalesced = coalesce_transactions(transactions)
+    eligible = filter_eligible(transactions, coalesced)
+    tested, achieved = _assess_session(
+        eligible, min_rtt_seconds, target_rate_bytes_per_sec, use_model=True
+    )
+    return SessionGoodput(
+        tested=tested,
+        achieved=achieved,
+        eligible=len(eligible),
+        raw_count=len(transactions),
+        coalesced_count=len(coalesced),
     )
 
 
@@ -115,9 +147,13 @@ def naive_hdratio(
     """HDratio under the naive Btotal/Ttotal estimator — the §4 ablation."""
     if min_rtt_seconds <= 0:
         raise ValueError("min_rtt_seconds must be positive")
-    coalesced = eligible_transactions(transactions)
-    return _assess_session(
-        coalesced, min_rtt_seconds, target_rate_bytes_per_sec, use_model=False
+    coalesced = coalesce_transactions(transactions)
+    eligible = filter_eligible(transactions, coalesced)
+    tested, achieved = _assess_session(
+        eligible, min_rtt_seconds, target_rate_bytes_per_sec, use_model=False
+    )
+    return SessionGoodput(
+        tested=tested, achieved=achieved, eligible=len(eligible)
     ).hdratio
 
 

@@ -36,6 +36,7 @@ class Simulator:
         self._queue: List[Tuple[float, int, EventHandle, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._cancelled_reaped = 0
 
     @property
     def now(self) -> float:
@@ -44,6 +45,11 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Tombstoned events reaped from the queue so far."""
+        return self._cancelled_reaped
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -62,21 +68,41 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Run events until the queue drains, ``until`` passes, or the
         event budget is exhausted (a guard against runaway simulations)."""
-        while self._queue:
-            when, _, handle, callback = self._queue[0]
-            if until is not None and when > until:
-                self._now = until
-                return
-            heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            if self._processed >= max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events; likely a bug"
-                )
-            self._now = when
-            self._processed += 1
-            callback()
+        processed_before = self._processed
+        cancelled_before = self._cancelled_reaped
+        try:
+            while self._queue:
+                when, _, handle, callback = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                heapq.heappop(self._queue)
+                if handle.cancelled:
+                    self._cancelled_reaped += 1
+                    continue
+                if self._processed >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; likely a bug"
+                    )
+                self._now = when
+                self._processed += 1
+                callback()
+        finally:
+            self._publish_metrics(processed_before, cancelled_before)
+
+    def _publish_metrics(self, processed_before: int, cancelled_before: int) -> None:
+        """Count this run's event-loop work into the active obs registry."""
+        from repro.obs import active_metrics
+
+        registry = active_metrics()
+        if registry is None:
+            return
+        registry.inc("netsim.events_processed", self._processed - processed_before)
+        registry.inc(
+            "netsim.events_cancelled", self._cancelled_reaped - cancelled_before
+        )
+        registry.inc("netsim.runs")
+        registry.set_gauge("netsim.sim_time_seconds", self._now)
 
     def run_until_idle(self) -> None:
         self.run(until=None)

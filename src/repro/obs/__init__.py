@@ -1,0 +1,58 @@
+"""Pipeline observability: metrics, stage tracing, and run manifests.
+
+The paper's methodology is only diagnosable when the pipeline can report
+*what it actually did* — how many transactions were Gtestable, how many
+sessions the hosting filter dropped, how long each aggregation pass took.
+This package is the dependency-free (stdlib + :mod:`repro.stats.tdigest`)
+instrumentation layer the rest of the repo records into:
+
+- :mod:`repro.obs.registry` — :class:`MetricsRegistry`: named counters,
+  gauges, and t-digest-backed histogram timers, with a commutative
+  :meth:`~MetricsRegistry.merge` so sharded parallel runs report counters
+  identical to a serial pass;
+- :mod:`repro.obs.tracing` — ``span()`` / ``@traced`` stage timing with
+  nested spans, recorded into an activatable :class:`Tracer`;
+- :mod:`repro.obs.manifest` — :class:`RunManifest`: config, shard plan,
+  per-stage wall times, and sample accounting serialized to JSON.
+
+**The counter-equality invariant.** Every *counter* (and every gauge set
+by the parent process) records facts about the input data, never about the
+execution plan: a sharded run over N workers must produce counters
+byte-identical to the serial run on the same input. Timings — span wall
+times, per-shard timers — are execution facts and live in separate
+manifest sections that are exempt from the invariant. Enforced by
+``tests/test_obs_pipeline.py`` and ``tests/test_cli.py``.
+"""
+
+from repro.obs.manifest import MANIFEST_FORMAT_VERSION, RunManifest
+from repro.obs.registry import (
+    MetricsRegistry,
+    TimerStat,
+    activate_metrics,
+    active_metrics,
+    merge_into_active,
+)
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    activate_tracer,
+    active_tracer,
+    span,
+    traced,
+)
+
+__all__ = [
+    "MANIFEST_FORMAT_VERSION",
+    "MetricsRegistry",
+    "RunManifest",
+    "SpanRecord",
+    "TimerStat",
+    "Tracer",
+    "activate_metrics",
+    "activate_tracer",
+    "active_metrics",
+    "active_tracer",
+    "merge_into_active",
+    "span",
+    "traced",
+]

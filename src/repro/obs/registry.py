@@ -1,0 +1,256 @@
+"""Metrics registry: counters, gauges, and t-digest histogram timers.
+
+A :class:`MetricsRegistry` is a plain, picklable bag of named metrics.
+Shard workers each fill their own registry and the parent folds them back
+together with :meth:`MetricsRegistry.merge`, whose semantics are chosen to
+be **commutative and associative** so the merged result cannot depend on
+worker completion order:
+
+- **counters** add (integer sums commute);
+- **gauges** take the maximum (high-water-mark semantics);
+- **timers** merge their counts, totals, extrema, and t-digests.
+
+Counter and gauge merges are *exactly* order-independent; a timer's summary
+statistics (count/total/min/max) are too, while its digest quantiles are
+order-independent only up to the t-digest's approximation — which is why
+timers live outside the serial/parallel counter-equality invariant.
+
+Metric names are dotted lowercase paths (``pipeline.samples.read``), one
+namespace per layer: ``pipeline.*`` ingestion accounting, ``methodology.*``
+the §3.2 classifier counts, ``core.*`` aggregation-store accounting,
+``io.*`` trace serialization, ``netsim.*`` the simulator's event loop.
+See DESIGN.md §7 for the registry of names.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.stats.tdigest import TDigest
+
+__all__ = [
+    "MetricsRegistry",
+    "TimerStat",
+    "activate_metrics",
+    "active_metrics",
+    "merge_into_active",
+]
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: use dotted lowercase segments "
+            "(letters, digits, underscores)"
+        )
+    return name
+
+
+class TimerStat:
+    """Accumulated observations of one duration metric (seconds)."""
+
+    __slots__ = ("count", "total", "min", "max", "digest")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.digest = TDigest()
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("durations must be non-negative")
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+        self.digest.add(seconds)
+
+    def merge(self, other: "TimerStat") -> "TimerStat":
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.digest.merge(other.digest)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        if self.count == 0:
+            raise ValueError("timer has no observations")
+        return self.digest.quantile(q)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (digest reduced to representative quantiles)."""
+        out = {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+        }
+        if self.count:
+            out["min_seconds"] = self.min
+            out["max_seconds"] = self.max
+            out["p50_seconds"] = self.quantile(0.5)
+            out["p99_seconds"] = self.quantile(0.99)
+        return out
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and timers with commutative merging."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+    def inc(self, name: str, value: int = 1) -> int:
+        """Add ``value`` to counter ``name``; returns the new total."""
+        if value < 0:
+            raise ValueError("counters are monotonic; value must be >= 0")
+        total = self._counters.get(name, 0) + value
+        if name not in self._counters:
+            _check_name(name)
+        self._counters[name] = total
+        return total
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """All counters, sorted by name (a stable, comparable view)."""
+        return dict(sorted(self._counters.items()))
+
+    # ------------------------------------------------------------------ #
+    # Gauges
+    # ------------------------------------------------------------------ #
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``. Merging keeps the maximum across registries."""
+        if name not in self._gauges:
+            _check_name(name)
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(sorted(self._gauges.items()))
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration observation under timer ``name``."""
+        stat = self._timers.get(name)
+        if stat is None:
+            _check_name(name)
+            stat = self._timers[name] = TimerStat()
+        stat.observe(seconds)
+
+    def timer_stat(self, name: str) -> Optional[TimerStat]:
+        return self._timers.get(name)
+
+    @property
+    def timers(self) -> Dict[str, TimerStat]:
+        return dict(sorted(self._timers.items()))
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # Merging & serialization
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in; commutative (see module docstring)."""
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in other._gauges.items():
+            current = self._gauges.get(name)
+            self._gauges[name] = value if current is None else max(current, value)
+        for name, stat in other._timers.items():
+            mine = self._timers.get(name)
+            if mine is None:
+                fresh = self._timers[name] = TimerStat()
+                fresh.merge(stat)
+            else:
+                mine.merge(stat)
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot: counters/gauges exact, timers summarized."""
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "timers": {name: stat.to_dict() for name, stat in self.timers.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        """Rebuild counters/gauges from a snapshot (timer digests are not
+        reconstructed — their summaries live in the manifest)."""
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():
+            registry.inc(name, int(value))
+        for name, value in payload.get("gauges", {}).items():
+            registry.set_gauge(name, float(value))
+        return registry
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._timers)
+
+
+# --------------------------------------------------------------------- #
+# Active registry (process-local)
+# --------------------------------------------------------------------- #
+# Cross-cutting instrumentation points (the netsim event loop, the sharded
+# pipeline's final fold) publish into the *active* registry when one is
+# installed, so deep call stacks need no parameter threading. Worker
+# processes never inherit an activation: each shard's StudyDataset carries
+# its own registry, which is what keeps thread-pool workers from sharing
+# (and double-counting into) the parent's.
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+@contextmanager
+def activate_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the process-local active registry."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The currently activated registry, or None."""
+    return _ACTIVE
+
+
+def merge_into_active(registry: MetricsRegistry) -> None:
+    """Fold ``registry`` into the active one (no-op without an activation
+    or when ``registry`` *is* the active one)."""
+    active = _ACTIVE
+    if active is not None and active is not registry:
+        active.merge(registry)

@@ -1,0 +1,185 @@
+"""Stage tracing: ``span()`` context manager and ``@traced`` decorator.
+
+Lightweight in-path timing in the style of Dapper: a :class:`Tracer` keeps
+a stack of open spans, so nested ``span()`` blocks produce dotted paths
+(``cli.snapshot.pipeline.ingest.merge``) that reconstruct the call
+structure without any global clock coordination. When no tracer is active,
+``span()`` and ``@traced`` cost one global read and a conditional — the hot
+paths stay instrumented permanently and pay only when observability is on.
+
+Spans record *wall time*, which is an execution fact, not a data fact:
+span timings are reported in the manifest's ``stages`` section and are
+exempt from the serial/parallel counter-equality invariant.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "activate_tracer",
+    "active_tracer",
+    "span",
+    "traced",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span.
+
+    ``path`` is the dotted chain of enclosing span names; ``depth`` its
+    nesting level (0 = root). ``wall_seconds`` is filled when the span
+    closes. Records appear in ``Tracer.records`` in *entry* order, so
+    parents precede their children.
+    """
+
+    name: str
+    path: str
+    depth: int
+    start_seconds: float
+    wall_seconds: Optional[float] = None
+
+    @property
+    def closed(self) -> bool:
+        return self.wall_seconds is not None
+
+
+class Tracer:
+    """Collects spans; optionally mirrors them into a registry's timers.
+
+    With ``metrics`` set, every closed span also records its duration into
+    the registry timer ``stage.<path>`` so span statistics survive into
+    merged registries and manifests.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics
+        self.records: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+        self._origin = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # Span lifecycle (used by span()/traced; not usually called directly)
+    # ------------------------------------------------------------------ #
+    def begin(self, name: str) -> SpanRecord:
+        path = ".".join([frame.name for frame in self._stack] + [name])
+        record = SpanRecord(
+            name=name,
+            path=path,
+            depth=len(self._stack),
+            start_seconds=time.perf_counter() - self._origin,
+        )
+        self.records.append(record)
+        self._stack.append(record)
+        return record
+
+    def end(self, record: SpanRecord) -> None:
+        if not self._stack or self._stack[-1] is not record:
+            raise RuntimeError(
+                f"span {record.path!r} closed out of order "
+                "(spans must strictly nest)"
+            )
+        self._stack.pop()
+        record.wall_seconds = (
+            time.perf_counter() - self._origin - record.start_seconds
+        )
+        if self.metrics is not None:
+            self.metrics.observe("stage." + record.path, record.wall_seconds)
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def aggregate(self) -> Dict[str, Tuple[int, float]]:
+        """``path -> (calls, total wall seconds)`` over closed spans, in
+        first-entry order."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        for record in self.records:
+            if not record.closed:
+                continue
+            calls, total = totals.get(record.path, (0, 0.0))
+            totals[record.path] = (calls + 1, total + record.wall_seconds)
+        return totals
+
+    def stage_table(self) -> List[dict]:
+        """JSON-ready per-stage rows for the run manifest."""
+        return [
+            {"stage": path, "calls": calls, "wall_seconds": total}
+            for path, (calls, total) in self.aggregate().items()
+        ]
+
+
+# --------------------------------------------------------------------- #
+# Active tracer (process-local) and the user-facing API
+# --------------------------------------------------------------------- #
+_ACTIVE: Optional[Tracer] = None
+
+
+@contextmanager
+def activate_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the process-local active tracer."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+def active_tracer() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+@contextmanager
+def span(name: str) -> Iterator[Optional[SpanRecord]]:
+    """Time the enclosed block as a stage of the active tracer.
+
+    Yields the open :class:`SpanRecord`, or None when no tracer is active
+    (the block then runs untimed at near-zero cost).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        yield None
+        return
+    record = tracer.begin(name)
+    try:
+        yield record
+    finally:
+        tracer.end(record)
+
+
+def traced(name_or_func=None) -> Callable:
+    """Decorator form of :func:`span`; usable bare or with a stage name.
+
+    ``@traced`` uses the function's name; ``@traced("pipeline.fig6")``
+    overrides it.
+    """
+
+    def decorate(func: Callable, label: Optional[str] = None) -> Callable:
+        stage = label or func.__name__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if _ACTIVE is None:
+                return func(*args, **kwargs)
+            with span(stage):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name_or_func):
+        return decorate(name_or_func)
+    return lambda func: decorate(func, name_or_func)

@@ -18,8 +18,9 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from repro.core.aggregation import AggregationStore
-from repro.core.hdratio import compute_hdratio, naive_hdratio
+from repro.core.hdratio import naive_hdratio, session_goodput
 from repro.core.records import HttpVersion, SessionSample
+from repro.obs import MetricsRegistry
 from repro.pipeline.filters import FilterStats, record_sample
 
 __all__ = ["SessionRow", "StudyDataset"]
@@ -66,10 +67,18 @@ class StudyDataset:
         self.compute_naive = compute_naive
         self.window_seconds = window_seconds
         self.rows: List[SessionRow] = []
+        #: Per-dataset observability registry. Always freshly constructed —
+        #: never inherited from an activation — so every shard worker (even
+        #: a thread sharing this process) counts into its own registry and
+        #: the parallel merge cannot double-count.
+        self.metrics = MetricsRegistry()
         self.store = AggregationStore(
-            window_seconds=window_seconds, with_digests=False
+            window_seconds=window_seconds, with_digests=False, metrics=self.metrics
         )
         self.filter_stats = FilterStats()
+        #: Per-shard execution report filled by the parallel pipeline
+        #: (empty for serial ingestion): dicts of ordinal/rows/wall_seconds.
+        self.shard_report: List[dict] = []
         self._verdict_cache: dict = {}
 
     @property
@@ -109,9 +118,29 @@ class StudyDataset:
         contributes — row, aggregation, filter accounting — must happen
         here and nowhere else.
         """
+        metrics = self.metrics
+        metrics.inc("pipeline.samples.read")
         if not record_sample(sample, self.filter_stats):
+            metrics.inc("pipeline.samples.dropped_hosting")
             return False
-        hd = compute_hdratio(sample) if sample.transactions else None
+        metrics.inc("pipeline.samples.kept")
+        if sample.transactions:
+            summary = session_goodput(sample.transactions, sample.min_rtt_seconds)
+            hd = summary.hdratio
+            # The §3.2 funnel, summed across sessions: raw records in,
+            # coalesced away, dropped by bytes-in-flight, Gtestable, achieved.
+            metrics.inc("methodology.transactions.raw", summary.raw_count)
+            metrics.inc("methodology.transactions.coalesced", summary.merged_away)
+            metrics.inc(
+                "methodology.transactions.inflight_dropped",
+                summary.inflight_dropped,
+            )
+            metrics.inc("methodology.transactions.gtestable", summary.tested)
+            metrics.inc("methodology.transactions.achieved", summary.achieved)
+            if summary.tested:
+                metrics.inc("methodology.sessions.hd_testable")
+        else:
+            hd = None
         naive = (
             naive_hdratio(sample.transactions, sample.min_rtt_seconds)
             if self.compute_naive and sample.transactions

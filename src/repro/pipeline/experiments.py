@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import span, traced
 from repro.pipeline.dataset import StudyDataset
 from repro.stats.weighted import ecdf, percentile
 
@@ -58,19 +59,25 @@ def dataset_from_source(
         options = None
     else:
         options = ParallelOptions(workers=workers, shards=shards, executor=executor)
-    return build_dataset(
-        source,
-        study_windows=study_windows,
-        keep_response_sizes=keep_response_sizes,
-        compute_naive=compute_naive,
-        window_seconds=window_seconds,
-        options=options,
-    )
+    with span("pipeline.dataset_from_source"):
+        return build_dataset(
+            source,
+            study_windows=study_windows,
+            keep_response_sizes=keep_response_sizes,
+            compute_naive=compute_naive,
+            window_seconds=window_seconds,
+            options=options,
+        )
 
 
 @dataclass(frozen=True)
 class CdfSeries:
-    """One CDF line: sorted x values and cumulative fractions."""
+    """One CDF line: sorted x values and cumulative fractions.
+
+    An empty series (a zero-session population split) is representable:
+    its quantiles are ``None`` and its ``fraction_at_most`` is 0 — report
+    renderers turn the ``None`` into ``n/a`` instead of raising.
+    """
 
     label: str
     xs: List[float]
@@ -78,8 +85,13 @@ class CdfSeries:
 
     @classmethod
     def of(cls, label: str, values: Sequence[float]) -> "CdfSeries":
+        if not values:
+            return cls(label=label, xs=[], fractions=[])
         xs, fractions = ecdf(values)
         return cls(label=label, xs=xs, fractions=fractions)
+
+    def __len__(self) -> int:
+        return len(self.xs)
 
     def fraction_at_most(self, x: float) -> float:
         import bisect
@@ -89,7 +101,9 @@ class CdfSeries:
             return 0.0
         return self.fractions[index - 1]
 
-    def quantile(self, q: float) -> float:
+    def quantile(self, q: float) -> Optional[float]:
+        if not self.xs:
+            return None
         return percentile(self.xs, q * 100.0)
 
 
@@ -123,6 +137,7 @@ class Fig1Result:
         return self.busy_all.fraction_at_most(0.10)
 
 
+@traced("pipeline.fig1")
 def fig1_session_behaviour(dataset: StudyDataset) -> Fig1Result:
     """Figure 1: session-duration and busy-time CDFs, split by protocol."""
     rows = dataset.rows
@@ -164,6 +179,7 @@ class Fig2Result:
 MEDIA_RESPONSE_THRESHOLD_BYTES = 12_000
 
 
+@traced("pipeline.fig2")
 def fig2_transfer_sizes(dataset: StudyDataset) -> Fig2Result:
     """Figure 2: bytes per session, per response, and per media response."""
     sessions = [float(r.bytes_sent) for r in dataset.rows if r.bytes_sent > 0]
@@ -207,6 +223,7 @@ class Fig3Result:
         return self.count_h2.fraction_at_most(4.0)
 
 
+@traced("pipeline.fig3")
 def fig3_transaction_counts(dataset: StudyDataset) -> Fig3Result:
     """Figure 3: transactions per session and the heavy-session byte share."""
     rows = dataset.rows
@@ -225,6 +242,7 @@ def fig3_transaction_counts(dataset: StudyDataset) -> Fig3Result:
 # --------------------------------------------------------------------- #
 # Figure 4 — the goodput walkthrough (packet simulator)
 # --------------------------------------------------------------------- #
+@traced("pipeline.fig4")
 def fig4_walkthrough():
     """Run the Figure-4 scenario; see
     :func:`repro.netsim.scenarios.run_figure4_scenario`."""
@@ -253,6 +271,7 @@ class Fig5Result:
         return max(values) - min(values)
 
 
+@traced("pipeline.fig5")
 def fig5_population_mix(
     samples: Sequence, primary_tag: str = "sanfrancisco",
     secondary_tag: str = "honolulu", prefix: str = "198.51.0.0/16",
@@ -320,14 +339,21 @@ class Fig6Result:
         return self.minrtt_all.quantile(0.8)
 
     @property
-    def hdratio_positive_fraction(self) -> float:
-        """Share of HD-testable sessions with HDratio > 0 (paper: >82%)."""
+    def hdratio_positive_fraction(self) -> Optional[float]:
+        """Share of HD-testable sessions with HDratio > 0 (paper: >82%).
+
+        ``None`` when no session was HD-testable (rendered as ``n/a``).
+        """
+        if not self.hdratio_all.xs:
+            return None
         return 1.0 - self.hdratio_all.fraction_at_most(0.0)
 
     @property
     def hdratio_full_fraction(self) -> float:
-        """Share with HDratio == 1 (paper: ~60%)."""
+        """Share with HDratio == 1 (paper: ~60%); 0 for an empty study."""
         xs = self.hdratio_all.xs
+        if not xs:
+            return 0.0
         full = sum(1 for x in xs if x >= 1.0)
         return full / len(xs)
 
@@ -338,6 +364,7 @@ class Fig6Result:
         return self.hdratio_by_continent[code].fraction_at_most(0.0)
 
 
+@traced("pipeline.fig6")
 def fig6_global_performance(dataset: StudyDataset) -> Fig6Result:
     """Figure 6: MinRTT and HDratio distributions, global and per continent."""
     rows = dataset.rows
@@ -385,6 +412,7 @@ class Fig7Result:
         return self.hdratio_by_bucket[label].fraction_at_most(0.0) < 0.5
 
 
+@traced("pipeline.fig7")
 def fig7_rtt_vs_hdratio(dataset: StudyDataset) -> Fig7Result:
     """Figure 7: HDratio distribution within each MinRTT bucket."""
     buckets: Dict[str, List[float]] = {
@@ -417,6 +445,7 @@ class AblationResult:
         return self.naive_median_hdratio < self.model_median_hdratio
 
 
+@traced("pipeline.ablation_naive")
 def ablation_naive_goodput(dataset: StudyDataset) -> AblationResult:
     """Compare the model HDratio against the naive estimator.
 

@@ -142,19 +142,33 @@ def _open(path: PathLike, mode: str) -> IO:
     return open(path, mode, encoding="utf-8")
 
 
-def write_samples(path: PathLike, samples: Iterable[SessionSample]) -> int:
-    """Stream samples to a (optionally gzipped) JSONL file; returns count."""
+def write_samples(
+    path: PathLike, samples: Iterable[SessionSample], metrics=None
+) -> int:
+    """Stream samples to a (optionally gzipped) JSONL file; returns count.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry` that
+    receives ``io.rows_written``.
+    """
     count = 0
     with _open(path, "w") as handle:
         for sample in samples:
             handle.write(json.dumps(sample_to_dict(sample)))
             handle.write("\n")
             count += 1
+    if metrics is not None:
+        metrics.inc("io.rows_written", count)
     return count
 
 
-def read_samples(path: PathLike) -> Iterator[SessionSample]:
-    """Stream samples back from a trace file."""
+def read_samples(path: PathLike, metrics=None) -> Iterator[SessionSample]:
+    """Stream samples back from a trace file.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry` that
+    receives ``io.rows_read`` per decoded row and ``io.decode_errors``
+    (counted before the error is raised, so a manifest written after a
+    failure still shows how far the read got).
+    """
     with _open(path, "r") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -163,9 +177,13 @@ def read_samples(path: PathLike) -> Iterator[SessionSample]:
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError as error:
+                if metrics is not None:
+                    metrics.inc("io.decode_errors")
                 raise ValueError(
                     f"{path}:{line_number}: invalid JSON ({error})"
                 ) from error
+            if metrics is not None:
+                metrics.inc("io.rows_read")
             yield sample_from_dict(payload)
 
 
@@ -259,7 +277,7 @@ def plan_chunks(path: PathLike, num_chunks: int) -> list:
     ]
 
 
-def _read_byte_range_chunk(chunk: TraceChunk) -> Iterator[tuple]:
+def _read_byte_range_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
     with open(chunk.path, "rb") as handle:
         handle.seek(chunk.start_byte)
         offset = chunk.start_byte
@@ -275,13 +293,17 @@ def _read_byte_range_chunk(chunk: TraceChunk) -> Iterator[tuple]:
             try:
                 payload = json.loads(text)
             except json.JSONDecodeError as error:
+                if metrics is not None:
+                    metrics.inc("io.decode_errors")
                 raise ValueError(
                     f"{chunk.path}@byte {line_start}: invalid JSON ({error})"
                 ) from error
+            if metrics is not None:
+                metrics.inc("io.rows_read")
             yield line_start, sample_from_dict(payload)
 
 
-def _read_line_block_chunk(chunk: TraceChunk) -> Iterator[tuple]:
+def _read_line_block_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
     with _open(chunk.path, "r") as handle:
         for index, line in enumerate(handle):
             if index >= chunk.end_line:
@@ -294,18 +316,24 @@ def _read_line_block_chunk(chunk: TraceChunk) -> Iterator[tuple]:
             try:
                 payload = json.loads(text)
             except json.JSONDecodeError as error:
+                if metrics is not None:
+                    metrics.inc("io.decode_errors")
                 raise ValueError(
                     f"{chunk.path}:{index + 1}: invalid JSON ({error})"
                 ) from error
+            if metrics is not None:
+                metrics.inc("io.rows_read")
             yield index, sample_from_dict(payload)
 
 
-def read_chunk(chunk: TraceChunk) -> Iterator[tuple]:
+def read_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
     """Yield ``(order_key, sample)`` pairs for one chunk (see
-    :class:`TraceChunk` for the key's ordering guarantee)."""
+    :class:`TraceChunk` for the key's ordering guarantee). ``metrics``
+    receives the same ``io.*`` counters as :func:`read_samples`, so the
+    chunked counters sum to exactly the serial read's."""
     if chunk.byte_range:
-        return _read_byte_range_chunk(chunk)
-    return _read_line_block_chunk(chunk)
+        return _read_byte_range_chunk(chunk, metrics)
+    return _read_line_block_chunk(chunk, metrics)
 
 
 def read_samples_chunked(

@@ -37,6 +37,7 @@ McKean–Schrader CIs, window tables, verdict series — is exactly equal.
 from __future__ import annotations
 
 import pathlib
+import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -44,6 +45,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.aggregation import Aggregation
 from repro.core.records import SessionSample, UserGroupKey
+from repro.obs import MetricsRegistry, merge_into_active, span
 from repro.pipeline.dataset import SessionRow, StudyDataset
 from repro.pipeline.filters import FilterStats
 from repro.pipeline.io import PathLike, TraceChunk, plan_chunks, read_chunk, read_samples
@@ -132,6 +134,12 @@ class ShardResult:
         default_factory=list
     )
     filter_stats: FilterStats = field(default_factory=FilterStats)
+    #: The worker dataset's own registry; counters here are data facts and
+    #: sum commutatively across shards to exactly the serial counters.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Execution facts (never part of the counter-equality invariant).
+    wall_seconds: float = 0.0
+    samples_ingested: int = 0
 
 
 @dataclass(frozen=True)
@@ -145,14 +153,18 @@ class _ShardTask:
 
 def _run_shard(task: _ShardTask) -> ShardResult:
     """Ingest one partition through the ordinary ``StudyDataset`` fold."""
+    start = time.perf_counter()
     dataset = StudyDataset(**task.dataset_kwargs)
     if task.chunk is not None:
-        source = read_chunk(task.chunk)
+        source = read_chunk(task.chunk, metrics=dataset.metrics)
     else:
         source = iter(task.indexed_samples or [])
-    result = ShardResult(filter_stats=dataset.filter_stats)
+    result = ShardResult(
+        filter_stats=dataset.filter_stats, metrics=dataset.metrics
+    )
     first_seen: Dict[AggregationKey, int] = {}
     for order_key, sample in source:
+        result.samples_ingested += 1
         if not dataset.ingest_one(sample):
             continue
         result.rows.append((order_key, dataset.rows[-1]))
@@ -162,6 +174,7 @@ def _run_shard(task: _ShardTask) -> ShardResult:
     result.aggregations = [
         (first_seen[key], key, aggregations[key]) for key in aggregations
     ]
+    result.wall_seconds = time.perf_counter() - start
     return result
 
 
@@ -181,9 +194,19 @@ def _merge_results(dataset: StudyDataset, results: Iterable[ShardResult]) -> Stu
     """Fold shard results into ``dataset``, restoring exact serial order."""
     indexed_rows: List[Tuple[int, SessionRow]] = []
     parts: Dict[AggregationKey, List[Tuple[int, Aggregation]]] = {}
-    for result in results:
+    for ordinal, result in enumerate(results):
         indexed_rows.extend(result.rows)
         dataset.filter_stats.merge(result.filter_stats)
+        dataset.metrics.merge(result.metrics)
+        dataset.metrics.observe("pipeline.shard_wall_seconds", result.wall_seconds)
+        dataset.shard_report.append(
+            {
+                "ordinal": ordinal,
+                "samples": result.samples_ingested,
+                "rows_kept": len(result.rows),
+                "wall_seconds": result.wall_seconds,
+            }
+        )
         for first_index, key, aggregation in result.aggregations:
             parts.setdefault(key, []).append((first_index, aggregation))
     indexed_rows.sort(key=lambda item: item[0])
@@ -223,17 +246,39 @@ def build_dataset(
     dataset = StudyDataset(**dataset_kwargs)
     is_path = isinstance(source, (str, pathlib.Path))
     options = options or ParallelOptions(workers=1, executor="serial")
-    if options.effective_shards == 1 and options.executor == "serial":
-        return dataset.ingest(read_samples(source) if is_path else source)
-    if is_path:
-        tasks = [
-            _ShardTask(dataset_kwargs=dataset_kwargs, chunk=chunk)
-            for chunk in plan_chunks(source, options.effective_shards)
-        ]
-    else:
-        tasks = [
-            _ShardTask(dataset_kwargs=dataset_kwargs, indexed_samples=shard)
-            for shard in shard_samples(source, options.effective_shards)
-            if shard
-        ]
-    return _merge_results(dataset, _execute(tasks, options))
+    with span("pipeline.ingest"):
+        if options.effective_shards == 1 and options.executor == "serial":
+            with span("serial"):
+                dataset.ingest(
+                    read_samples(source, metrics=dataset.metrics)
+                    if is_path
+                    else source
+                )
+        else:
+            with span("plan"):
+                if is_path:
+                    tasks = [
+                        _ShardTask(dataset_kwargs=dataset_kwargs, chunk=chunk)
+                        for chunk in plan_chunks(source, options.effective_shards)
+                    ]
+                else:
+                    tasks = [
+                        _ShardTask(
+                            dataset_kwargs=dataset_kwargs, indexed_samples=shard
+                        )
+                        for shard in shard_samples(
+                            source, options.effective_shards
+                        )
+                        if shard
+                    ]
+            with span("execute"):
+                results = _execute(tasks, options)
+            with span("merge"):
+                _merge_results(dataset, results)
+    # Dataset-shape gauges are plan-invariant (same rows and store whatever
+    # the shard plan), so they participate in the equality invariant too.
+    dataset.metrics.set_gauge("pipeline.rows", len(dataset.rows))
+    dataset.metrics.set_gauge("pipeline.aggregations", len(dataset.store))
+    dataset.metrics.set_gauge("pipeline.groups", len(dataset.store.groups()))
+    merge_into_active(dataset.metrics)
+    return dataset

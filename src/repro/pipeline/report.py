@@ -7,14 +7,43 @@ report; these helpers keep the formatting in one place so bench output and
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+import math
+from typing import Iterable, Optional, Sequence, Tuple
 
-__all__ = ["format_cdf_checkpoints", "format_table", "format_percent"]
+__all__ = [
+    "format_cdf_checkpoints",
+    "format_metric",
+    "format_percent",
+    "format_table",
+]
+
+#: Rendered in place of a statistic that does not exist (zero-session
+#: aggregation, empty population split). The absence of data is reported,
+#: never raised through the renderer.
+NOT_AVAILABLE = "n/a"
 
 
-def format_percent(value: float, digits: int = 1) -> str:
-    """Format a fraction as a percentage string (0.839 -> \"83.9%\")."""
+def format_percent(value: Optional[float], digits: int = 1) -> str:
+    """Format a fraction as a percentage string (0.839 -> \"83.9%\").
+
+    ``None``/NaN (an empty population) renders as ``n/a``.
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return NOT_AVAILABLE
     return f"{100.0 * value:.{digits}f}%"
+
+
+def format_metric(
+    value: Optional[float], spec: str = ".1f", suffix: str = ""
+) -> str:
+    """Render one statistic, or ``n/a`` when it does not exist.
+
+    ``spec`` is a format-spec applied to non-None values; ``suffix`` (for
+    units, e.g. ``" ms"``) is appended only when there is a value.
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return NOT_AVAILABLE
+    return f"{value:{spec}}{suffix}"
 
 
 def format_cdf_checkpoints(

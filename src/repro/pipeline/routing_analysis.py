@@ -38,6 +38,7 @@ from repro.core.constants import (
     MAX_CI_WIDTH_MINRTT_MS,
 )
 from repro.core.records import Relationship, UserGroupKey
+from repro.obs import traced
 from repro.pipeline.dataset import StudyDataset
 from repro.stats.median_ci import compare_medians
 from repro.stats.weighted import weighted_ecdf, weighted_fraction_at_most
@@ -118,6 +119,7 @@ class Fig8Result:
     hdratio: WeightedDifferenceCdf
 
 
+@traced("pipeline.fig8")
 def fig8_degradation(dataset: StudyDataset) -> Fig8Result:
     """Figure 8: per-window degradation vs each group's baseline, traffic-weighted."""
     result = Fig8Result(WeightedDifferenceCdf(), WeightedDifferenceCdf())
@@ -145,6 +147,7 @@ class Fig9Result:
         return self.hdratio.traffic_fraction_at_most(slack)
 
 
+@traced("pipeline.fig9")
 def fig9_opportunity(dataset: StudyDataset) -> Fig9Result:
     """Figure 9: preferred vs best-alternate route differences, traffic-weighted."""
     result = Fig9Result(WeightedDifferenceCdf(), WeightedDifferenceCdf())
@@ -206,6 +209,7 @@ class Fig10Result:
         return self._median_of(self.hd_by_pair[pair])
 
 
+@traced("pipeline.fig10")
 def fig10_relationship_comparison(dataset: StudyDataset) -> Fig10Result:
     """Compare preferred r1-routes against the most-preferred r2 alternate.
 
@@ -338,6 +342,7 @@ class Table1Result:
         return cell.normalized(self.total_traffic.get(continent, 0.0))
 
 
+@traced("pipeline.table1")
 def table1_temporal_classes(
     dataset: StudyDataset, windows_per_day: Optional[int] = None
 ) -> Table1Result:
@@ -477,6 +482,7 @@ def _pair_name(preferred: Relationship, alternate: Relationship) -> str:
     return mapping.get((preferred, alternate), "others")
 
 
+@traced("pipeline.table2")
 def table2_opportunity_relationships(
     dataset: StudyDataset,
     minrtt_threshold: float = 5.0,

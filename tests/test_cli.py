@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,3 +84,129 @@ class TestNewSubcommands:
         assert main(["analyze", path]) == 0
         out = capsys.readouterr().out
         assert "global MinRTT p50" in out
+
+
+class TestShardsValidation:
+    """Satellite: --shards without --workers > 1 must error, not no-op."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["snapshot", "--shards", "4"],
+            ["routing", "--shards", "2"],
+            ["analyze", "t.jsonl", "--shards", "8"],
+            ["snapshot", "--workers", "1", "--shards", "4"],
+        ],
+    )
+    def test_shards_without_workers_errors(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--shards" in err and "--workers" in err
+
+    def test_shards_with_workers_accepted(self, capsys):
+        code = main(
+            [
+                "snapshot", "--rate", "1", "--networks-per-metro", "1",
+                "--workers", "2", "--shards", "4", "--executor", "serial",
+            ]
+        )
+        assert code == 0
+        assert "global MinRTT p50" in capsys.readouterr().out
+
+
+SMOKE_ARGS = {
+    "figure4": ["figure4"],
+    "sweep": ["sweep"],
+    "snapshot": ["snapshot", "--rate", "1", "--networks-per-metro", "1"],
+    "routing": ["routing", "--rate", "8", "--days", "1"],
+}
+
+
+class TestObservabilityOptions:
+    """Satellite: --metrics-out/--profile smoke tests on all four
+    subcommands — manifest file exists, is valid JSON, and reports stable
+    stage names."""
+
+    @pytest.mark.parametrize("command", sorted(SMOKE_ARGS))
+    def test_metrics_out_writes_valid_manifest(self, command, tmp_path, capsys):
+        out = tmp_path / f"{command}.json"
+        assert main(SMOKE_ARGS[command] + ["--metrics-out", str(out)]) == 0
+        assert out.exists()
+        payload = json.loads(out.read_text())
+        assert payload["format_version"] == 1
+        assert payload["command"] == command
+        assert payload["exit_code"] == 0
+        assert payload["stages"][0]["stage"] == f"cli.{command}"
+        assert payload["counters"], "a run must count something"
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("command", sorted(SMOKE_ARGS))
+    def test_profile_prints_stage_table(self, command, tmp_path, capsys):
+        assert main(SMOKE_ARGS[command] + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile" in out
+        assert f"cli.{command}" in out
+
+    def test_snapshot_manifest_stage_names_are_stable(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(SMOKE_ARGS["snapshot"] + ["--metrics-out", str(out)]) == 0
+        stages = [s["stage"] for s in json.loads(out.read_text())["stages"]]
+        assert stages[0] == "cli.snapshot"
+        assert "cli.snapshot.pipeline.dataset_from_source" in stages
+        assert any(stage.endswith("pipeline.ingest") for stage in stages)
+        assert "cli.snapshot.pipeline.fig6" in stages
+        capsys.readouterr()
+
+    def test_trace_manifest_counts_rows_written(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["trace", str(trace), "--rate", "1", "--metrics-out", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        written = payload["counters"]["io.rows_written"]
+        assert written == sum(1 for _ in trace.open())
+        capsys.readouterr()
+
+    def test_analyze_zero_session_trace_renders_not_available(
+        self, tmp_path, capsys
+    ):
+        """Satellite: zero-session aggregations render n/a, not a crash."""
+        from repro.pipeline.io import write_samples
+
+        empty = tmp_path / "empty.jsonl"
+        write_samples(empty, [])
+        assert main(["analyze", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out
+
+
+class TestCounterEqualityAcceptance:
+    """Acceptance: `repro snapshot --workers 4 --metrics-out m.json`
+    produces a manifest whose counters are byte-identical to the
+    `--workers 1` run."""
+
+    def test_workers4_manifest_counters_equal_workers1(self, tmp_path, capsys):
+        base = ["snapshot", "--rate", "1", "--networks-per-metro", "1"]
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        assert main(
+            base + ["--workers", "1", "--metrics-out", str(serial_out)]
+        ) == 0
+        assert main(
+            base + ["--workers", "4", "--metrics-out", str(parallel_out)]
+        ) == 0
+        capsys.readouterr()
+        serial = json.loads(serial_out.read_text())
+        parallel = json.loads(parallel_out.read_text())
+        assert json.dumps(parallel["counters"], sort_keys=True) == json.dumps(
+            serial["counters"], sort_keys=True
+        )
+        assert json.dumps(parallel["gauges"], sort_keys=True) == json.dumps(
+            serial["gauges"], sort_keys=True
+        )
+        # The execution facts do differ: the shard plans disagree.
+        assert serial["shard_plan"]["workers"] == 1
+        assert parallel["shard_plan"]["workers"] == 4

@@ -110,3 +110,87 @@ class TestGoldenTrace:
         assert [k for k, _ in parallel.store.items()] == [
             k for k, _ in dataset.store.items()
         ]
+
+
+class TestGoldenMethodologyCounters:
+    """The observability counters must agree with the §3.2 classifier.
+
+    ``methodology.*`` counters are incremented as a side effect of
+    ingestion; here they are checked against an independent per-session
+    recompute straight through :func:`repro.core.hdratio.session_goodput`
+    over the same golden trace.
+    """
+
+    @pytest.fixture(scope="class")
+    def counted(self, snapshot):
+        return build_dataset(TRACE, study_windows=snapshot["study_windows"])
+
+    @pytest.fixture(scope="class")
+    def expected_funnel(self, snapshot):
+        from repro.core.hdratio import session_goodput
+
+        probe = StudyDataset(study_windows=snapshot["study_windows"])
+        funnel = {
+            "raw": 0, "coalesced": 0, "inflight_dropped": 0,
+            "gtestable": 0, "achieved": 0, "hd_testable": 0,
+        }
+        for sample in read_samples(TRACE):
+            if not probe.ingest_one(sample) or not sample.transactions:
+                continue
+            summary = session_goodput(sample.transactions, sample.min_rtt_seconds)
+            funnel["raw"] += summary.raw_count
+            funnel["coalesced"] += summary.merged_away
+            funnel["inflight_dropped"] += summary.inflight_dropped
+            funnel["gtestable"] += summary.tested
+            funnel["achieved"] += summary.achieved
+            funnel["hd_testable"] += 1 if summary.tested else 0
+        return funnel
+
+    def test_gtestable_achieved_coalesced_match_classifier(
+        self, counted, expected_funnel
+    ):
+        counters = counted.metrics.counters
+        assert (
+            counters["methodology.transactions.gtestable"]
+            == expected_funnel["gtestable"]
+        )
+        assert (
+            counters["methodology.transactions.achieved"]
+            == expected_funnel["achieved"]
+        )
+        assert (
+            counters["methodology.transactions.coalesced"]
+            == expected_funnel["coalesced"]
+        )
+        assert (
+            counters["methodology.transactions.inflight_dropped"]
+            == expected_funnel["inflight_dropped"]
+        )
+        assert counters["methodology.transactions.raw"] == expected_funnel["raw"]
+        assert (
+            counters["methodology.sessions.hd_testable"]
+            == expected_funnel["hd_testable"]
+        )
+
+    def test_funnel_is_nontrivial_and_monotone(self, counted):
+        counters = counted.metrics.counters
+        # The golden fixture must exercise every classifier stage, or this
+        # test could not catch a broken one.
+        assert counters["methodology.transactions.gtestable"] > 0
+        assert counters["methodology.sessions.hd_testable"] > 0
+        assert (
+            counters["methodology.transactions.raw"]
+            >= counters["methodology.transactions.gtestable"]
+            >= counters["methodology.transactions.achieved"]
+        )
+
+    def test_parallel_counters_match_serial_on_golden_trace(
+        self, counted, snapshot
+    ):
+        parallel = build_dataset(
+            TRACE,
+            study_windows=snapshot["study_windows"],
+            options=ParallelOptions(workers=2, shards=3, executor="thread"),
+        )
+        assert parallel.metrics.counters == counted.metrics.counters
+        assert parallel.metrics.gauges == counted.metrics.gauges

@@ -1,0 +1,286 @@
+"""Observability through the pipeline: the counter-equality invariant.
+
+Counters and gauges are *data facts*: running the same input through any
+shard plan (any executor, any shard count, in-memory or file-backed) must
+produce byte-identical counters and gauges to the serial pass. This
+mirrors the state-equality matrix in ``tests/test_pipeline_parallel.py``
+at the metrics layer. Timings (``timers``, ``shard_report``) are execution
+facts and are only checked for shape.
+"""
+
+import json
+
+import pytest
+
+from repro.core.hdratio import session_goodput
+from repro.obs import MetricsRegistry, activate_metrics, active_metrics
+from repro.pipeline import ParallelOptions, StudyDataset, build_dataset
+from repro.pipeline.io import read_samples, write_samples
+from repro.pipeline.parallel import EXECUTORS
+
+from tests.helpers import make_trace_samples
+
+STUDY_WINDOWS = 8
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return make_trace_samples(600, seed=11, windows=STUDY_WINDOWS)
+
+
+@pytest.fixture(scope="module")
+def serial_dataset(samples):
+    return build_dataset(iter(samples), study_windows=STUDY_WINDOWS)
+
+
+@pytest.fixture(scope="module")
+def trace_paths(samples, tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs-traces")
+    plain = root / "trace.jsonl"
+    gz = root / "trace.jsonl.gz"
+    write_samples(plain, samples)
+    write_samples(gz, samples)
+    return {"plain": plain, "gz": gz}
+
+
+def canonical_counters(dataset: StudyDataset) -> str:
+    """Byte-comparable serialization of the dataset's data facts."""
+    return json.dumps(
+        {"counters": dataset.metrics.counters, "gauges": dataset.metrics.gauges},
+        sort_keys=True,
+    )
+
+
+def assert_counters_equal(parallel: StudyDataset, serial: StudyDataset) -> None:
+    assert canonical_counters(parallel) == canonical_counters(serial)
+
+
+# --------------------------------------------------------------------- #
+# Counter equality across shard plans
+# --------------------------------------------------------------------- #
+class TestInMemoryCounterEquality:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_serial_executor(self, samples, serial_dataset, shards):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=shards, executor="serial"),
+        )
+        assert_counters_equal(dataset, serial_dataset)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_thread_executor(self, samples, serial_dataset, shards):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=4, shards=shards, executor="thread"),
+        )
+        assert_counters_equal(dataset, serial_dataset)
+
+    def test_process_executor(self, samples, serial_dataset):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=4, executor="process"),
+        )
+        assert_counters_equal(dataset, serial_dataset)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_full_matrix(self, samples, serial_dataset, executor, shards):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=4, shards=shards, executor=executor),
+        )
+        assert_counters_equal(dataset, serial_dataset)
+
+
+class TestFileCounterEquality:
+    @pytest.mark.parametrize("kind,shards", [("plain", 1), ("plain", 3), ("gz", 2)])
+    def test_chunked_serial(self, trace_paths, serial_dataset, kind, shards):
+        dataset = build_dataset(
+            trace_paths[kind],
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=shards, executor="serial"),
+        )
+        # File-backed runs additionally count io.rows_read, which an
+        # in-memory serial baseline cannot have; compare against the
+        # serial *file* read instead.
+        baseline = build_dataset(trace_paths[kind], study_windows=STUDY_WINDOWS)
+        assert_counters_equal(dataset, baseline)
+        assert dataset.metrics.counter("io.rows_read") == len(
+            make_trace_samples(600, seed=11, windows=STUDY_WINDOWS)
+        )
+
+    def test_chunked_process(self, trace_paths, serial_dataset):
+        dataset = build_dataset(
+            trace_paths["plain"],
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=3, executor="process"),
+        )
+        baseline = build_dataset(trace_paths["plain"], study_windows=STUDY_WINDOWS)
+        assert_counters_equal(dataset, baseline)
+
+    def test_file_and_memory_agree_on_everything_but_io(
+        self, trace_paths, serial_dataset
+    ):
+        file_dataset = build_dataset(trace_paths["plain"], study_windows=STUDY_WINDOWS)
+        file_counters = dict(file_dataset.metrics.counters)
+        io_counters = {
+            name: file_counters.pop(name)
+            for name in list(file_counters)
+            if name.startswith("io.")
+        }
+        assert io_counters == {"io.rows_read": 600}
+        assert file_counters == serial_dataset.metrics.counters
+
+
+# --------------------------------------------------------------------- #
+# The counters mean what they claim
+# --------------------------------------------------------------------- #
+class TestCounterSemantics:
+    def test_sample_funnel_adds_up(self, samples, serial_dataset):
+        counters = serial_dataset.metrics.counters
+        assert counters["pipeline.samples.read"] == len(samples)
+        assert (
+            counters["pipeline.samples.read"]
+            == counters["pipeline.samples.kept"]
+            + counters["pipeline.samples.dropped_hosting"]
+        )
+        assert counters["pipeline.samples.kept"] == len(serial_dataset.rows)
+
+    def test_methodology_funnel_matches_independent_recompute(
+        self, samples, serial_dataset
+    ):
+        """§3.2 classifier counts: recompute the raw → coalesced →
+        eligible → tested → achieved funnel per session and compare."""
+        expected = {
+            "raw": 0, "coalesced": 0, "inflight_dropped": 0,
+            "gtestable": 0, "achieved": 0, "hd_testable": 0,
+        }
+        kept = {id(row) for row in serial_dataset.rows}
+        filter_probe = StudyDataset(study_windows=STUDY_WINDOWS)
+        for sample in samples:
+            if not filter_probe.ingest_one(sample):
+                continue
+            if not sample.transactions:
+                continue
+            summary = session_goodput(sample.transactions, sample.min_rtt_seconds)
+            expected["raw"] += summary.raw_count
+            expected["coalesced"] += summary.merged_away
+            expected["inflight_dropped"] += summary.inflight_dropped
+            expected["gtestable"] += summary.tested
+            expected["achieved"] += summary.achieved
+            expected["hd_testable"] += 1 if summary.tested else 0
+        counters = serial_dataset.metrics.counters
+        assert counters["methodology.transactions.raw"] == expected["raw"]
+        assert counters["methodology.transactions.coalesced"] == expected["coalesced"]
+        assert (
+            counters["methodology.transactions.inflight_dropped"]
+            == expected["inflight_dropped"]
+        )
+        assert counters["methodology.transactions.gtestable"] == expected["gtestable"]
+        assert counters["methodology.transactions.achieved"] == expected["achieved"]
+        assert counters["methodology.sessions.hd_testable"] == expected["hd_testable"]
+        # The funnel is monotone.
+        assert (
+            counters["methodology.transactions.raw"]
+            >= counters["methodology.transactions.gtestable"]
+            >= counters["methodology.transactions.achieved"]
+        )
+
+    def test_aggregation_counters(self, serial_dataset):
+        counters = serial_dataset.metrics.counters
+        assert counters["core.aggregation.samples"] == len(serial_dataset.rows)
+        assert (
+            counters["core.aggregation.hd_samples"]
+            == counters["methodology.sessions.hd_testable"]
+        )
+
+    def test_shape_gauges(self, serial_dataset):
+        gauges = serial_dataset.metrics.gauges
+        assert gauges["pipeline.rows"] == len(serial_dataset.rows)
+        assert gauges["pipeline.aggregations"] == len(serial_dataset.store)
+        assert gauges["pipeline.groups"] == len(serial_dataset.store.groups())
+
+    def test_io_rows_read_counts_gz_identically(self, trace_paths):
+        for kind in ("plain", "gz"):
+            registry = MetricsRegistry()
+            rows = list(read_samples(trace_paths[kind], metrics=registry))
+            assert registry.counter("io.rows_read") == len(rows) == 600
+
+    def test_io_decode_error_counted_before_raise(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{this is not json\n")
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid JSON"):
+            list(read_samples(bad, metrics=registry))
+        assert registry.counter("io.decode_errors") == 1
+        assert registry.counter("io.rows_read") == 0
+
+
+# --------------------------------------------------------------------- #
+# Execution facts & plumbing
+# --------------------------------------------------------------------- #
+class TestExecutionFacts:
+    def test_shard_report_shape(self, samples):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=ParallelOptions(workers=2, shards=4, executor="serial"),
+        )
+        assert len(dataset.shard_report) == 4
+        assert sum(entry["samples"] for entry in dataset.shard_report) == len(samples)
+        for entry in dataset.shard_report:
+            assert set(entry) == {"ordinal", "samples", "rows_kept", "wall_seconds"}
+            assert entry["wall_seconds"] >= 0.0
+        stat = dataset.metrics.timer_stat("pipeline.shard_wall_seconds")
+        assert stat.count == 4
+
+    def test_serial_run_has_no_shard_report(self, serial_dataset):
+        assert serial_dataset.shard_report == []
+
+    def test_build_dataset_merges_into_active_registry(self, samples):
+        cli_registry = MetricsRegistry()
+        with activate_metrics(cli_registry):
+            dataset = build_dataset(iter(samples), study_windows=STUDY_WINDOWS)
+        assert cli_registry.counters == dataset.metrics.counters
+        assert cli_registry.gauges == dataset.metrics.gauges
+
+    def test_dataset_registry_is_fresh_not_the_active_one(self):
+        cli_registry = MetricsRegistry()
+        with activate_metrics(cli_registry):
+            dataset = StudyDataset(study_windows=4)
+            assert dataset.metrics is not cli_registry
+            assert active_metrics() is cli_registry
+
+
+# --------------------------------------------------------------------- #
+# Netsim event-loop stats
+# --------------------------------------------------------------------- #
+class TestNetsimMetrics:
+    def test_simulator_publishes_into_active_registry(self):
+        from repro.netsim.engine import Simulator
+
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            sim = Simulator()
+            handle = sim.schedule(0.5, lambda: None)
+            handle.cancel()
+            sim.schedule(1.0, lambda: None)
+            sim.run_until_idle()
+        assert registry.counter("netsim.events_processed") == 1
+        assert registry.counter("netsim.events_cancelled") == 1
+        assert registry.counter("netsim.runs") == 1
+        assert registry.gauge("netsim.sim_time_seconds") == 1.0
+
+    def test_simulator_is_silent_without_activation(self):
+        from repro.netsim.engine import Simulator
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()  # must not raise
+        assert sim.events_processed == 1
+        assert sim.events_cancelled == 0

@@ -1,6 +1,14 @@
 """Tests for text report rendering."""
 
-from repro.pipeline.report import format_cdf_checkpoints, format_percent, format_table
+import math
+
+from repro.pipeline.report import (
+    NOT_AVAILABLE,
+    format_cdf_checkpoints,
+    format_metric,
+    format_percent,
+    format_table,
+)
 
 
 class TestFormatPercent:
@@ -8,6 +16,43 @@ class TestFormatPercent:
         assert format_percent(0.839) == "83.9%"
         assert format_percent(0.0204, digits=2) == "2.04%"
         assert format_percent(1.0) == "100.0%"
+
+    def test_missing_renders_not_available(self):
+        assert format_percent(None) == NOT_AVAILABLE
+        assert format_percent(float("nan")) == NOT_AVAILABLE
+
+
+class TestFormatMetric:
+    def test_value_with_spec_and_suffix(self):
+        assert format_metric(34.56, ".0f", " ms") == "35 ms"
+        assert format_metric(0.125, ".3f") == "0.125"
+
+    def test_missing_renders_not_available_without_suffix(self):
+        assert format_metric(None, ".0f", " ms") == NOT_AVAILABLE
+        assert format_metric(math.nan) == NOT_AVAILABLE
+
+
+class TestZeroSessionAggregations:
+    """Satellite: an empty study renders as n/a instead of raising."""
+
+    def test_empty_fig6_renders(self):
+        from repro.pipeline import StudyDataset, fig6_global_performance
+
+        result = fig6_global_performance(StudyDataset(study_windows=4))
+        assert result.median_minrtt is None
+        assert result.p80_minrtt is None
+        assert result.hdratio_positive_fraction is None
+        assert result.hdratio_full_fraction == 0.0
+        assert format_metric(result.median_minrtt, ".0f", " ms") == NOT_AVAILABLE
+        assert format_percent(result.hdratio_positive_fraction) == NOT_AVAILABLE
+
+    def test_empty_cdf_series(self):
+        from repro.pipeline.experiments import CdfSeries
+
+        series = CdfSeries.of("empty", [])
+        assert len(series) == 0
+        assert series.quantile(0.5) is None
+        assert series.fraction_at_most(10.0) == 0.0
 
 
 class TestFormatTable:
