@@ -4,22 +4,26 @@
 #   test-all    - everything in tests/, including the exhaustive `slow`
 #                 equivalence/property sweeps (`-m ""` clears the addopts
 #                 marker filter) and the observability coverage floor.
-#   coverage    - the obs-subsystem tests under pytest-cov with a fail-under
-#                 floor on src/repro/obs/. Gated: when pytest-cov is not
-#                 installed the tests still run, without the floor, instead
-#                 of erroring (the container may not ship coverage tooling).
+#   coverage    - the obs- and store-subsystem tests under pytest-cov with a
+#                 fail-under floor on src/repro/obs/ + src/repro/store/.
+#                 Gated: when pytest-cov is not installed the tests still
+#                 run, without the floor, instead of erroring (the container
+#                 may not ship coverage tooling).
 #   bench       - the full figure/ablation benchmark harness.
 #   bench-scaling - just the parallel-pipeline throughput bench; writes
 #                 benchmarks/results/parallel_scaling.txt.
+#   bench-io    - the store-vs-JSONL ingest/pushdown bench; writes
+#                 benchmarks/results/BENCH_io.json.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
 OBS_TESTS = tests/test_obs_registry.py tests/test_obs_tracing.py \
             tests/test_obs_manifest.py tests/test_obs_pipeline.py
-OBS_COV_FLOOR = 85
+STORE_TESTS = tests/test_store.py tests/test_store_pipeline.py
+COV_FLOOR = 85
 
-.PHONY: test test-all coverage bench bench-scaling
+.PHONY: test test-all coverage bench bench-scaling bench-io
 
 test:
 	$(PYTEST) -x -q
@@ -29,13 +33,13 @@ test-all: coverage
 
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
-		$(PYTEST) -q -m "" $(OBS_TESTS) \
-			--cov=repro.obs --cov-report=term-missing \
-			--cov-fail-under=$(OBS_COV_FLOOR); \
+		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) \
+			--cov=repro.obs --cov=repro.store --cov-report=term-missing \
+			--cov-fail-under=$(COV_FLOOR); \
 	else \
-		echo "pytest-cov not installed; running obs tests without the" \
-		     "$(OBS_COV_FLOOR)% floor"; \
-		$(PYTEST) -q -m "" $(OBS_TESTS); \
+		echo "pytest-cov not installed; running obs/store tests without" \
+		     "the $(COV_FLOOR)% floor"; \
+		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS); \
 	fi
 
 bench:
@@ -43,3 +47,6 @@ bench:
 
 bench-scaling:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_parallel_scaling.py
+
+bench-io:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_io.py

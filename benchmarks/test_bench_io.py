@@ -1,0 +1,119 @@
+"""I/O benchmark: columnar store vs JSONL ingest, plus predicate pushdown.
+
+Writes the same synthetic trace as plain JSONL and as a columnar store,
+then times a full ``read_samples`` pass over each (best of three) and a
+filtered store scan. Results — rows/sec, bytes/sec, on-disk sizes, and
+the pruning ratio of the filtered scan — land in
+``benchmarks/results/BENCH_io.json``.
+
+The acceptance floor: the store must ingest at >=2x the JSONL rows/sec.
+Decode is pure single-threaded CPU (struct unpacking vs json.loads), so
+the floor applies on any host.
+
+Scale knob: ``REPRO_BENCH_IO_SESSIONS`` (default 30_000).
+
+Run with ``make bench-io`` or ``pytest -m bench benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.pipeline.io import convert, read_samples, write_samples
+from repro.store import ScanFilter, TraceStoreReader
+
+from tests.helpers import make_trace_samples
+
+pytestmark = pytest.mark.bench
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SESSIONS = int(os.environ.get("REPRO_BENCH_IO_SESSIONS", 30_000))
+STUDY_WINDOWS = 16
+# Best-of-5: single passes on a shared CI host jitter by ~20%, which is
+# enough to blur a 2x ratio; the minimum is the stable estimator.
+REPEATS = 5
+STORE_SPEEDUP_FLOOR = 2.0
+
+
+def _scan_seconds(path) -> "tuple[int, float]":
+    """Best-of-N full-pass time and the row count (sanity-checked)."""
+    best = float("inf")
+    rows = 0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        rows = sum(1 for _ in read_samples(path))
+        best = min(best, time.perf_counter() - start)
+    return rows, best
+
+
+def _tree_bytes(path: pathlib.Path) -> int:
+    if path.is_dir():
+        return sum(child.stat().st_size for child in path.iterdir())
+    return path.stat().st_size
+
+
+def test_store_vs_jsonl_ingest(tmp_path):
+    jsonl = tmp_path / "bench_io.jsonl"
+    store = tmp_path / "bench_io.store"
+    write_samples(jsonl, make_trace_samples(SESSIONS, seed=47, windows=STUDY_WINDOWS))
+    convert(jsonl, store)
+
+    jsonl_rows, jsonl_s = _scan_seconds(jsonl)
+    store_rows, store_s = _scan_seconds(store)
+    assert jsonl_rows == store_rows == SESSIONS
+
+    jsonl_bytes = _tree_bytes(jsonl)
+    store_bytes = _tree_bytes(store)
+
+    # Pushdown: scan one PoP and measure how much of data.bin never got
+    # decoded. The pruning ratio is a data property (partition layout),
+    # not a timing, so a single pass suffices.
+    reader = TraceStoreReader(store)
+    filtered = MetricsRegistry()
+    list(reader.scan(ScanFilter(pops=reader.partitions[0]["pop"]), metrics=filtered))
+    bytes_read = filtered.counter("store.bytes.read")
+    bytes_skipped = filtered.counter("store.bytes.skipped")
+    pruning_ratio = bytes_skipped / (bytes_read + bytes_skipped)
+
+    speedup = (SESSIONS / store_s) / (SESSIONS / jsonl_s)
+    results = {
+        "sessions": SESSIONS,
+        "repeats_best_of": REPEATS,
+        "jsonl": {
+            "file_bytes": jsonl_bytes,
+            "scan_seconds": round(jsonl_s, 4),
+            "rows_per_sec": round(SESSIONS / jsonl_s),
+            "bytes_per_sec": round(jsonl_bytes / jsonl_s),
+        },
+        "store": {
+            "file_bytes": store_bytes,
+            "scan_seconds": round(store_s, 4),
+            "rows_per_sec": round(SESSIONS / store_s),
+            "bytes_per_sec": round(store_bytes / store_s),
+            "size_vs_jsonl": round(store_bytes / jsonl_bytes, 4),
+        },
+        "ingest_speedup": round(speedup, 2),
+        "filtered_scan": {
+            "partitions_scanned": filtered.counter("store.partitions.scanned"),
+            "partitions_pruned": filtered.counter("store.partitions.pruned"),
+            "bytes_read": bytes_read,
+            "bytes_skipped": bytes_skipped,
+            "pruning_ratio": round(pruning_ratio, 4),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_io.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+    assert pruning_ratio > 0.0, "filter admitted every partition"
+    assert speedup >= STORE_SPEEDUP_FLOOR, (
+        f"store ingest only {speedup:.2f}x over JSONL "
+        f"(floor {STORE_SPEEDUP_FLOOR}x)"
+    )

@@ -1,13 +1,19 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main entry points:
+The subcommands mirror the library's main entry points:
 
 - ``repro figure4`` — the paper's goodput walkthrough on the packet
   simulator;
 - ``repro sweep`` — the §3.2.3 estimator-validation sweep;
 - ``repro snapshot`` — generate a synthetic edge snapshot and print the §4
   global-performance report;
-- ``repro routing`` — run the §6 preferred-vs-alternate audit.
+- ``repro routing`` — run the §6 preferred-vs-alternate audit (generated,
+  or over a saved trace via ``--trace``);
+- ``repro trace`` / ``repro analyze`` — export a synthetic trace and
+  re-analyse it later; both formats (JSONL and the columnar store of
+  :mod:`repro.store`) are supported, selected by path or ``--format``;
+- ``repro convert`` — convert a trace between JSONL and the columnar
+  store.
 
 Every subcommand supports ``--metrics-out PATH`` (write a
 :class:`repro.obs.RunManifest` JSON recording config, shard plan, stage
@@ -94,35 +100,73 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_options(snapshot)
     _add_observability_options(snapshot)
 
+    def add_format_option(command: argparse.ArgumentParser, what: str) -> None:
+        command.add_argument(
+            "--format", choices=("jsonl", "store"), default=None,
+            dest="trace_format",
+            help=f"trace format of {what} (default: auto-detect from the "
+            "path — a *.store directory is a columnar store)",
+        )
+
     routing = sub.add_parser("routing", help="run the §6 routing audit")
     routing.add_argument("--seed", type=int, default=42)
     routing.add_argument("--days", type=int, default=2)
     routing.add_argument("--rate", type=float, default=60.0)
+    routing.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="audit a saved trace (JSONL or store) instead of generating "
+        "a scenario; --seed/--rate are ignored",
+    )
+    add_format_option(routing, "--trace")
     add_parallel_options(routing)
     _add_observability_options(routing)
 
     trace = sub.add_parser(
-        "trace", help="generate a synthetic trace to a JSONL file"
+        "trace", help="generate a synthetic trace file (JSONL or store)"
     )
-    trace.add_argument("output", help="path (.jsonl or .jsonl.gz)")
+    trace.add_argument("output", help="path (.jsonl, .jsonl.gz, or .store)")
     trace.add_argument("--seed", type=int, default=42)
     trace.add_argument("--days", type=int, default=1)
     trace.add_argument("--rate", type=float, default=10.0)
     trace.add_argument(
         "--networks-per-metro", type=int, default=1, dest="networks_per_metro"
     )
+    add_format_option(trace, "the output")
     _add_observability_options(trace)
 
     analyze = sub.add_parser(
         "analyze", help="run the global-performance report over a saved trace"
     )
-    analyze.add_argument("trace", help="JSONL trace produced by `repro trace`")
+    analyze.add_argument(
+        "trace", help="trace produced by `repro trace` (JSONL or store)"
+    )
     analyze.add_argument(
         "--windows", type=int, default=96,
         help="number of 15-minute windows the trace spans",
     )
+    add_format_option(analyze, "the trace")
     add_parallel_options(analyze)
     _add_observability_options(analyze)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a trace between JSONL and the columnar store",
+    )
+    convert.add_argument("src", help="source trace (JSONL or store)")
+    convert.add_argument(
+        "dst", help="destination (a *.store directory or a JSONL path)"
+    )
+    convert.add_argument(
+        "--band-windows", type=int, default=None, dest="band_windows",
+        metavar="N",
+        help="aggregation windows per store partition band (default 4 = "
+        "one hour of 15-minute windows)",
+    )
+    convert.add_argument(
+        "--no-compress", action="store_true", dest="no_compress",
+        help="skip per-block deflate in the store output",
+    )
+    _add_observability_options(convert)
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -245,13 +289,21 @@ def _cmd_routing(args: argparse.Namespace) -> int:
     from repro.pipeline.report import format_percent
     from repro.workload import EdgeScenario, ScenarioConfig
 
-    config = ScenarioConfig(
-        seed=args.seed, days=args.days, base_sessions_per_window=args.rate
-    )
-    scenario = EdgeScenario(config)
-    print(f"Measuring preferred + alternates for {len(scenario.networks)} groups…")
+    if args.trace is not None:
+        print(f"Auditing saved trace {args.trace}…")
+        source = args.trace
+    else:
+        config = ScenarioConfig(
+            seed=args.seed, days=args.days, base_sessions_per_window=args.rate
+        )
+        scenario = EdgeScenario(config)
+        print(
+            f"Measuring preferred + alternates for "
+            f"{len(scenario.networks)} groups…"
+        )
+        source = scenario.generate()
     dataset = dataset_from_source(
-        scenario.generate(),
+        source,
         study_windows=args.days * 24,
         keep_response_sizes=False,
         window_seconds=3600.0,
@@ -281,7 +333,8 @@ def _cmd_routing(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import active_metrics
-    from repro.pipeline.io import write_samples
+    from repro.pipeline.io import detect_format, write_samples
+    from repro.store import write_store
     from repro.workload import EdgeScenario, ScenarioConfig
 
     config = ScenarioConfig(
@@ -292,9 +345,42 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     scenario = EdgeScenario(config)
     print(f"Generating {args.days} day(s) across {len(scenario.networks)} networks…")
-    count = write_samples(args.output, scenario.generate(), metrics=active_metrics())
-    print(f"wrote {count:,} samples to {args.output}")
+    fmt = args.trace_format or detect_format(args.output)
+    if fmt == "store":
+        count = write_store(
+            args.output, scenario.generate(), metrics=active_metrics()
+        )
+    else:
+        count = write_samples(
+            args.output, scenario.generate(), metrics=active_metrics()
+        )
+    print(f"wrote {count:,} samples to {args.output} ({fmt})")
     print(f"(the trace spans {config.total_windows} fifteen-minute windows)")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.obs import active_metrics
+    from repro.pipeline.io import convert, detect_format
+    from repro.store import DEFAULT_BAND_WINDOWS
+
+    band_windows = (
+        args.band_windows
+        if args.band_windows is not None
+        else DEFAULT_BAND_WINDOWS
+    )
+    count = convert(
+        args.src,
+        args.dst,
+        band_windows=band_windows,
+        compress=not args.no_compress,
+        metrics=active_metrics(),
+    )
+    print(
+        f"converted {count:,} samples: {args.src} "
+        f"({detect_format(args.src)}) -> {args.dst} "
+        f"({detect_format(args.dst)})"
+    )
     return 0
 
 
@@ -349,6 +435,7 @@ _COMMANDS = {
     "routing": _cmd_routing,
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
+    "convert": _cmd_convert,
     "calibrate": _cmd_calibrate,
 }
 
@@ -362,6 +449,22 @@ def _validate_args(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
             f"--shards {shards} has no effect without --workers > 1; "
             "pass --workers N (or drop --shards) to run sharded"
         )
+    fmt = getattr(args, "trace_format", None)
+    if fmt is not None:
+        from repro.pipeline.io import detect_format
+
+        if args.command == "trace":
+            trace_path = args.output
+        else:  # analyze / routing: --format asserts the input's format
+            trace_path = getattr(args, "trace", None)
+            if trace_path is None:
+                parser.error("--format requires --trace PATH")
+        detected = detect_format(trace_path)
+        if detected != fmt:
+            parser.error(
+                f"--format {fmt} does not match {trace_path} (which is "
+                f"{detected}); a columnar store is a *.store directory"
+            )
 
 
 def _shard_plan(args: argparse.Namespace) -> dict:

@@ -18,8 +18,10 @@ timers live outside the serial/parallel counter-equality invariant.
 Metric names are dotted lowercase paths (``pipeline.samples.read``), one
 namespace per layer: ``pipeline.*`` ingestion accounting, ``methodology.*``
 the §3.2 classifier counts, ``core.*`` aggregation-store accounting,
-``io.*`` trace serialization, ``netsim.*`` the simulator's event loop.
-See DESIGN.md §7 for the registry of names.
+``io.*`` trace serialization, ``store.*`` the columnar trace store
+(partitions scanned/pruned, bytes read/skipped, rows decoded/written),
+``netsim.*`` the simulator's event loop. See DESIGN.md §7 for the
+registry of names.
 """
 
 from __future__ import annotations

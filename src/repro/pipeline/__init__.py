@@ -1,6 +1,8 @@
 """Analysis pipeline: dataset building and per-figure/table drivers.
 
 - :mod:`repro.pipeline.filters` — hosting-provider filtering (§2.2.4);
+- :mod:`repro.pipeline.io` — trace serialization: JSONL and the columnar
+  store (:mod:`repro.store`), format auto-detected, ``convert`` between;
 - :mod:`repro.pipeline.dataset` — single-pass study dataset;
 - :mod:`repro.pipeline.experiments` — Figures 1–7 and the naive-goodput
   ablation;
@@ -24,7 +26,7 @@ from repro.pipeline.experiments import (
     fig7_rtt_vs_hdratio,
 )
 from repro.pipeline.filters import FilterStats, filter_hosting_providers
-from repro.pipeline.io import read_samples, write_samples
+from repro.pipeline.io import convert, detect_format, read_samples, write_samples
 from repro.pipeline.parallel import ParallelOptions, build_dataset
 from repro.pipeline.streaming import RouteDecision, StreamingRouteMonitor
 from repro.pipeline.routing_analysis import (
@@ -44,7 +46,9 @@ __all__ = [
     "StreamingRouteMonitor",
     "StudyDataset",
     "build_dataset",
+    "convert",
     "dataset_from_source",
+    "detect_format",
     "read_samples",
     "write_samples",
     "ablation_naive_goodput",

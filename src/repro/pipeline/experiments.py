@@ -47,11 +47,12 @@ def dataset_from_source(
 ) -> StudyDataset:
     """Build the :class:`StudyDataset` every figure driver consumes.
 
-    ``source`` is a JSONL trace path or an in-memory sample stream. With
-    ``workers > 1`` (or ``shards > 1``) ingestion runs through the sharded
-    pipeline (:mod:`repro.pipeline.parallel`), whose output is bit-identical
-    to the serial pass — so fig6/fig8/fig10 results do not depend on how
-    the dataset was built.
+    ``source`` is a trace path (JSONL or columnar store, auto-detected) or
+    an in-memory sample stream. With ``workers > 1`` (or ``shards > 1``)
+    ingestion runs through the sharded pipeline
+    (:mod:`repro.pipeline.parallel`), whose output is bit-identical to the
+    serial pass — so fig6/fig8/fig10 results depend on neither the trace
+    format nor how the dataset was built.
     """
     from repro.pipeline.parallel import ParallelOptions, build_dataset
 

@@ -1,14 +1,23 @@
-"""Trace serialization: JSON-lines export/import of session samples.
+"""Trace serialization: JSONL and columnar-store import/export.
 
 The paper's collection pipeline ships captured state off the load balancer
 to an aggregation tier (§2.2.2); in this reproduction the equivalent
-boundary is a JSONL trace file — one sample per line — so that expensive
-synthetic traces can be generated once and re-analysed many times, shared,
-or diffed across library versions.
+boundary is a saved trace, in one of two interchangeable formats:
 
-The format is versioned and intentionally flat: every field of
-:class:`~repro.core.records.SessionSample` and its transaction records,
-with enums as their string values.
+- **JSONL** — one sample per line, versioned and intentionally flat:
+  every field of :class:`~repro.core.records.SessionSample` and its
+  transaction records, with enums as their string values. The validating,
+  human-inspectable interchange format.
+- **columnar store** (:mod:`repro.store`) — a partitioned binary layout
+  with manifest-level partition pruning; the fast re-analysis format
+  (DESIGN.md §8).
+
+Every entry point here (:func:`read_samples`, :func:`write_samples`,
+:func:`plan_chunks`, :func:`read_chunk`) auto-detects the format from the
+path — a store is a directory with a ``manifest.json`` (conventionally
+``*.store``) — so the dataset builders and the sharded pipeline work over
+either without caring which. :func:`convert` moves a trace between the
+formats losslessly.
 """
 
 from __future__ import annotations
@@ -16,8 +25,10 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import os
 import pathlib
-from typing import IO, Iterable, Iterator, Union
+import warnings
+from typing import IO, Iterable, Iterator, Optional, Union
 
 from dataclasses import dataclass
 
@@ -28,9 +39,21 @@ from repro.core.records import (
     SessionSample,
     TransactionRecord,
 )
+from repro.obs import active_metrics
+from repro.store import (
+    DEFAULT_BAND_WINDOWS,
+    StoreChunk,
+    TraceStoreReader,
+    is_store_path,
+    read_store_chunk,
+    write_store,
+)
 
 __all__ = [
+    "StoreChunk",
     "TraceChunk",
+    "convert",
+    "detect_format",
     "plan_chunks",
     "read_chunk",
     "read_samples",
@@ -43,6 +66,12 @@ __all__ = [
 FORMAT_VERSION = 1
 
 PathLike = Union[str, pathlib.Path]
+
+
+def detect_format(path: PathLike) -> str:
+    """``"store"`` for trace-store directories (or ``*.store`` targets),
+    ``"jsonl"`` otherwise."""
+    return "store" if is_store_path(path) else "jsonl"
 
 
 def sample_to_dict(sample: SessionSample) -> dict:
@@ -135,9 +164,18 @@ def sample_from_dict(payload: dict) -> SessionSample:
     )
 
 
-def _open(path: PathLike, mode: str) -> IO:
+def _open(path: PathLike, mode: str, compressed: Optional[bool] = None) -> IO:
+    """Open a trace file for text I/O.
+
+    ``compressed`` forces gzip on/off; the default infers it from the
+    suffix. The explicit flag exists so atomic writes can open a temp file
+    (whose name ends in ``.tmp.<pid>``) with the *target* path's
+    compression.
+    """
     path = pathlib.Path(path)
-    if path.suffix == ".gz":
+    if compressed is None:
+        compressed = path.suffix == ".gz"
+    if compressed:
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 
@@ -145,30 +183,61 @@ def _open(path: PathLike, mode: str) -> IO:
 def write_samples(
     path: PathLike, samples: Iterable[SessionSample], metrics=None
 ) -> int:
-    """Stream samples to a (optionally gzipped) JSONL file; returns count.
+    """Write samples as a trace; returns the count.
 
-    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry` that
-    receives ``io.rows_written``.
+    The format follows the path: a ``*.store`` target becomes a columnar
+    store (:mod:`repro.store`), anything else a (optionally gzipped) JSONL
+    file. ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`
+    that receives ``io.rows_written`` (and the ``store.*`` write counters
+    for store targets).
+
+    JSONL writes are atomic: samples stream into a temp file beside the
+    target, renamed into place only after the last line is flushed. An
+    interrupted export leaves the previous trace intact (or no trace),
+    never a truncated file that parses as a short-but-valid trace. Store
+    writes get the same guarantee from the writer's manifest-last protocol.
     """
+    if detect_format(path) == "store":
+        return write_store(path, samples, metrics=metrics)
+    path = pathlib.Path(path)
+    compressed = path.suffix == ".gz"
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
     count = 0
-    with _open(path, "w") as handle:
-        for sample in samples:
-            handle.write(json.dumps(sample_to_dict(sample)))
-            handle.write("\n")
-            count += 1
+    try:
+        with _open(tmp, "w", compressed=compressed) as handle:
+            for sample in samples:
+                handle.write(json.dumps(sample_to_dict(sample)))
+                handle.write("\n")
+                count += 1
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     if metrics is not None:
         metrics.inc("io.rows_written", count)
     return count
 
 
 def read_samples(path: PathLike, metrics=None) -> Iterator[SessionSample]:
-    """Stream samples back from a trace file.
+    """Stream samples back from a trace (JSONL or store, by path).
 
     ``metrics`` is an optional :class:`repro.obs.MetricsRegistry` that
     receives ``io.rows_read`` per decoded row and ``io.decode_errors``
     (counted before the error is raised, so a manifest written after a
-    failure still shows how far the read got).
+    failure still shows how far the read got). Store reads add the
+    ``store.*`` scan counters.
     """
+    if detect_format(path) == "store":
+        # Hand the reader's iterator straight out rather than re-yielding
+        # row by row: the extra generator frame is measurable on long
+        # scans. The manifest is read eagerly, the data lazily.
+        return TraceStoreReader(path).scan(metrics=metrics)
+    return _read_samples_jsonl(path, metrics)
+
+
+def _read_samples_jsonl(
+    path: PathLike, metrics=None
+) -> Iterator[SessionSample]:
     with _open(path, "r") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -185,6 +254,32 @@ def read_samples(path: PathLike, metrics=None) -> Iterator[SessionSample]:
             if metrics is not None:
                 metrics.inc("io.rows_read")
             yield sample_from_dict(payload)
+
+
+def convert(
+    src: PathLike,
+    dst: PathLike,
+    band_windows: int = DEFAULT_BAND_WINDOWS,
+    compress: bool = True,
+    metrics=None,
+) -> int:
+    """Convert a trace between formats; returns the row count.
+
+    Directions follow the paths (see :func:`detect_format`): JSONL →
+    ``*.store`` packs the trace into the columnar store; store → JSONL
+    unpacks it. Round-tripping either way reproduces the sample stream
+    exactly — same samples, same order (tested against the golden trace).
+    """
+    samples = read_samples(src, metrics=metrics)
+    if detect_format(dst) == "store":
+        return write_store(
+            dst,
+            samples,
+            band_windows=band_windows,
+            compress=compress,
+            metrics=metrics,
+        )
+    return write_samples(dst, samples, metrics=metrics)
 
 
 # --------------------------------------------------------------------- #
@@ -236,12 +331,41 @@ def plan_chunks(path: PathLike, num_chunks: int) -> list:
 
     Fewer chunks may be returned for small files (a chunk is never empty by
     construction; an empty file yields no chunks). Concatenating the chunks
-    in order reproduces the whole file.
+    in order reproduces the whole file. Store traces split along partition
+    boundaries (:meth:`repro.store.TraceStoreReader.plan_chunks`), so each
+    worker gets contiguous reads instead of line blocks.
+
+    Gzipped JSONL is not seekable, so its "chunks" are line blocks: every
+    worker re-decompresses the file from the start and parses only its own
+    block. That caps the parallel speedup well below the worker count (the
+    decompression is repeated serially in each worker); when it happens
+    with more than one chunk, a :class:`RuntimeWarning` is emitted and the
+    process-wide ``io.gzip_chunk_fallback`` counter increments. The counter
+    goes to :func:`repro.obs.active_metrics` — it is a fact about this
+    *execution*, not about the data, so recording it in a dataset's
+    registry would break the serial-vs-parallel counter-equality invariant
+    (serial ingestion never plans chunks). Convert the trace with
+    ``repro convert`` (plain JSONL or a columnar store) for seekable
+    chunking.
     """
     if num_chunks <= 0:
         raise ValueError("num_chunks must be positive")
+    if detect_format(path) == "store":
+        return TraceStoreReader(path).plan_chunks(num_chunks)
     path = pathlib.Path(path)
     if _is_gzip(path):
+        if num_chunks > 1:
+            registry = active_metrics()
+            if registry is not None:
+                registry.inc("io.gzip_chunk_fallback")
+            warnings.warn(
+                f"{path}: gzip traces are not seekable; falling back to "
+                "line-block chunks (each worker re-decompresses the whole "
+                "file). Convert to plain JSONL or a .store for scalable "
+                "parallel ingestion.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         with _open(path, "r") as handle:
             total_lines = sum(1 for _ in handle)
         if total_lines == 0:
@@ -326,11 +450,14 @@ def _read_line_block_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
             yield index, sample_from_dict(payload)
 
 
-def read_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
-    """Yield ``(order_key, sample)`` pairs for one chunk (see
-    :class:`TraceChunk` for the key's ordering guarantee). ``metrics``
-    receives the same ``io.*`` counters as :func:`read_samples`, so the
-    chunked counters sum to exactly the serial read's."""
+def read_chunk(chunk, metrics=None) -> Iterator[tuple]:
+    """Yield ``(order_key, sample)`` pairs for one chunk (either a JSONL
+    :class:`TraceChunk` or a store :class:`StoreChunk`; see each class for
+    its key's ordering guarantee). ``metrics`` receives the same counters
+    as :func:`read_samples`, so the chunked counters sum to exactly the
+    serial read's."""
+    if isinstance(chunk, StoreChunk):
+        return read_store_chunk(chunk, metrics)
     if chunk.byte_range:
         return _read_byte_range_chunk(chunk, metrics)
     return _read_line_block_chunk(chunk, metrics)
@@ -339,11 +466,21 @@ def read_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
 def read_samples_chunked(
     path: PathLike, num_chunks: int
 ) -> Iterator[SessionSample]:
-    """Read a trace through the chunk planner (chunks in file order).
+    """Read a trace through the chunk planner.
 
     Equivalent to :func:`read_samples`; exists so the equivalence can be
     tested directly and as the serial fallback of the parallel pipeline.
+    JSONL chunks concatenate in file order; store chunks carry interleaved
+    sequence ranges, so their pairs are merged on the order key — the same
+    restoration the parallel pipeline's merger performs.
     """
-    for chunk in plan_chunks(path, num_chunks):
+    chunks = plan_chunks(path, num_chunks)
+    if chunks and isinstance(chunks[0], StoreChunk):
+        pairs = [pair for chunk in chunks for pair in read_chunk(chunk)]
+        pairs.sort(key=lambda pair: pair[0])
+        for _, sample in pairs:
+            yield sample
+        return
+    for chunk in chunks:
         for _, sample in read_chunk(chunk):
             yield sample

@@ -17,12 +17,17 @@ Two partitioning strategies, both exact:
   has to restore global ordering. The hash is CRC32 of the group's string
   form — *not* Python's ``hash()``, which is salted per process and would
   make shard assignment non-deterministic across runs and workers.
-- **chunk sharding** (trace files): the JSONL file is split into
-  newline-aligned byte ranges (line blocks for gzip — see
-  :func:`repro.pipeline.io.plan_chunks`) and each worker parses and
-  aggregates only its slice. Aggregations spanning chunks are folded
-  together with :meth:`~repro.core.aggregation.Aggregation.merge` in
-  stream order.
+- **chunk sharding** (trace files): the trace is split into independently
+  readable chunks — newline-aligned byte ranges for JSONL, line blocks for
+  gzip, partition-aligned :class:`~repro.store.StoreChunk` groups for
+  columnar stores (see :func:`repro.pipeline.io.plan_chunks`) — and each
+  worker parses and aggregates only its slice. Aggregations spanning
+  chunks are folded together with
+  :meth:`~repro.core.aggregation.Aggregation.merge` in order-key order.
+  Store chunks carry interleaved sequence ranges (partitions are keyed by
+  PoP and time band, not by stream position); the merger's order-key sort
+  absorbs that, and every derived statistic is an order statistic or an
+  integer sum, so the bit-identical guarantee holds for stores too.
 
 Exactness argument: every sample carries a monotone *order key* (its
 position in the stream, or its byte offset / line index in the file).
@@ -48,7 +53,14 @@ from repro.core.records import SessionSample, UserGroupKey
 from repro.obs import MetricsRegistry, merge_into_active, span
 from repro.pipeline.dataset import SessionRow, StudyDataset
 from repro.pipeline.filters import FilterStats
-from repro.pipeline.io import PathLike, TraceChunk, plan_chunks, read_chunk, read_samples
+from repro.pipeline.io import (
+    PathLike,
+    StoreChunk,
+    TraceChunk,
+    plan_chunks,
+    read_chunk,
+    read_samples,
+)
 
 __all__ = [
     "EXECUTORS",
@@ -148,7 +160,7 @@ class _ShardTask:
 
     dataset_kwargs: dict
     indexed_samples: Optional[List[Tuple[int, SessionSample]]] = None
-    chunk: Optional[TraceChunk] = None
+    chunk: Optional[Union[TraceChunk, StoreChunk]] = None
 
 
 def _run_shard(task: _ShardTask) -> ShardResult:
@@ -233,9 +245,10 @@ def build_dataset(
 
     With ``options`` absent (or one shard under the serial executor) this
     is exactly ``StudyDataset(...).ingest(...)``. Otherwise the source is
-    partitioned — trace files into byte-range/line-block chunks, in-memory
-    streams by group hash — executed per ``options``, and merged back into
-    a dataset whose state is bit-identical to the serial pass.
+    partitioned — JSONL traces into byte-range/line-block chunks, columnar
+    stores into partition-aligned chunks, in-memory streams by group hash —
+    executed per ``options``, and merged back into a dataset whose state is
+    bit-identical to the serial pass.
     """
     dataset_kwargs = dict(
         study_windows=study_windows,

@@ -1,0 +1,54 @@
+"""Columnar trace store: partitioned, pruned, shard-aligned (§2.2.2 scale).
+
+The paper's pipeline ships per-transaction state off the load balancer to
+an aggregation tier that digests millions of sessions per 15-minute
+window; this package is the repo's equivalent of that tier's compact
+on-disk state. Instead of re-parsing a JSONL text trace line by line on
+every ``analyze``/``routing`` run, traces can be converted once into a
+versioned binary **columnar** layout:
+
+- :mod:`repro.store.encoding` — struct-packed, varint/delta, dictionary,
+  and bitmap column codecs with optional per-block deflate;
+- :mod:`repro.store.schema` — the versioned column set for
+  :class:`~repro.core.records.SessionSample` rows;
+- :mod:`repro.store.writer` — :class:`TraceStoreWriter`: partitions keyed
+  by (PoP, time-window band) plus a JSON manifest of offsets and min/max
+  statistics, written atomically;
+- :mod:`repro.store.reader` — :class:`TraceStoreReader`:
+  ``scan(filter)`` with manifest-level partition pruning, and
+  partition-aligned :class:`StoreChunk` planning for the sharded pipeline.
+
+Format and analysis-equivalence guarantees are specified in DESIGN.md §8;
+``repro convert`` (CLI) and :func:`repro.pipeline.io.convert` move traces
+between the two formats losslessly.
+"""
+
+from repro.store.reader import (
+    ScanFilter,
+    StoreChunk,
+    TraceStoreReader,
+    read_store_chunk,
+)
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.writer import (
+    DEFAULT_BAND_WINDOWS,
+    STORE_FORMAT,
+    STORE_FORMAT_VERSION,
+    TraceStoreWriter,
+    is_store_path,
+    write_store,
+)
+
+__all__ = [
+    "DEFAULT_BAND_WINDOWS",
+    "SCHEMA_VERSION",
+    "STORE_FORMAT",
+    "STORE_FORMAT_VERSION",
+    "ScanFilter",
+    "StoreChunk",
+    "TraceStoreReader",
+    "TraceStoreWriter",
+    "is_store_path",
+    "read_store_chunk",
+    "write_store",
+]

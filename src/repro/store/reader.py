@@ -1,0 +1,310 @@
+"""Manifest-driven reader: partition pruning and shard-aligned scans.
+
+:class:`TraceStoreReader` decides which partitions to decode from the JSON
+manifest alone — a :class:`ScanFilter` on PoPs, countries, or a session
+end-time range prunes whole partitions before a single data byte is read
+(predicate pushdown). What does get decoded is merged back into exact
+stream order by the samples' sequence column, so a full scan of a store
+yields the *identical* sample sequence the original JSONL trace held.
+
+For parallel ingestion, :meth:`TraceStoreReader.plan_chunks` groups
+partitions into :class:`StoreChunk` units that plug into the sharded
+pipeline's planner (:mod:`repro.pipeline.parallel`): every worker decodes
+a disjoint set of partitions with one contiguous read each, and the
+pipeline's order-key merge restores global order. Within a chunk, rows
+still come out in sequence order (a sorted-run merge over the chunk's
+partitions); across chunks the sequence ranges may interleave, which the
+pipeline's sort-by-order-key merge absorbs — all derived statistics are
+order statistics or integer sums, so results stay byte-identical to the
+serial pass (asserted by ``tests/test_store_pipeline.py``).
+
+Observability (all data-fact counters, subject to the serial-vs-parallel
+counter-equality invariant):
+
+- ``store.partitions.scanned`` / ``store.partitions.pruned``
+- ``store.bytes.read`` / ``store.bytes.skipped``
+- ``store.rows.decoded``
+- plus the shared ``io.rows_read`` ledger per yielded sample.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from operator import itemgetter
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.records import SessionSample
+from repro.store.schema import SCHEMA_VERSION, decode_rows
+from repro.store.writer import (
+    DATA_NAME,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    STORE_FORMAT_VERSION,
+)
+
+__all__ = ["ScanFilter", "StoreChunk", "TraceStoreReader", "read_store_chunk"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _as_frozenset(values) -> Optional[frozenset]:
+    if values is None:
+        return None
+    if isinstance(values, str):
+        return frozenset((values,))
+    return frozenset(values)
+
+
+@dataclass(frozen=True)
+class ScanFilter:
+    """Predicate pushed down to the partition manifest.
+
+    ``None`` fields match everything. Time bounds are inclusive and apply
+    to the session *end* time (the same timestamp that keys windows and
+    partition bands).
+    """
+
+    pops: Optional[frozenset] = None
+    countries: Optional[frozenset] = None
+    min_end_time: Optional[float] = None
+    max_end_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pops", _as_frozenset(self.pops))
+        object.__setattr__(self, "countries", _as_frozenset(self.countries))
+
+    def admits_partition(self, partition: dict) -> bool:
+        """Can this partition contain a matching row? (Manifest-only.)"""
+        if self.pops is not None and partition["pop"] not in self.pops:
+            return False
+        stats = partition["stats"]
+        if self.countries is not None and not self.countries.intersection(
+            stats["countries"]
+        ):
+            return False
+        if (
+            self.min_end_time is not None
+            and stats["max_end_time"] < self.min_end_time
+        ):
+            return False
+        if (
+            self.max_end_time is not None
+            and stats["min_end_time"] > self.max_end_time
+        ):
+            return False
+        return True
+
+    def admits_sample(self, sample: SessionSample) -> bool:
+        """Row-level predicate (partition stats are necessarily coarse)."""
+        if self.pops is not None and sample.pop not in self.pops:
+            return False
+        if (
+            self.countries is not None
+            and sample.client_country not in self.countries
+        ):
+            return False
+        if self.min_end_time is not None and sample.end_time < self.min_end_time:
+            return False
+        if self.max_end_time is not None and sample.end_time > self.max_end_time:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class StoreChunk:
+    """A worker's unit of store input: a disjoint set of partitions.
+
+    ``ordinal`` is the smallest sequence number in the chunk, which orders
+    chunks against each other the same way byte offsets order JSONL
+    chunks; :func:`read_store_chunk` yields ``(seq, sample)`` pairs whose
+    keys extend that ordering, satisfying the
+    :class:`repro.pipeline.io.TraceChunk` order-key contract.
+    """
+
+    path: str
+    ordinal: int
+    partition_ids: Tuple[int, ...]
+
+
+class TraceStoreReader:
+    """Read a partitioned columnar trace store written by
+    :class:`repro.store.writer.TraceStoreWriter`."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ValueError(
+                f"{self.path}: not a trace store (missing {MANIFEST_NAME}; "
+                "an interrupted write leaves no manifest on purpose)"
+            ) from None
+        if manifest.get("format") != STORE_FORMAT:
+            raise ValueError(
+                f"{manifest_path}: unrecognized format "
+                f"{manifest.get('format')!r}"
+            )
+        if manifest.get("version") != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"{manifest_path}: unsupported store version "
+                f"{manifest.get('version')!r} (reader supports "
+                f"{STORE_FORMAT_VERSION})"
+            )
+        if manifest.get("schema_version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{manifest_path}: unsupported schema version "
+                f"{manifest.get('schema_version')!r} (reader supports "
+                f"{SCHEMA_VERSION})"
+            )
+        self.manifest = manifest
+        self.data_path = self.path / manifest.get("data_file", DATA_NAME)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def row_count(self) -> int:
+        return self.manifest["row_count"]
+
+    @property
+    def partitions(self) -> List[dict]:
+        return self.manifest["partitions"]
+
+    def partition(self, part_id: int) -> dict:
+        for partition in self.partitions:
+            if partition["id"] == part_id:
+                return partition
+        raise KeyError(f"no partition {part_id} in {self.path}")
+
+    # ------------------------------------------------------------------ #
+    def decode_partition(
+        self, partition: dict, metrics=None
+    ) -> List[Tuple[int, SessionSample]]:
+        """Read and decode one partition (one contiguous file read)."""
+        with open(self.data_path, "rb") as handle:
+            handle.seek(partition["offset"])
+            payload = handle.read(partition["length"])
+        if len(payload) != partition["length"]:
+            raise ValueError(
+                f"{self.data_path}: truncated partition {partition['id']}"
+            )
+        rows = decode_rows(payload, partition["blocks"])
+        if metrics is not None:
+            metrics.inc("store.partitions.scanned")
+            metrics.inc("store.bytes.read", partition["length"])
+            metrics.inc("store.rows.decoded", len(rows))
+        return rows
+
+    def _merged_pairs(
+        self, partitions: Sequence[dict], metrics=None
+    ) -> List[Tuple[int, SessionSample]]:
+        """Merge partitions back into global sequence order.
+
+        Each partition is internally seq-sorted, so this is a merge of
+        sorted runs — which is exactly the case timsort detects, making a
+        concatenate-and-sort both simpler and faster than a Python-level
+        k-way heap merge.
+        """
+        rows: List[Tuple[int, SessionSample]] = []
+        for partition in partitions:
+            rows.extend(self.decode_partition(partition, metrics))
+        if len(partitions) > 1:
+            rows.sort(key=itemgetter(0))
+        return rows
+
+    def scan_pairs(
+        self,
+        scan_filter: Optional[ScanFilter] = None,
+        metrics=None,
+        partition_ids: Optional[Iterable[int]] = None,
+    ) -> Iterator[Tuple[int, SessionSample]]:
+        """Yield ``(seq, sample)`` in sequence order, pruning via the
+        manifest; ``partition_ids`` restricts the scan to those partitions
+        (the shard-aligned path) before the filter applies."""
+        candidates = self.partitions
+        if partition_ids is not None:
+            wanted = set(partition_ids)
+            candidates = [p for p in candidates if p["id"] in wanted]
+        if scan_filter is None:
+            selected = list(candidates)
+        else:
+            selected = []
+            for partition in candidates:
+                if scan_filter.admits_partition(partition):
+                    selected.append(partition)
+                elif metrics is not None:
+                    metrics.inc("store.partitions.pruned")
+                    metrics.inc("store.bytes.skipped", partition["length"])
+        rows = self._merged_pairs(selected, metrics)
+        if scan_filter is not None:
+            admits = scan_filter.admits_sample
+            rows = [pair for pair in rows if admits(pair[1])]
+        if metrics is None:
+            # Fast path: no per-row accounting, hand the rows straight out.
+            yield from rows
+            return
+        inc = metrics.inc
+        for pair in rows:
+            inc("io.rows_read")
+            yield pair
+
+    def scan(
+        self, scan_filter: Optional[ScanFilter] = None, metrics=None
+    ) -> Iterator[SessionSample]:
+        """Iterate matching samples in exact original stream order.
+
+        Returns a lazy iterator (``scan_pairs`` is a generator, so nothing
+        is read until the first item is pulled); the C-level ``map`` avoids
+        a per-row generator frame of its own.
+        """
+        return map(itemgetter(1), self.scan_pairs(scan_filter, metrics))
+
+    # ------------------------------------------------------------------ #
+    def plan_chunks(self, num_chunks: int) -> List[StoreChunk]:
+        """Group partitions into up to ``num_chunks`` disjoint chunks.
+
+        Partitions are kept in manifest order (first-appearance order, so
+        consecutive partitions cover nearby sequence ranges) and split into
+        contiguous runs balanced by row count. Concatenating the chunks'
+        partitions reproduces the whole store.
+        """
+        if num_chunks <= 0:
+            raise ValueError("num_chunks must be positive")
+        partitions = self.partitions
+        if not partitions:
+            return []
+        total_rows = sum(p["rows"] for p in partitions)
+        chunks: List[StoreChunk] = []
+        run: List[dict] = []
+        run_rows = 0
+        remaining_chunks = num_chunks
+        remaining_rows = total_rows
+        for partition in partitions:
+            run.append(partition)
+            run_rows += partition["rows"]
+            target = remaining_rows / remaining_chunks
+            if run_rows >= target and remaining_chunks > 1:
+                chunks.append(self._chunk_of(run))
+                remaining_rows -= run_rows
+                remaining_chunks -= 1
+                run, run_rows = [], 0
+        if run:
+            chunks.append(self._chunk_of(run))
+        return chunks
+
+    def _chunk_of(self, partitions: Sequence[dict]) -> StoreChunk:
+        return StoreChunk(
+            path=str(self.path),
+            ordinal=min(p["stats"]["min_seq"] for p in partitions),
+            partition_ids=tuple(p["id"] for p in partitions),
+        )
+
+
+def read_store_chunk(
+    chunk: StoreChunk, metrics=None
+) -> Iterator[Tuple[int, SessionSample]]:
+    """Yield ``(seq, sample)`` pairs for one store chunk; the counters sum
+    across a shard plan's chunks to exactly a serial scan's."""
+    reader = TraceStoreReader(chunk.path)
+    return reader.scan_pairs(metrics=metrics, partition_ids=chunk.partition_ids)

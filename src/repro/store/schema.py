@@ -1,0 +1,400 @@
+"""Columnar schema of the trace store: SessionSample <-> column blocks.
+
+One partition holds ``(seq, sample)`` rows — ``seq`` is the sample's
+position in the original stream, which is what lets readers reconstruct
+the exact serial order across partitions. The schema shreds every
+:class:`~repro.core.records.SessionSample` field (including the nested
+route and transaction records) into flat columns:
+
+- nested lists (transactions, AS paths, media sizes) become a per-row
+  length column plus flattened child columns;
+- optional values (route, ``last_byte_write_time``) become a presence
+  bitmap plus child columns holding only the present rows.
+
+``SCHEMA_VERSION`` pins the column set and each column's encoding; a
+reader refuses a manifest whose schema version it does not know, so a
+future column change bumps the version instead of silently misdecoding.
+
+Decoding constructs records through ``__new__`` and fills ``__dict__``
+directly, skipping ``__post_init__`` validation: store payloads were
+validated when the original dataclasses were built at write time, and the
+whole point of the binary path is to avoid re-paying per-row Python cost.
+(JSONL stays the validating, interchange-friendly format.)
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Dict, List, Tuple
+
+from repro.core.records import (
+    HttpVersion,
+    Relationship,
+    RouteInfo,
+    SessionSample,
+    TransactionRecord,
+)
+from repro.store.encoding import (
+    compress_block,
+    decode_bitmap,
+    decode_delta_varints,
+    decode_f64,
+    decode_i64,
+    decode_string_dict,
+    decode_varints,
+    decompress_block,
+    encode_bitmap,
+    encode_delta_varints,
+    encode_f64,
+    encode_i64,
+    encode_string_dict,
+    encode_varints,
+)
+
+__all__ = ["SCHEMA_VERSION", "COLUMNS", "encode_rows", "decode_rows"]
+
+SCHEMA_VERSION = 1
+
+#: Column name -> encoding, in block order. The manifest records this per
+#: store so an inspector can read the layout without the code.
+COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("seq", "dvarint"),
+    ("session_id", "i64"),
+    ("start_time", "f64"),
+    ("end_time", "f64"),
+    ("http_version", "strdict"),
+    ("min_rtt_seconds", "f64"),
+    ("bytes_sent", "i64"),
+    ("busy_time_seconds", "f64"),
+    ("pop", "strdict"),
+    ("client_country", "strdict"),
+    ("client_continent", "strdict"),
+    ("client_ip_is_hosting", "bitmap"),
+    ("geo_tag", "strdict"),
+    ("media_lens", "varint"),
+    ("media_values", "i64"),
+    ("route_present", "bitmap"),
+    ("route_prefix", "strdict"),
+    ("route_relationship", "strdict"),
+    ("route_rank", "varint"),
+    ("route_prepended", "bitmap"),
+    ("route_aspath_lens", "varint"),
+    ("route_aspath_values", "i64"),
+    ("txn_lens", "varint"),
+    ("txn_first_byte_time", "f64"),
+    ("txn_ack_time", "f64"),
+    ("txn_response_bytes", "i64"),
+    ("txn_last_packet_bytes", "i64"),
+    ("txn_cwnd", "i64"),
+    ("txn_inflight", "i64"),
+    ("txn_coalesced", "varint"),
+    ("txn_lbwt_present", "bitmap"),
+    ("txn_lbwt_values", "f64"),
+)
+
+_ENCODERS = {
+    "f64": encode_f64,
+    "i64": encode_i64,
+    "varint": encode_varints,
+    "dvarint": encode_delta_varints,
+    "bitmap": encode_bitmap,
+    "strdict": encode_string_dict,
+}
+
+_DECODERS = {
+    "f64": decode_f64,
+    "i64": decode_i64,
+    "varint": decode_varints,
+    "dvarint": decode_delta_varints,
+    "bitmap": decode_bitmap,
+    "strdict": decode_string_dict,
+}
+
+
+def encode_rows(
+    rows: List[Tuple[int, SessionSample]], compress: bool = True
+) -> Tuple[bytes, List[dict]]:
+    """Shred ``(seq, sample)`` rows into one partition payload.
+
+    Returns the concatenated block bytes and the per-block metadata
+    (column, relative offset, length, codec) the manifest records.
+    """
+    columns: Dict[str, list] = {name: [] for name, _ in COLUMNS}
+    for seq, sample in rows:
+        columns["seq"].append(seq)
+        columns["session_id"].append(sample.session_id)
+        columns["start_time"].append(sample.start_time)
+        columns["end_time"].append(sample.end_time)
+        columns["http_version"].append(sample.http_version.value)
+        columns["min_rtt_seconds"].append(sample.min_rtt_seconds)
+        columns["bytes_sent"].append(sample.bytes_sent)
+        columns["busy_time_seconds"].append(sample.busy_time_seconds)
+        columns["pop"].append(sample.pop)
+        columns["client_country"].append(sample.client_country)
+        columns["client_continent"].append(sample.client_continent)
+        columns["client_ip_is_hosting"].append(sample.client_ip_is_hosting)
+        columns["geo_tag"].append(sample.geo_tag)
+        columns["media_lens"].append(len(sample.media_response_sizes))
+        columns["media_values"].extend(sample.media_response_sizes)
+        route = sample.route
+        columns["route_present"].append(route is not None)
+        if route is not None:
+            columns["route_prefix"].append(route.prefix)
+            columns["route_relationship"].append(route.relationship.value)
+            columns["route_rank"].append(route.preference_rank)
+            columns["route_prepended"].append(route.prepended)
+            columns["route_aspath_lens"].append(len(route.as_path))
+            columns["route_aspath_values"].extend(route.as_path)
+        columns["txn_lens"].append(len(sample.transactions))
+        for txn in sample.transactions:
+            columns["txn_first_byte_time"].append(txn.first_byte_time)
+            columns["txn_ack_time"].append(txn.ack_time)
+            columns["txn_response_bytes"].append(txn.response_bytes)
+            columns["txn_last_packet_bytes"].append(txn.last_packet_bytes)
+            columns["txn_cwnd"].append(txn.cwnd_bytes_at_first_byte)
+            columns["txn_inflight"].append(txn.bytes_in_flight_at_start)
+            columns["txn_coalesced"].append(txn.coalesced_count)
+            present = txn.last_byte_write_time is not None
+            columns["txn_lbwt_present"].append(present)
+            if present:
+                columns["txn_lbwt_values"].append(txn.last_byte_write_time)
+
+    payload = bytearray()
+    blocks: List[dict] = []
+    for name, encoding in COLUMNS:
+        raw = _ENCODERS[encoding](columns[name])
+        data, codec = compress_block(raw, compress)
+        blocks.append(
+            {
+                "column": name,
+                "offset": len(payload),
+                "length": len(data),
+                "codec": codec,
+            }
+        )
+        payload += data
+    return bytes(payload), blocks
+
+
+def _new_route(
+    prefix: str,
+    as_path: Tuple[int, ...],
+    relationship: Relationship,
+    rank: int,
+    prepended: bool,
+) -> RouteInfo:
+    route = RouteInfo.__new__(RouteInfo)
+    route.__dict__.update(
+        prefix=prefix,
+        as_path=as_path,
+        relationship=relationship,
+        preference_rank=rank,
+        prepended=prepended,
+    )
+    return route
+
+
+_HTTP_BY_VALUE = {member.value: member for member in HttpVersion}
+_RELATIONSHIP_BY_VALUE = {member.value: member for member in Relationship}
+
+
+def decode_rows(
+    payload: bytes, blocks: List[dict]
+) -> List[Tuple[int, SessionSample]]:
+    """Inverse of :func:`encode_rows`; rows come back in stored order."""
+    # Pause cyclic GC for the allocation burst: every object built here is
+    # reachable from ``rows`` and none form cycles, so collector passes
+    # triggered mid-decode scan a growing heap for nothing (~25% of the
+    # decode on a large partition).
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _decode_rows(payload, blocks)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _decode_rows(
+    payload: bytes, blocks: List[dict]
+) -> List[Tuple[int, SessionSample]]:
+    view = memoryview(payload)
+    encodings = dict(COLUMNS)
+    decoded: Dict[str, list] = {}
+    for block in blocks:
+        name = block["column"]
+        encoding = encodings[name]
+        raw = decompress_block(
+            bytes(view[block["offset"] : block["offset"] + block["length"]]),
+            block["codec"],
+        )
+        decoded[name] = _DECODERS[encoding](raw)
+
+    # Enum lookup tables beat Enum.__call__ in the per-row loop.
+    http_versions = list(
+        map(_HTTP_BY_VALUE.__getitem__, decoded["http_version"])
+    )
+    # The route cache key keeps the relationship as its dictionary *string*
+    # (1:1 with the enum member, but hashed at C speed); the enum is looked
+    # up once per distinct route on the construction path.
+    relationships = decoded["route_relationship"]
+    # Identical routes repeat across a partition's rows; intern them so the
+    # decode loop pays one RouteInfo construction per distinct route.
+    route_cache: Dict[tuple, RouteInfo] = {}
+
+    # Bind every column to a local: the row loop below runs per sample and
+    # per transaction, where dict lookups would dominate the decode.
+    seqs = decoded["seq"]
+    session_ids = decoded["session_id"]
+    start_times = decoded["start_time"]
+    end_times = decoded["end_time"]
+    min_rtts = decoded["min_rtt_seconds"]
+    bytes_sents = decoded["bytes_sent"]
+    busy_times = decoded["busy_time_seconds"]
+    pops = decoded["pop"]
+    countries = decoded["client_country"]
+    continents = decoded["client_continent"]
+    hostings = decoded["client_ip_is_hosting"]
+    geo_tags = decoded["geo_tag"]
+    media_lens = decoded["media_lens"]
+    media_values = decoded["media_values"]
+    route_presents = decoded["route_present"]
+    route_prefixes = decoded["route_prefix"]
+    route_ranks = decoded["route_rank"]
+    route_prepends = decoded["route_prepended"]
+    aspath_lens = decoded["route_aspath_lens"]
+    aspath_values = decoded["route_aspath_values"]
+    txn_lens = decoded["txn_lens"]
+    # One zipped cursor over the transaction columns: a single C-level
+    # next()+unpack per transaction instead of eight list indexings.
+    next_txn_row = zip(
+        decoded["txn_first_byte_time"],
+        decoded["txn_ack_time"],
+        decoded["txn_response_bytes"],
+        decoded["txn_last_packet_bytes"],
+        decoded["txn_cwnd"],
+        decoded["txn_inflight"],
+        decoded["txn_coalesced"],
+        decoded["txn_lbwt_present"],
+    ).__next__
+    next_lbwt = iter(decoded["txn_lbwt_values"]).__next__
+    new_sample = SessionSample.__new__
+    new_txn = TransactionRecord.__new__
+
+    rows: List[Tuple[int, SessionSample]] = []
+    append_row = rows.append
+    route_cursor = 0
+    aspath_cursor = 0
+    media_cursor = 0
+    # One zip over all per-sample columns: sequential iteration beats
+    # per-row list indexing, and building each record's __dict__ as a
+    # literal beats dict.update on an empty one.
+    for (
+        seq,
+        session_id,
+        start_time,
+        end_time,
+        http_version,
+        min_rtt,
+        sent,
+        busy_time,
+        pop,
+        country,
+        continent,
+        hosting,
+        geo_tag,
+        media_len,
+        route_present,
+        txn_len,
+    ) in zip(
+        seqs,
+        session_ids,
+        start_times,
+        end_times,
+        http_versions,
+        min_rtts,
+        bytes_sents,
+        busy_times,
+        pops,
+        countries,
+        continents,
+        hostings,
+        geo_tags,
+        media_lens,
+        route_presents,
+        txn_lens,
+    ):
+        route = None
+        if route_present:
+            aspath_len = aspath_lens[route_cursor]
+            as_path = tuple(
+                aspath_values[aspath_cursor : aspath_cursor + aspath_len]
+            )
+            aspath_cursor += aspath_len
+            key = (
+                route_prefixes[route_cursor],
+                as_path,
+                relationships[route_cursor],
+                route_ranks[route_cursor],
+                route_prepends[route_cursor],
+            )
+            route = route_cache.get(key)
+            if route is None:
+                route = route_cache[key] = _new_route(
+                    key[0],
+                    as_path,
+                    _RELATIONSHIP_BY_VALUE[key[2]],
+                    key[3],
+                    key[4],
+                )
+            route_cursor += 1
+
+        transactions = []
+        for _ in range(txn_len):
+            fbt, ack, response, last, cwnd, inflight, coalesced, has_lbwt = (
+                next_txn_row()
+            )
+            txn = new_txn(TransactionRecord)
+            # TransactionRecord is frozen: updating the (empty) __dict__ in
+            # place is the one write path its __setattr__ cannot veto.
+            txn.__dict__.update(
+                first_byte_time=fbt,
+                ack_time=ack,
+                response_bytes=response,
+                last_packet_bytes=last,
+                cwnd_bytes_at_first_byte=cwnd,
+                bytes_in_flight_at_start=inflight,
+                coalesced_count=coalesced,
+                last_byte_write_time=next_lbwt() if has_lbwt else None,
+            )
+            transactions.append(txn)
+
+        if media_len:
+            media = tuple(
+                media_values[media_cursor : media_cursor + media_len]
+            )
+            media_cursor += media_len
+        else:
+            media = ()
+
+        sample = new_sample(SessionSample)
+        sample.__dict__ = {
+            "session_id": session_id,
+            "start_time": start_time,
+            "end_time": end_time,
+            "http_version": http_version,
+            "min_rtt_seconds": min_rtt,
+            "bytes_sent": sent,
+            "busy_time_seconds": busy_time,
+            "transactions": transactions,
+            "route": route,
+            "pop": pop,
+            "client_country": country,
+            "client_continent": continent,
+            "client_ip_is_hosting": hosting,
+            "geo_tag": geo_tag,
+            "media_response_sizes": media,
+        }
+        append_row((seq, sample))
+    return rows

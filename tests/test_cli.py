@@ -183,6 +183,107 @@ class TestObservabilityOptions:
         assert "n/a" in out
 
 
+class TestStoreCli:
+    """Tentpole: `repro convert` + `--format jsonl|store` surface area."""
+
+    def test_convert_parser(self):
+        args = build_parser().parse_args(["convert", "a.jsonl", "b.store"])
+        assert args.command == "convert"
+        assert args.src == "a.jsonl"
+        assert args.dst == "b.store"
+        assert args.band_windows is None
+        assert not args.no_compress
+        args = build_parser().parse_args(
+            ["convert", "a.jsonl", "b.store", "--band-windows", "2", "--no-compress"]
+        )
+        assert args.band_windows == 2
+        assert args.no_compress
+
+    def test_format_option_parsers(self):
+        args = build_parser().parse_args(["trace", "t.store", "--format", "store"])
+        assert args.trace_format == "store"
+        args = build_parser().parse_args(
+            ["analyze", "t.jsonl", "--format", "jsonl"]
+        )
+        assert args.trace_format == "jsonl"
+        args = build_parser().parse_args(
+            ["routing", "--trace", "t.store", "--format", "store"]
+        )
+        assert args.trace == "t.store"
+        assert args.trace_format == "store"
+
+    def test_format_mismatch_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "t.jsonl", "--format", "store"])
+        assert excinfo.value.code == 2
+        assert "--format store" in capsys.readouterr().err
+
+    def test_format_without_trace_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["routing", "--format", "store"])
+        assert excinfo.value.code == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_trace_writes_store_directly(self, tmp_path, capsys):
+        from repro.store import is_store_path
+
+        path = tmp_path / "direct.store"
+        assert main(["trace", str(path), "--rate", "1", "--days", "1"]) == 0
+        assert is_store_path(path)
+        assert "(store)" in capsys.readouterr().out
+
+    def test_convert_then_analyze_matches_jsonl(self, tmp_path, capsys):
+        """CLI acceptance: analyze output (modulo the echoed path) is
+        identical for the JSONL trace and its store conversion, serially
+        and with ``--workers 4``."""
+        jsonl = tmp_path / "t.jsonl"
+        store = tmp_path / "t.store"
+        assert main(["trace", str(jsonl), "--rate", "2", "--days", "1"]) == 0
+        assert main(["convert", str(jsonl), str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "converted" in out and "(jsonl) ->" in out and "(store)" in out
+
+        def analyze(path, *extra):
+            assert main(["analyze", str(path), *extra]) == 0
+            return capsys.readouterr().out.splitlines()[1:]
+
+        jsonl_report = analyze(jsonl)
+        assert analyze(store) == jsonl_report
+        assert analyze(store, "--workers", "4") == jsonl_report
+
+    def test_convert_round_trips_back_to_jsonl(self, tmp_path, capsys):
+        jsonl = tmp_path / "t.jsonl"
+        store = tmp_path / "t.store"
+        back = tmp_path / "back.jsonl"
+        assert main(["trace", str(jsonl), "--rate", "1", "--days", "1"]) == 0
+        assert main(["convert", str(jsonl), str(store)]) == 0
+        assert main(["convert", str(store), str(back)]) == 0
+        capsys.readouterr()
+        assert back.read_bytes() == jsonl.read_bytes()
+
+    def test_routing_from_store_trace(self, tmp_path, capsys):
+        store = tmp_path / "t.store"
+        assert main(["trace", str(store), "--rate", "8", "--days", "1"]) == 0
+        assert main(["routing", "--trace", str(store)]) == 0
+        assert "within 3 ms of optimal" in capsys.readouterr().out
+
+    def test_convert_metrics_manifest_counts_store_writes(
+        self, tmp_path, capsys
+    ):
+        jsonl = tmp_path / "t.jsonl"
+        store = tmp_path / "t.store"
+        manifest = tmp_path / "m.json"
+        assert main(["trace", str(jsonl), "--rate", "1", "--days", "1"]) == 0
+        assert main(
+            ["convert", str(jsonl), str(store), "--metrics-out", str(manifest)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(manifest.read_text())
+        assert payload["command"] == "convert"
+        assert payload["counters"]["store.rows.written"] > 0
+        assert payload["counters"]["store.partitions.written"] > 0
+
+
 class TestCounterEqualityAcceptance:
     """Acceptance: `repro snapshot --workers 4 --metrics-out m.json`
     produces a manifest whose counters are byte-identical to the

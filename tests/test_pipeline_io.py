@@ -14,6 +14,8 @@ from repro.core.records import (
     TransactionRecord,
 )
 from repro.pipeline.io import (
+    convert,
+    detect_format,
     plan_chunks,
     read_chunk,
     read_samples,
@@ -23,7 +25,7 @@ from repro.pipeline.io import (
     write_samples,
 )
 
-from tests.helpers import make_route, make_sample
+from tests.helpers import make_route, make_sample, make_trace_samples
 
 
 def sample_with_txns():
@@ -199,6 +201,7 @@ class TestPropertyRoundTrip:
         gzip_file=st.booleans(),
         num_chunks=st.integers(min_value=1, max_value=6),
     )
+    @pytest.mark.filterwarnings("ignore:.*not seekable.*:RuntimeWarning")
     def test_chunked_reads_equal_whole_file(
         self, samples, blank_every, trailing_newline, gzip_file, num_chunks, tmp_path_factory
     ):
@@ -234,6 +237,7 @@ class TestPropertyRoundTrip:
         num_chunks=st.integers(min_value=1, max_value=5),
         gzip_file=st.booleans(),
     )
+    @pytest.mark.filterwarnings("ignore:.*not seekable.*:RuntimeWarning")
     def test_chunk_order_keys_are_global_and_monotone(
         self, samples, num_chunks, gzip_file, tmp_path_factory
     ):
@@ -286,6 +290,102 @@ class TestChunkPlanning:
             handle.write("{not json}\n")
         with pytest.raises(ValueError, match="invalid JSON"):
             list(read_samples_chunked(path, 2))
+
+
+class TestFormatDetection:
+    def test_detect_format_by_suffix_and_manifest(self, tmp_path):
+        assert detect_format(tmp_path / "t.jsonl") == "jsonl"
+        assert detect_format(tmp_path / "t.jsonl.gz") == "jsonl"
+        assert detect_format(tmp_path / "t.store") == "store"
+        store = tmp_path / "unsuffixed"
+        convert_target = tmp_path / "src.jsonl"
+        write_samples(convert_target, [sample_with_txns()])
+        convert(convert_target, store / "x.store")
+        assert detect_format(store / "x.store") == "store"
+
+    def test_convert_round_trips_through_store(self, tmp_path):
+        samples = make_trace_samples(60, seed=31)
+        jsonl = tmp_path / "t.jsonl"
+        store = tmp_path / "t.store"
+        back = tmp_path / "back.jsonl"
+        write_samples(jsonl, samples)
+        assert convert(jsonl, store) == 60
+        assert convert(store, back) == 60
+        assert back.read_bytes() == jsonl.read_bytes()
+
+
+class TestAtomicWrites:
+    def test_interrupted_write_keeps_previous_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = [sample_with_txns() for _ in range(4)]
+        write_samples(path, good)
+        before = path.read_bytes()
+
+        def interrupted():
+            yield sample_with_txns()
+            raise RuntimeError("export died mid-stream")
+
+        with pytest.raises(RuntimeError):
+            write_samples(path, interrupted())
+        # The half-written export must not have replaced (or truncated)
+        # the existing trace, and must not leave temp litter behind.
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_interrupted_write_leaves_no_new_file(self, tmp_path):
+        path = tmp_path / "fresh.jsonl"
+
+        def interrupted():
+            yield sample_with_txns()
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            write_samples(path, interrupted())
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_gzip_target_writes_gzip_despite_temp_name(self, tmp_path):
+        import gzip as gzip_module
+
+        path = tmp_path / "t.jsonl.gz"
+        write_samples(path, [sample_with_txns()])
+        with gzip_module.open(path, "rt", encoding="utf-8") as handle:
+            assert json.loads(handle.readline())["v"] == 1
+
+
+class TestGzipChunkFallback:
+    def test_multi_chunk_gzip_plan_warns_and_counts(self, tmp_path):
+        from repro.obs import MetricsRegistry, activate_metrics
+
+        path = tmp_path / "t.jsonl.gz"
+        write_samples(path, [sample_with_txns() for _ in range(8)])
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            with pytest.warns(RuntimeWarning, match="not seekable"):
+                chunks = plan_chunks(path, 4)
+        assert len(chunks) > 1
+        # An execution fact, recorded process-wide — never in a dataset's
+        # registry, where it would break serial-vs-parallel counter
+        # equality (serial ingestion never plans chunks).
+        assert registry.counter("io.gzip_chunk_fallback") == 1
+
+    def test_single_chunk_gzip_plan_is_silent(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "t.jsonl.gz"
+        write_samples(path, [sample_with_txns()])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan_chunks(path, 1)
+
+    def test_plain_jsonl_plan_is_silent(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "t.jsonl"
+        write_samples(path, [sample_with_txns() for _ in range(8)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan_chunks(path, 4)
 
 
 class TestAnalysisOverRestoredTrace:

@@ -8,6 +8,40 @@ from repro.pipeline.streaming import StreamingRouteMonitor
 from tests.helpers import DEFAULT_GROUP, make_route, make_sample
 
 
+def feed_capable_window(monitor, window, rtt_ms, hdratio, rank=0, count=40):
+    """Feed a window of sessions whose transactions are HD-capable.
+
+    ``hdratio`` sets the per-session achieved fraction: 1.0 means every
+    transaction achieves HD, 0.0 means none does.
+    """
+    from repro.core.records import TransactionRecord
+
+    base = window * AGGREGATION_WINDOW_SECONDS
+    route = make_route(rank=rank)
+    for index in range(count):
+        end = base + (index + 0.5) * AGGREGATION_WINDOW_SECONDS / (count + 1)
+        sample = make_sample(
+            end_time=end, min_rtt_ms=rtt_ms + (index % 5) * 0.2, route=route
+        )
+        rtt = sample.min_rtt_seconds
+        achieved = index / max(count - 1, 1) < hdratio
+        # One clean, testable transaction: cwnd covers the response (so the
+        # goodput test can run) and the pacing encodes achieved/not.
+        response = 80_000
+        transfer = 2.0 * rtt if achieved else 8.0 * rtt
+        sample.transactions = [
+            TransactionRecord(
+                first_byte_time=end - 1.0,
+                ack_time=end - 1.0 + transfer,
+                response_bytes=response,
+                last_packet_bytes=1500,
+                cwnd_bytes_at_first_byte=response * 2,
+                bytes_in_flight_at_start=0,
+            )
+        ]
+        monitor.observe(sample)
+
+
 def feed_window(monitor, window, rtt_ms, rank=0, count=40, hd_good=True):
     base = window * AGGREGATION_WINDOW_SECONDS
     route = make_route(rank=rank)
@@ -70,6 +104,56 @@ class TestMonitor:
         assert decisions[0].is_shift_candidate
         assert decisions[1].action == "hold"
 
+    def test_no_hd_capable_transactions_still_allows_rtt_shift(self):
+        """Zero capable transactions in the window: both routes' HD digests
+        are empty, the HD guard is vacuous, and a confident RTT win alone
+        must still produce a shift candidate (with no claimed HD gain)."""
+        monitor = StreamingRouteMonitor()
+        # make_sample emits transaction-less sessions: nothing can test HD.
+        feed_window(monitor, 0, rtt_ms=52.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=38.0, rank=1)
+        decisions = monitor.finish()
+        assert decisions[0].is_shift_candidate
+        assert decisions[0].hdratio_improvement == 0.0
+
+    def test_no_hd_capable_transactions_and_no_rtt_win_holds(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=40.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=39.5, rank=1)
+        decisions = monitor.finish()
+        assert decisions[0].action == "hold"
+        assert decisions[0].alternate_rank is None
+
+    def test_missing_alternate_rank_falls_through_to_next(self):
+        """Rank 1 went unmeasured mid-window; the decision must come from
+        the rank that actually has data, not assume contiguous ranks."""
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=52.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=38.0, rank=2)  # only rank 2 measured
+        decisions = monitor.finish()
+        assert decisions[0].is_shift_candidate
+        assert decisions[0].alternate_rank == 2
+
+    def test_alternate_vanishing_between_windows_does_not_leak(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=52.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=38.0, rank=2)
+        feed_window(monitor, 1, rtt_ms=52.0, rank=0)  # rank 2 disappears
+        decisions = monitor.finish()
+        assert decisions[0].alternate_rank == 2
+        assert decisions[1].action == "hold"
+        assert decisions[1].alternate_rank is None
+
+    def test_hd_win_stands_alone_without_rtt_win(self):
+        """An HDratio win is a shift candidate even when MinRTT is a wash
+        (the paper's two-metric decision rule, HD side)."""
+        monitor = StreamingRouteMonitor()
+        feed_capable_window(monitor, 0, rtt_ms=40.0, hdratio=0.2, rank=0)
+        feed_capable_window(monitor, 0, rtt_ms=40.0, hdratio=0.9, rank=1)
+        decisions = monitor.finish()
+        assert decisions[0].is_shift_candidate
+        assert decisions[0].hdratio_improvement > 0.0
+
     def test_agrees_with_batch_analysis(self):
         """The streaming monitor and the batch opportunity analysis must
         reach the same conclusion on the same stream."""
@@ -100,3 +184,68 @@ class TestMonitor:
         streaming_events = [d for d in decisions if d.is_shift_candidate]
         assert bool(batch_events) == bool(streaming_events)
         assert len(streaming_events) == 2
+
+
+class TestCiWidthBoundary:
+    """The CI-width validity gate is inclusive: a comparison whose CI is
+    exactly ``MAX_CI_WIDTH_*`` wide is still valid (§5's "sufficiently
+    narrow" is ``<=``, not ``<``)."""
+
+    @staticmethod
+    def _digest_pair():
+        from repro.stats.tdigest import TDigest
+
+        a, b = TDigest(), TDigest()
+        for index in range(60):
+            a.add(50.0 + (index % 9) * 0.4)
+            b.add(40.0 + (index % 9) * 0.4)
+        return a, b
+
+    def test_width_exactly_at_limit_is_valid(self):
+        from repro.stats.streaming import streaming_compare
+
+        a, b = self._digest_pair()
+        unbounded = streaming_compare(a, b)
+        width = unbounded.ci_high - unbounded.ci_low
+        assert width > 0.0
+        at_limit = streaming_compare(a, b, max_ci_width=width)
+        assert at_limit.valid
+
+    def test_width_just_over_limit_is_invalid(self):
+        import math
+
+        from repro.stats.streaming import streaming_compare
+
+        a, b = self._digest_pair()
+        unbounded = streaming_compare(a, b)
+        width = unbounded.ci_high - unbounded.ci_low
+        over = streaming_compare(
+            a, b, max_ci_width=math.nextafter(width, 0.0)
+        )
+        assert not over.valid
+
+    def test_monitor_shift_survives_ci_exactly_at_max_width(self, monkeypatch):
+        """End to end: pin MAX_CI_WIDTH_MINRTT_MS to the observed CI width
+        and the decision must still be a shift candidate."""
+        from repro.stats.streaming import streaming_compare
+        import repro.pipeline.streaming as streaming_mod
+
+        probe = StreamingRouteMonitor()
+        feed_window(probe, 0, rtt_ms=52.0, rank=0)
+        feed_window(probe, 0, rtt_ms=38.0, rank=1)
+        (preferred,) = [
+            agg for (_, rank), agg in probe._state.items() if rank == 0
+        ]
+        (alternate,) = [
+            agg for (_, rank), agg in probe._state.items() if rank == 1
+        ]
+        cmp = streaming_compare(preferred.rtt_digest, alternate.rtt_digest)
+        width = cmp.ci_high - cmp.ci_low
+
+        monkeypatch.setattr(
+            streaming_mod, "MAX_CI_WIDTH_MINRTT_MS", width
+        )
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=52.0, rank=0)
+        feed_window(monitor, 0, rtt_ms=38.0, rank=1)
+        assert monitor.finish()[0].is_shift_candidate

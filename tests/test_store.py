@@ -1,0 +1,458 @@
+"""Tests for the columnar trace store (encodings, writer, reader, pruning)."""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.pipeline.io import read_samples, write_samples
+from repro.store import (
+    DEFAULT_BAND_WINDOWS,
+    ScanFilter,
+    StoreChunk,
+    TraceStoreReader,
+    TraceStoreWriter,
+    is_store_path,
+    read_store_chunk,
+    write_store,
+)
+from repro.store.encoding import (
+    compress_block,
+    decode_bitmap,
+    decode_delta_varints,
+    decode_f64,
+    decode_i64,
+    decode_string_dict,
+    decode_varints,
+    decompress_block,
+    encode_bitmap,
+    encode_delta_varints,
+    encode_f64,
+    encode_i64,
+    encode_string_dict,
+    encode_varints,
+)
+from repro.store.schema import COLUMNS, decode_rows, encode_rows
+from repro.store.writer import MANIFEST_NAME
+
+from tests.helpers import make_trace_samples
+
+
+# --------------------------------------------------------------------- #
+# Column codecs
+# --------------------------------------------------------------------- #
+class TestEncodings:
+    def test_f64_round_trip(self):
+        values = [0.0, -1.5, 3.14159, 1e300, -1e-300, 42.0]
+        assert list(decode_f64(encode_f64(values))) == values
+
+    def test_i64_round_trip(self):
+        values = [0, 1, -1, 2**62, -(2**62), 1234567]
+        assert list(decode_i64(encode_i64(values))) == values
+
+    def test_varint_round_trip(self):
+        values = [0, 1, 127, 128, 300, 2**40, 16383, 16384]
+        assert decode_varints(encode_varints(values)) == values
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_varints([-1])
+
+    def test_varint_rejects_truncated(self):
+        payload = encode_varints([2**40])
+        with pytest.raises(ValueError):
+            decode_varints(payload[:-1])
+
+    def test_delta_varint_round_trip(self):
+        values = [5, 3, 3, 100, -7, 0, 2**64, -(2**64)]
+        assert decode_delta_varints(encode_delta_varints(values)) == values
+
+    def test_bitmap_round_trip(self):
+        for values in ([], [True], [False], [True, False] * 9 + [True]):
+            assert decode_bitmap(encode_bitmap(values)) == values
+
+    def test_string_dict_round_trip(self):
+        values = ["ams1", "sjc1", "ams1", "", "gru1", "ams1", "héllo"]
+        assert decode_string_dict(encode_string_dict(values)) == values
+
+    def test_compress_block_raw_for_small_payloads(self):
+        data, codec = compress_block(b"tiny", True)
+        assert codec == "raw" and data == b"tiny"
+
+    def test_compress_block_zlib_when_it_shrinks(self):
+        payload = b"abcd" * 100
+        data, codec = compress_block(payload, True)
+        assert codec == "zlib" and len(data) < len(payload)
+        assert decompress_block(data, codec) == payload
+
+    def test_compress_disabled(self):
+        payload = b"abcd" * 100
+        data, codec = compress_block(payload, False)
+        assert codec == "raw" and data == payload
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            decompress_block(b"", "lz77")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**70)))
+    def test_varint_property(self, values):
+        assert decode_varints(encode_varints(values)) == values
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=-(2**70), max_value=2**70)))
+    def test_delta_varint_property(self, values):
+        assert decode_delta_varints(encode_delta_varints(values)) == values
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.text(max_size=6)))
+    def test_string_dict_property(self, values):
+        assert decode_string_dict(encode_string_dict(values)) == values
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.booleans()))
+    def test_bitmap_property(self, values):
+        assert decode_bitmap(encode_bitmap(values)) == values
+
+
+class TestSchema:
+    def test_rows_round_trip_losslessly(self):
+        rows = list(enumerate(make_trace_samples(120, seed=3)))
+        for compress in (True, False):
+            payload, blocks = encode_rows(rows, compress=compress)
+            assert decode_rows(payload, blocks) == rows
+
+    def test_every_column_has_a_block(self):
+        rows = list(enumerate(make_trace_samples(10, seed=4)))
+        _, blocks = encode_rows(rows)
+        assert [b["column"] for b in blocks] == [name for name, _ in COLUMNS]
+
+    def test_empty_rows(self):
+        payload, blocks = encode_rows([])
+        assert decode_rows(payload, blocks) == []
+
+
+# --------------------------------------------------------------------- #
+# Writer
+# --------------------------------------------------------------------- #
+class TestWriter:
+    def test_write_creates_manifest_and_data(self, tmp_path):
+        samples = make_trace_samples(200, seed=5)
+        store = tmp_path / "t.store"
+        assert write_store(store, samples) == 200
+        manifest = json.loads((store / MANIFEST_NAME).read_text())
+        assert manifest["row_count"] == 200
+        assert manifest["format"] == "repro-store"
+        assert (store / manifest["data_file"]).stat().st_size == manifest[
+            "data_bytes"
+        ]
+        # Partitions tile data.bin exactly, in offset order.
+        offset = 0
+        for partition in manifest["partitions"]:
+            assert partition["offset"] == offset
+            offset += partition["length"]
+        assert offset == manifest["data_bytes"]
+        assert sum(p["rows"] for p in manifest["partitions"]) == 200
+
+    def test_partitions_keyed_by_pop_and_band(self, tmp_path):
+        samples = make_trace_samples(300, seed=6)
+        store = tmp_path / "t.store"
+        write_store(store, samples)
+        reader = TraceStoreReader(store)
+        writer = TraceStoreWriter(tmp_path / "unused.store")
+        for partition in reader.partitions:
+            for _, sample in reader.decode_partition(partition):
+                assert sample.pop == partition["pop"]
+                assert writer.band_of(sample) == partition["band"]
+
+    def test_partition_stats_are_exact(self, tmp_path):
+        store = tmp_path / "t.store"
+        write_store(store, make_trace_samples(150, seed=7))
+        reader = TraceStoreReader(store)
+        for partition in reader.partitions:
+            rows = reader.decode_partition(partition)
+            stats = partition["stats"]
+            assert stats["min_seq"] == min(seq for seq, _ in rows)
+            assert stats["max_seq"] == max(seq for seq, _ in rows)
+            assert stats["min_end_time"] == min(s.end_time for _, s in rows)
+            assert stats["max_end_time"] == max(s.end_time for _, s in rows)
+            assert stats["countries"] == sorted(
+                {s.client_country for _, s in rows}
+            )
+
+    def test_layout_is_deterministic(self, tmp_path):
+        samples = make_trace_samples(100, seed=8)
+        a, b = tmp_path / "a.store", tmp_path / "b.store"
+        write_store(a, samples)
+        write_store(b, samples)
+        assert (a / "data.bin").read_bytes() == (b / "data.bin").read_bytes()
+        assert (a / MANIFEST_NAME).read_bytes() == (
+            b / MANIFEST_NAME
+        ).read_bytes()
+
+    def test_writer_counters(self, tmp_path):
+        metrics = MetricsRegistry()
+        write_store(
+            tmp_path / "t.store", make_trace_samples(80, seed=9), metrics=metrics
+        )
+        counters = metrics.counters
+        assert counters["store.rows.written"] == 80
+        assert counters["io.rows_written"] == 80
+        assert counters["store.partitions.written"] > 1
+        assert counters["store.bytes.written"] > 0
+
+    def test_closed_writer_rejects_use(self, tmp_path):
+        writer = TraceStoreWriter(tmp_path / "t.store")
+        writer.add_all(make_trace_samples(5, seed=10))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.add(make_trace_samples(1, seed=11)[0])
+        with pytest.raises(ValueError):
+            writer.close()
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceStoreWriter(tmp_path / "t.store", band_windows=0)
+        with pytest.raises(ValueError):
+            TraceStoreWriter(tmp_path / "t.store", window_seconds=0.0)
+
+    def test_is_store_path(self, tmp_path):
+        store = tmp_path / "t.store"
+        assert is_store_path(store)  # .store suffix, even before it exists
+        assert not is_store_path(tmp_path / "t.jsonl")
+        write_store(tmp_path / "noext", make_trace_samples(3, seed=12))
+        assert is_store_path(tmp_path / "noext")  # manifest detection
+
+
+class TestAtomicity:
+    def test_interrupted_manifest_write_leaves_store_unreadable(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash between data.bin and manifest.json must not leave a
+        store that reads back as a short-but-valid trace."""
+        import repro.store.writer as writer_mod
+
+        real = writer_mod._atomic_write
+
+        def fail_on_manifest(path, data):
+            if path.name == MANIFEST_NAME:
+                raise OSError("disk full")
+            real(path, data)
+
+        monkeypatch.setattr(writer_mod, "_atomic_write", fail_on_manifest)
+        store = tmp_path / "t.store"
+        with pytest.raises(OSError):
+            write_store(store, make_trace_samples(20, seed=13))
+        assert (store / "data.bin").exists()
+        with pytest.raises(ValueError, match="missing manifest"):
+            TraceStoreReader(store)
+
+    def test_interrupted_rewrite_keeps_previous_store(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.store.writer as writer_mod
+
+        store = tmp_path / "t.store"
+        samples = make_trace_samples(30, seed=14)
+        write_store(store, samples)
+        before = (store / MANIFEST_NAME).read_bytes()
+
+        monkeypatch.setattr(
+            writer_mod,
+            "_atomic_write",
+            lambda path, data: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            write_store(store, make_trace_samples(5, seed=15))
+        assert (store / MANIFEST_NAME).read_bytes() == before
+        assert list(TraceStoreReader(store).scan()) == samples
+
+    def test_no_temp_files_survive(self, tmp_path):
+        store = tmp_path / "t.store"
+        write_store(store, make_trace_samples(10, seed=16))
+        assert not list(store.glob("*.tmp.*"))
+
+
+# --------------------------------------------------------------------- #
+# Reader: order, validation, pruning
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def trace_samples():
+    return make_trace_samples(600, seed=21)
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory, trace_samples):
+    path = tmp_path_factory.mktemp("store") / "trace.store"
+    write_store(path, trace_samples)
+    return path
+
+
+class TestReader:
+    def test_full_scan_restores_exact_stream_order(
+        self, store_path, trace_samples
+    ):
+        assert list(TraceStoreReader(store_path).scan()) == trace_samples
+
+    def test_scan_matches_read_samples_dispatch(
+        self, store_path, trace_samples
+    ):
+        assert list(read_samples(store_path)) == trace_samples
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        empty = tmp_path / "empty.store"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="missing manifest"):
+            TraceStoreReader(empty)
+
+    @pytest.mark.parametrize(
+        "field, bad",
+        [("format", "other"), ("version", 99), ("schema_version", 99)],
+    )
+    def test_version_mismatch_rejected(self, tmp_path, store_path, field, bad):
+        import shutil
+
+        copy = tmp_path / "copy.store"
+        shutil.copytree(store_path, copy)
+        manifest = json.loads((copy / MANIFEST_NAME).read_text())
+        manifest[field] = bad
+        (copy / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            TraceStoreReader(copy)
+
+    def test_scan_counters(self, store_path):
+        metrics = MetricsRegistry()
+        reader = TraceStoreReader(store_path)
+        rows = list(reader.scan(metrics=metrics))
+        counters = metrics.counters
+        assert counters["store.partitions.scanned"] == len(reader.partitions)
+        assert counters["store.rows.decoded"] == len(rows)
+        assert counters["io.rows_read"] == len(rows)
+        assert counters["store.bytes.read"] == reader.manifest["data_bytes"]
+        assert "store.partitions.pruned" not in counters
+
+
+class TestPruning:
+    @pytest.mark.parametrize(
+        "scan_filter",
+        [
+            ScanFilter(pops="ams1"),
+            ScanFilter(pops={"sjc1", "gru1"}),
+            ScanFilter(countries="BR"),
+            ScanFilter(min_end_time=2000.0, max_end_time=4000.0),
+            ScanFilter(pops="ams1", countries="NL", min_end_time=1500.0),
+            ScanFilter(pops="nowhere"),
+        ],
+    )
+    def test_filtered_scan_equals_brute_force(
+        self, store_path, trace_samples, scan_filter
+    ):
+        got = list(TraceStoreReader(store_path).scan(scan_filter))
+        expected = [s for s in trace_samples if scan_filter.admits_sample(s)]
+        assert got == expected
+
+    def test_pruning_skips_bytes_without_decoding(self, store_path):
+        metrics = MetricsRegistry()
+        reader = TraceStoreReader(store_path)
+        list(reader.scan(ScanFilter(pops="ams1"), metrics=metrics))
+        counters = metrics.counters
+        assert counters["store.partitions.pruned"] > 0
+        assert counters["store.bytes.skipped"] > 0
+        # Strictly fewer bytes decoded than a full scan would read.
+        assert counters["store.bytes.read"] < reader.manifest["data_bytes"]
+        # Every partition is either scanned or pruned, and their bytes
+        # tile the data file exactly.
+        assert counters["store.partitions.scanned"] + counters[
+            "store.partitions.pruned"
+        ] == len(reader.partitions)
+        assert (
+            counters["store.bytes.read"] + counters["store.bytes.skipped"]
+            == reader.manifest["data_bytes"]
+        )
+
+    def test_time_pruning_is_inclusive_at_bounds(self, store_path):
+        reader = TraceStoreReader(store_path)
+        partition = reader.partitions[0]
+        stats = partition["stats"]
+        at_max = ScanFilter(min_end_time=stats["max_end_time"])
+        at_min = ScanFilter(max_end_time=stats["min_end_time"])
+        assert at_max.admits_partition(partition)
+        assert at_min.admits_partition(partition)
+        past_max = ScanFilter(min_end_time=stats["max_end_time"] + 1e-9)
+        assert not past_max.admits_partition(partition)
+
+    def test_scan_filter_normalizes_string_to_set(self):
+        assert ScanFilter(pops="ams1").pops == frozenset({"ams1"})
+        assert ScanFilter(countries=["NL", "DE"]).countries == frozenset(
+            {"NL", "DE"}
+        )
+
+
+class TestChunkPlanning:
+    def test_chunks_cover_store_disjointly(self, store_path):
+        reader = TraceStoreReader(store_path)
+        chunks = reader.plan_chunks(3)
+        assert 1 <= len(chunks) <= 3
+        seen = [pid for chunk in chunks for pid in chunk.partition_ids]
+        assert sorted(seen) == sorted(p["id"] for p in reader.partitions)
+        assert len(seen) == len(set(seen))
+
+    def test_chunk_ordinal_is_min_seq(self, store_path):
+        reader = TraceStoreReader(store_path)
+        for chunk in reader.plan_chunks(4):
+            pairs = list(read_store_chunk(chunk))
+            assert chunk.ordinal == min(seq for seq, _ in pairs)
+
+    def test_more_chunks_than_partitions(self, store_path):
+        reader = TraceStoreReader(store_path)
+        chunks = reader.plan_chunks(1000)
+        assert len(chunks) == len(reader.partitions)
+
+    def test_zero_chunks_rejected(self, store_path):
+        with pytest.raises(ValueError):
+            TraceStoreReader(store_path).plan_chunks(0)
+
+    def test_chunked_counters_sum_to_serial(self, store_path):
+        serial = MetricsRegistry()
+        list(TraceStoreReader(store_path).scan(metrics=serial))
+        merged = MetricsRegistry()
+        for chunk in TraceStoreReader(store_path).plan_chunks(4):
+            part = MetricsRegistry()
+            list(read_store_chunk(chunk, metrics=part))
+            merged.merge(part)
+        assert merged.counters == serial.counters
+
+    def test_chunks_reassemble_exact_stream(self, store_path, trace_samples):
+        pairs = []
+        for chunk in TraceStoreReader(store_path).plan_chunks(5):
+            pairs.extend(read_store_chunk(chunk))
+        pairs.sort(key=lambda pair: pair[0])
+        assert [s for _, s in pairs] == trace_samples
+
+    def test_store_chunk_is_picklable(self, store_path):
+        import pickle
+
+        chunk = TraceStoreReader(store_path).plan_chunks(2)[0]
+        assert pickle.loads(pickle.dumps(chunk)) == chunk
+
+
+class TestStoreJsonlEquivalence:
+    def test_jsonl_and_store_round_trip_identically(
+        self, tmp_path, trace_samples
+    ):
+        jsonl = tmp_path / "t.jsonl"
+        store = tmp_path / "t.store"
+        write_samples(jsonl, trace_samples)
+        write_store(store, trace_samples)
+        assert list(read_samples(jsonl)) == list(read_samples(store))
+
+    def test_store_is_smaller_than_jsonl(self, tmp_path, trace_samples):
+        jsonl = tmp_path / "t.jsonl"
+        store = tmp_path / "t.store"
+        write_samples(jsonl, trace_samples)
+        write_store(store, trace_samples)
+        store_bytes = sum(f.stat().st_size for f in store.iterdir())
+        assert store_bytes < jsonl.stat().st_size / 2
