@@ -4,8 +4,12 @@
 #   test-all    - everything in tests/, including the exhaustive `slow`
 #                 equivalence/property sweeps (`-m ""` clears the addopts
 #                 marker filter) and the observability coverage floor.
-#   coverage    - the obs- and store-subsystem tests under pytest-cov with a
-#                 fail-under floor on src/repro/obs/ + src/repro/store/.
+#   test-faults - just the fault-injection matrix (`faults` marker):
+#                 store corruption detection, shard retry/quarantine,
+#                 degraded-run accounting. Also part of tier-1.
+#   coverage    - the obs-, store-, and fault-subsystem tests under
+#                 pytest-cov with a fail-under floor on src/repro/obs/ +
+#                 src/repro/store/ + src/repro/faultinject.py.
 #                 Gated: when pytest-cov is not installed the tests still
 #                 run, without the floor, instead of erroring (the container
 #                 may not ship coverage tooling).
@@ -21,25 +25,30 @@ PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 OBS_TESTS = tests/test_obs_registry.py tests/test_obs_tracing.py \
             tests/test_obs_manifest.py tests/test_obs_pipeline.py
 STORE_TESTS = tests/test_store.py tests/test_store_pipeline.py
+FAULT_TESTS = tests/test_fault_tolerance.py
 COV_FLOOR = 85
 
-.PHONY: test test-all coverage bench bench-scaling bench-io
+.PHONY: test test-all test-faults coverage bench bench-scaling bench-io
 
 test:
 	$(PYTEST) -x -q
 
-test-all: coverage
+test-all: coverage test-faults
 	$(PYTEST) -q -m ""
+
+test-faults:
+	$(PYTEST) -q -m faults
 
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
-		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) \
-			--cov=repro.obs --cov=repro.store --cov-report=term-missing \
+		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
+			--cov=repro.obs --cov=repro.store --cov=repro.faultinject \
+			--cov-report=term-missing \
 			--cov-fail-under=$(COV_FLOOR); \
 	else \
-		echo "pytest-cov not installed; running obs/store tests without" \
-		     "the $(COV_FLOOR)% floor"; \
-		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS); \
+		echo "pytest-cov not installed; running obs/store/fault tests" \
+		     "without the $(COV_FLOOR)% floor"; \
+		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS); \
 	fi
 
 bench:

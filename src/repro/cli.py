@@ -13,7 +13,16 @@ The subcommands mirror the library's main entry points:
   re-analyse it later; both formats (JSONL and the columnar store of
   :mod:`repro.store`) are supported, selected by path or ``--format``;
 - ``repro convert`` — convert a trace between JSONL and the columnar
-  store.
+  store;
+- ``repro verify-store`` — scan a columnar store for corruption
+  (per-block checksums plus a full decode; exit 1 with ``CORRUPT:`` lines
+  naming partition/column/offset when anything fails).
+
+Sharded subcommands (``snapshot``, ``routing``, ``analyze``) take the
+fault policy flags ``--max-retries``, ``--retry-backoff``, and
+``--strict``: by default a shard that keeps failing is quarantined and the
+run completes degraded (with a ``WARNING: degraded run`` header and a
+``degraded`` section in the manifest); ``--strict`` fails fast instead.
 
 Every subcommand supports ``--metrics-out PATH`` (write a
 :class:`repro.obs.RunManifest` JSON recording config, shard plan, stage
@@ -69,6 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--executor", choices=("process", "thread", "serial"),
             default="process",
             help="worker pool kind for --workers > 1",
+        )
+        command.add_argument(
+            "--max-retries", type=int, default=2, dest="max_retries",
+            metavar="N",
+            help="re-run a failing shard up to N times before quarantining "
+            "it (default 2)",
+        )
+        command.add_argument(
+            "--retry-backoff", type=float, default=0.05, dest="retry_backoff",
+            metavar="SECONDS",
+            help="base delay between shard retries, doubled per attempt "
+            "(default 0.05)",
+        )
+        command.add_argument(
+            "--strict", action="store_true",
+            help="fail fast on the first exhausted shard instead of "
+            "quarantining it and completing degraded",
         )
 
     fig4 = sub.add_parser("figure4", help="run the Figure-4 goodput walkthrough")
@@ -168,6 +194,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_options(convert)
 
+    verify = sub.add_parser(
+        "verify-store",
+        help="scan a columnar store for corruption (checksums + decode)",
+    )
+    verify.add_argument("store", help="trace-store directory to verify")
+    _add_observability_options(verify)
+
     calibrate = sub.add_parser(
         "calibrate",
         help="check the synthetic universe against the paper's anchors",
@@ -176,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--rate", type=float, default=9.0)
     _add_observability_options(calibrate)
     return parser
+
+
+def _print_degraded(dataset) -> None:
+    """One-line degradation header for runs that quarantined shards."""
+    if getattr(dataset, "degraded", None):
+        print(f"WARNING: degraded run — {dataset.degraded.summary()}")
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
@@ -260,8 +299,12 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         workers=args.workers,
         shards=args.shards,
         executor=args.executor,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        strict=args.strict,
     )
     print(f"{dataset.session_count:,} sampled sessions")
+    _print_degraded(dataset)
 
     result = fig6_global_performance(dataset)
     rows = []
@@ -310,8 +353,12 @@ def _cmd_routing(args: argparse.Namespace) -> int:
         workers=args.workers,
         shards=args.shards,
         executor=args.executor,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        strict=args.strict,
     )
     print(f"{dataset.session_count:,} sampled sessions")
+    _print_degraded(dataset)
 
     result = fig9_opportunity(dataset)
     print(
@@ -394,8 +441,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         workers=args.workers,
         shards=args.shards,
         executor=args.executor,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        strict=args.strict,
     )
     print(f"{dataset.session_count:,} sessions loaded from {args.trace}")
+    _print_degraded(dataset)
     result = fig6_global_performance(dataset)
     print(f"global MinRTT p50: {format_metric(result.median_minrtt, '.1f', ' ms')}")
     print(f"global MinRTT p80: {format_metric(result.p80_minrtt, '.1f', ' ms')}")
@@ -404,6 +455,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         f"{format_percent(result.hdratio_positive_fraction)}"
     )
     return 0
+
+
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    from repro.obs import active_metrics
+    from repro.store import verify_store
+
+    report = verify_store(args.store, metrics=active_metrics())
+    if report.ok:
+        print(
+            f"{args.store}: OK "
+            f"({report.partitions_total} partition(s) verified)"
+        )
+        return 0
+    for finding in report.findings:
+        print(f"CORRUPT: {finding.describe()}")
+    print(
+        f"{args.store}: {len(report.findings)} finding(s) across "
+        f"{report.partitions_corrupt} corrupt partition(s) of "
+        f"{report.partitions_total}"
+    )
+    return 1
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
@@ -436,6 +508,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "convert": _cmd_convert,
+    "verify-store": _cmd_verify_store,
     "calibrate": _cmd_calibrate,
 }
 
@@ -475,6 +548,9 @@ def _shard_plan(args: argparse.Namespace) -> dict:
         "workers": args.workers,
         "shards": args.shards if args.shards is not None else args.workers,
         "executor": args.executor,
+        "max_retries": args.max_retries,
+        "retry_backoff": args.retry_backoff,
+        "strict": args.strict,
     }
 
 
@@ -510,7 +586,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     registry = MetricsRegistry()
     tracer = Tracer(metrics=registry)
     with activate_metrics(registry), activate_tracer(tracer):
-        with span(f"cli.{args.command}"):
+        # Metric names reject hyphens, and the tracer mints a
+        # "stage.cli.<command>" timer from this span's path.
+        with span(f"cli.{args.command.replace('-', '_')}"):
             code = _COMMANDS[args.command](args)
 
     if args.profile:

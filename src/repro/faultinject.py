@@ -1,0 +1,243 @@
+"""Fault-injection harness for the pipeline's failure-model tests.
+
+The paper's methodology (§3.3–3.4) is built to produce *partial but
+honest* results when a window's data is missing; this module is how the
+reproduction proves it does the same. A :class:`FaultPlan` describes
+deterministic faults to inject at the pipeline's I/O and execution
+boundaries, and the store reader / shard workers consult it through the
+hook functions below. With no plan active every hook is a cheap no-op, so
+the instrumentation stays in the hot paths permanently.
+
+Activation, two ways:
+
+- **programmatic** — ``with faultinject.inject(plan): ...`` installs the
+  plan for the current process (threads included). This is what the test
+  matrix uses with the ``serial``/``thread`` executors.
+- **environment** — ``REPRO_FAULTS='{"kill_shard": {...}}'`` (the plan's
+  JSON form). Child processes inherit the environment, which is how
+  ``ProcessPoolExecutor`` shard workers pick a plan up. Count-limited
+  ("times") faults keep their budget *per process* under this mode — a
+  transient fault may fire once in every pool worker — so transient-fault
+  tests should prefer programmatic activation with in-process executors.
+
+Fault kinds (each an optional field of :class:`FaultPlan`; all are dicts
+so the JSON form is the API):
+
+- ``flip_byte`` — ``{"partition": id, "column": name, "offset": n,
+  "xor": mask, "times": k|null}``: XOR one byte inside the named column
+  block of the named store partition as its payload leaves the disk read.
+  ``times`` defaults to null (persistent corruption, like a bad sector).
+- ``kill_shard`` — ``{"ordinal": n, "times": k|null, "error":
+  "runtime"|"os"}``: raise at shard-worker entry. ``times: k`` makes the
+  fault transient (first ``k`` attempts fail, then the shard succeeds —
+  the retry path's test); ``times: null`` makes it permanent (the
+  quarantine path's test).
+- ``io_delay`` — ``{"seconds": s, "path_substr": sub|null}``: sleep
+  before opening a matching trace/store file for reading.
+- ``io_error`` — ``{"times": k, "path_substr": sub|null}``: raise a
+  transient ``OSError`` at a matching read boundary for the first ``k``
+  opens.
+
+Every fired fault increments a ``fault.injected.*`` counter in the
+*active* registry (:func:`repro.obs.active_metrics`). These are execution
+facts about this run, never data facts — they live outside the
+serial-vs-parallel counter-equality invariant, like ``stage.*`` timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.obs import active_metrics
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "check_io",
+    "check_shard",
+    "corrupt_block_payload",
+    "current_plan",
+    "inject",
+    "reset",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+_ERROR_KINDS = ("runtime", "os")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults to inject (see module docstring)."""
+
+    flip_byte: Optional[dict] = None
+    kill_shard: Optional[dict] = None
+    io_delay: Optional[dict] = None
+    io_error: Optional[dict] = None
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                field.name: getattr(self, field.name)
+                for field in dataclasses.fields(self)
+                if getattr(self, field.name) is not None
+            }
+        )
+
+
+# --------------------------------------------------------------------- #
+# Activation state (process-local; env var crosses process boundaries)
+# --------------------------------------------------------------------- #
+_PLAN: Optional[FaultPlan] = None
+#: (raw env string, parsed plan) — re-parsed only when the env changes.
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+#: Budget already consumed per count-limited fault key.
+_SPENT: Dict[tuple, int] = {}
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The active plan: programmatic first, then ``REPRO_FAULTS``."""
+    global _ENV_CACHE
+    if _PLAN is not None:
+        return _PLAN
+    raw = os.environ.get(ENV_VAR)
+    if raw is None:
+        return None
+    if _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, FaultPlan.from_json(raw))
+    return _ENV_CACHE[1]
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the current process; restores on exit.
+
+    Count-limited budgets reset on entry and on exit, so nested or
+    sequential injections never leak consumed counts into each other.
+    """
+    global _PLAN
+    previous = _PLAN
+    previous_spent = dict(_SPENT)
+    _PLAN = plan
+    _SPENT.clear()
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+        _SPENT.clear()
+        _SPENT.update(previous_spent)
+
+
+def reset() -> None:
+    """Forget consumed fault budgets and the env-plan cache (test hook)."""
+    global _ENV_CACHE
+    _SPENT.clear()
+    _ENV_CACHE = (None, None)
+
+
+def _consume(key: tuple, times: Optional[int]) -> bool:
+    """True when the fault keyed by ``key`` should fire this call."""
+    if times is None:
+        return True
+    spent = _SPENT.get(key, 0)
+    if spent >= times:
+        return False
+    _SPENT[key] = spent + 1
+    return True
+
+
+def _count(name: str) -> None:
+    registry = active_metrics()
+    if registry is not None:
+        registry.inc(name)
+
+
+def _matches_path(spec: dict, path) -> bool:
+    substr = spec.get("path_substr")
+    return substr is None or substr in str(path)
+
+
+# --------------------------------------------------------------------- #
+# Hooks (called from the store reader / trace readers / shard workers)
+# --------------------------------------------------------------------- #
+def corrupt_block_payload(payload: bytes, partition: dict) -> bytes:
+    """Apply the plan's ``flip_byte`` fault to one partition payload."""
+    plan = current_plan()
+    if plan is None or plan.flip_byte is None:
+        return payload
+    spec = plan.flip_byte
+    if spec.get("partition") != partition["id"]:
+        return payload
+    column = spec.get("column")
+    block = next(
+        (b for b in partition["blocks"] if b["column"] == column), None
+    )
+    if block is None or not block["length"]:
+        return payload
+    if not _consume(("flip_byte", partition["id"], column), spec.get("times")):
+        return payload
+    offset = block["offset"] + min(
+        int(spec.get("offset", 0)), block["length"] - 1
+    )
+    mutated = bytearray(payload)
+    # A zero mask would be a silent no-op; force a real flip instead.
+    mutated[offset] ^= (int(spec.get("xor", 0xFF)) & 0xFF) or 0xFF
+    _count("fault.injected.byte_flips")
+    return bytes(mutated)
+
+
+def check_shard(ordinal: int) -> None:
+    """Raise the plan's ``kill_shard`` fault at shard-worker entry."""
+    plan = current_plan()
+    if plan is None or plan.kill_shard is None:
+        return
+    spec = plan.kill_shard
+    if spec.get("ordinal") != ordinal:
+        return
+    if not _consume(("kill_shard", ordinal), spec.get("times")):
+        return
+    _count("fault.injected.shard_kills")
+    kind = spec.get("error", "runtime")
+    if kind not in _ERROR_KINDS:
+        raise ValueError(f"kill_shard error kind must be one of {_ERROR_KINDS}")
+    message = f"injected fault: shard {ordinal} worker killed"
+    if kind == "os":
+        raise OSError(message)
+    raise RuntimeError(message)
+
+
+def check_io(path) -> None:
+    """Apply ``io_delay`` / ``io_error`` faults at a read boundary."""
+    plan = current_plan()
+    if plan is None:
+        return
+    delay = plan.io_delay
+    if delay is not None and _matches_path(delay, path):
+        if _consume(("io_delay",), delay.get("times")):
+            _count("fault.injected.io_delays")
+            time.sleep(float(delay.get("seconds", 0.0)))
+    error = plan.io_error
+    if error is not None and _matches_path(error, path):
+        if _consume(("io_error",), error.get("times", 1)):
+            _count("fault.injected.io_errors")
+            raise OSError(f"injected fault: transient I/O error opening {path}")

@@ -10,6 +10,9 @@ keeps *data facts* and *execution facts* in separate sections:
   counter-equality invariant; see ``repro.obs``).
 - ``stages`` / ``timers`` / ``shard_plan`` — properties of this execution:
   wall times and partitioning, expected to differ across plans.
+- ``degraded`` — what this execution lost to quarantined shards (the
+  ``fault.*`` counters, summarized; see DESIGN.md §9). Empty (``{}``) for
+  clean runs, so fault-free manifests are unchanged.
 
 The format is versioned; :meth:`RunManifest.read` rejects manifests from a
 different format version rather than misinterpreting them.
@@ -38,6 +41,24 @@ PathLike = Union[str, pathlib.Path]
 _ACCOUNTING_PREFIXES = ("pipeline.", "methodology.", "core.", "io.")
 
 
+def _degraded_from_counters(counters: Dict[str, int]) -> Dict[str, object]:
+    """Degradation summary from the ``fault.*`` execution counters.
+
+    Returns ``{}`` when no shard was quarantined and nothing was retried,
+    so clean manifests stay byte-identical to the pre-fault-tolerance
+    format.
+    """
+    summary = {
+        "shards_lost": counters.get("fault.shards_quarantined", 0),
+        "samples_lost": counters.get("fault.samples_lost", 0),
+        "partitions_skipped": counters.get("fault.partitions_skipped", 0),
+        "retries": counters.get("fault.shard_retries", 0),
+    }
+    if not any(summary.values()):
+        return {}
+    return summary
+
+
 @dataclass
 class RunManifest:
     """One run's configuration, accounting, and timing record."""
@@ -51,6 +72,10 @@ class RunManifest:
     timers: Dict[str, dict] = field(default_factory=dict)
     exit_code: Optional[int] = None
     python_version: str = field(default_factory=platform.python_version)
+    #: Degradation summary for runs that quarantined shards: shards_lost,
+    #: samples_lost, partitions_skipped, retries (and, when collected via
+    #: the CLI, the ledger's per-shard entries). Empty for clean runs.
+    degraded: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -61,18 +86,28 @@ class RunManifest:
         tracer: Optional[Tracer] = None,
         shard_plan: Optional[Dict[str, object]] = None,
         exit_code: Optional[int] = None,
+        degraded: Optional[Dict[str, object]] = None,
     ) -> "RunManifest":
-        """Snapshot a registry and tracer into a manifest."""
+        """Snapshot a registry and tracer into a manifest.
+
+        ``degraded`` defaults to a summary derived from the registry's
+        ``fault.*`` counters (empty when none fired); pass a
+        ``DegradedLedger.to_dict()`` for the richer per-shard record.
+        """
         snapshot = registry.to_dict() if registry is not None else {}
+        counters = snapshot.get("counters", {})
+        if degraded is None:
+            degraded = _degraded_from_counters(counters)
         return cls(
             command=command,
             config=dict(config or {}),
             shard_plan=dict(shard_plan or {}),
             stages=tracer.stage_table() if tracer is not None else [],
-            counters=snapshot.get("counters", {}),
+            counters=counters,
             gauges=snapshot.get("gauges", {}),
             timers=snapshot.get("timers", {}),
             exit_code=exit_code,
+            degraded=dict(degraded),
         )
 
     # ------------------------------------------------------------------ #
@@ -104,6 +139,7 @@ class RunManifest:
             "timers": dict(sorted(self.timers.items())),
             "exit_code": self.exit_code,
             "python_version": self.python_version,
+            "degraded": dict(self.degraded),
         }
 
     @classmethod
@@ -121,6 +157,7 @@ class RunManifest:
             timers=dict(payload.get("timers", {})),
             exit_code=payload.get("exit_code"),
             python_version=payload.get("python_version", ""),
+            degraded=dict(payload.get("degraded", {})),
         )
 
     def to_json(self, indent: int = 2) -> str:

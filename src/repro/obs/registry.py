@@ -20,7 +20,12 @@ namespace per layer: ``pipeline.*`` ingestion accounting, ``methodology.*``
 the §3.2 classifier counts, ``core.*`` aggregation-store accounting,
 ``io.*`` trace serialization, ``store.*`` the columnar trace store
 (partitions scanned/pruned, bytes read/skipped, rows decoded/written),
-``netsim.*`` the simulator's event loop. See DESIGN.md §7 for the
+``netsim.*`` the simulator's event loop, ``fault.*`` fault handling —
+injected faults (:mod:`repro.faultinject`) and the sharded pipeline's
+retry/quarantine ledger. ``fault.*`` counters are **execution facts**:
+they describe how one run fared, never the data, so they go to the
+*active* registry only and sit outside the counter-equality invariant
+(and outside the manifest's sample accounting). See DESIGN.md §7 for the
 registry of names.
 """
 

@@ -27,7 +27,12 @@ from repro.pipeline.experiments import (
 )
 from repro.pipeline.filters import FilterStats, filter_hosting_providers
 from repro.pipeline.io import convert, detect_format, read_samples, write_samples
-from repro.pipeline.parallel import ParallelOptions, build_dataset
+from repro.pipeline.parallel import (
+    DegradedLedger,
+    ParallelOptions,
+    ShardError,
+    build_dataset,
+)
 from repro.pipeline.streaming import RouteDecision, StreamingRouteMonitor
 from repro.pipeline.routing_analysis import (
     fig8_degradation,
@@ -39,8 +44,10 @@ from repro.pipeline.routing_analysis import (
 
 __all__ = [
     "CdfSeries",
+    "DegradedLedger",
     "FilterStats",
     "ParallelOptions",
+    "ShardError",
     "RouteDecision",
     "SessionRow",
     "StreamingRouteMonitor",

@@ -79,6 +79,11 @@ class StudyDataset:
         #: Per-shard execution report filled by the parallel pipeline
         #: (empty for serial ingestion): dicts of ordinal/rows/wall_seconds.
         self.shard_report: List[dict] = []
+        #: Set by the parallel pipeline when shards were quarantined: a
+        #: :class:`repro.pipeline.parallel.DegradedLedger` naming every
+        #: lost shard and the samples/partitions lost with it. ``None``
+        #: for clean (or serial) runs.
+        self.degraded = None
         self._verdict_cache: dict = {}
 
     @property

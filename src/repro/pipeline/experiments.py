@@ -44,6 +44,9 @@ def dataset_from_source(
     workers: int = 1,
     shards: Optional[int] = None,
     executor: str = "process",
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    strict: bool = False,
 ) -> StudyDataset:
     """Build the :class:`StudyDataset` every figure driver consumes.
 
@@ -52,14 +55,24 @@ def dataset_from_source(
     ingestion runs through the sharded pipeline
     (:mod:`repro.pipeline.parallel`), whose output is bit-identical to the
     serial pass — so fig6/fig8/fig10 results depend on neither the trace
-    format nor how the dataset was built.
+    format nor how the dataset was built. ``max_retries``,
+    ``retry_backoff``, and ``strict`` set the sharded pipeline's fault
+    policy (retry, then quarantine — or fail fast under ``strict``); see
+    :class:`repro.pipeline.parallel.ParallelOptions`.
     """
     from repro.pipeline.parallel import ParallelOptions, build_dataset
 
     if workers == 1 and (shards is None or shards == 1):
         options = None
     else:
-        options = ParallelOptions(workers=workers, shards=shards, executor=executor)
+        options = ParallelOptions(
+            workers=workers,
+            shards=shards,
+            executor=executor,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            strict=strict,
+        )
     with span("pipeline.dataset_from_source"):
         return build_dataset(
             source,

@@ -32,6 +32,7 @@ from typing import IO, Iterable, Iterator, Optional, Union
 
 from dataclasses import dataclass
 
+from repro import faultinject
 from repro.core.records import (
     HttpVersion,
     Relationship,
@@ -39,6 +40,7 @@ from repro.core.records import (
     SessionSample,
     TransactionRecord,
 )
+from repro.fsutil import fsync_dir, fsync_file
 from repro.obs import active_metrics
 from repro.store import (
     DEFAULT_BAND_WINDOWS,
@@ -191,11 +193,14 @@ def write_samples(
     that receives ``io.rows_written`` (and the ``store.*`` write counters
     for store targets).
 
-    JSONL writes are atomic: samples stream into a temp file beside the
-    target, renamed into place only after the last line is flushed. An
-    interrupted export leaves the previous trace intact (or no trace),
-    never a truncated file that parses as a short-but-valid trace. Store
-    writes get the same guarantee from the writer's manifest-last protocol.
+    JSONL writes are atomic *and durable*: samples stream into a temp file
+    beside the target, which is fsync'd after the last line, renamed into
+    place, and then the parent directory entry is fsync'd
+    (:mod:`repro.fsutil`). An interrupted export leaves the previous trace
+    intact (or no trace), never a truncated file that parses as a
+    short-but-valid trace — and a rename that returned cannot be undone by
+    a crash. Store writes get the same guarantee from the writer's
+    manifest-last protocol.
     """
     if detect_format(path) == "store":
         return write_store(path, samples, metrics=metrics)
@@ -209,7 +214,12 @@ def write_samples(
                 handle.write(json.dumps(sample_to_dict(sample)))
                 handle.write("\n")
                 count += 1
+        # gzip/text wrappers flush their own buffers on close but never
+        # fsync, so reopen the finished temp file to force it to disk
+        # before the rename publishes it.
+        fsync_file(tmp)
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
@@ -238,6 +248,7 @@ def read_samples(path: PathLike, metrics=None) -> Iterator[SessionSample]:
 def _read_samples_jsonl(
     path: PathLike, metrics=None
 ) -> Iterator[SessionSample]:
+    faultinject.check_io(path)
     with _open(path, "r") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -287,6 +298,13 @@ def convert(
 # --------------------------------------------------------------------- #
 def _is_gzip(path: PathLike) -> bool:
     return pathlib.Path(path).suffix == ".gz"
+
+
+#: Paths (resolved) whose gzip chunk-fallback warning already fired in this
+#: process. The ``io.gzip_chunk_fallback`` counter still increments on every
+#: fallback plan — the counter is the record, the warning is the nudge, and
+#: repeating the nudge per shard-plan of the same file is pure noise.
+_GZIP_FALLBACK_WARNED: set = set()
 
 
 @dataclass(frozen=True)
@@ -339,9 +357,10 @@ def plan_chunks(path: PathLike, num_chunks: int) -> list:
     worker re-decompresses the file from the start and parses only its own
     block. That caps the parallel speedup well below the worker count (the
     decompression is repeated serially in each worker); when it happens
-    with more than one chunk, a :class:`RuntimeWarning` is emitted and the
-    process-wide ``io.gzip_chunk_fallback`` counter increments. The counter
-    goes to :func:`repro.obs.active_metrics` — it is a fact about this
+    with more than one chunk, a :class:`RuntimeWarning` is emitted (once
+    per path per process) and the process-wide ``io.gzip_chunk_fallback``
+    counter increments on *every* occurrence. The counter goes to
+    :func:`repro.obs.active_metrics` — it is a fact about this
     *execution*, not about the data, so recording it in a dataset's
     registry would break the serial-vs-parallel counter-equality invariant
     (serial ingestion never plans chunks). Convert the trace with
@@ -358,14 +377,17 @@ def plan_chunks(path: PathLike, num_chunks: int) -> list:
             registry = active_metrics()
             if registry is not None:
                 registry.inc("io.gzip_chunk_fallback")
-            warnings.warn(
-                f"{path}: gzip traces are not seekable; falling back to "
-                "line-block chunks (each worker re-decompresses the whole "
-                "file). Convert to plain JSONL or a .store for scalable "
-                "parallel ingestion.",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            resolved = str(path.resolve())
+            if resolved not in _GZIP_FALLBACK_WARNED:
+                _GZIP_FALLBACK_WARNED.add(resolved)
+                warnings.warn(
+                    f"{path}: gzip traces are not seekable; falling back "
+                    "to line-block chunks (each worker re-decompresses the "
+                    "whole file). Convert to plain JSONL or a .store for "
+                    "scalable parallel ingestion.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         with _open(path, "r") as handle:
             total_lines = sum(1 for _ in handle)
         if total_lines == 0:
@@ -402,6 +424,7 @@ def plan_chunks(path: PathLike, num_chunks: int) -> list:
 
 
 def _read_byte_range_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
+    faultinject.check_io(chunk.path)
     with open(chunk.path, "rb") as handle:
         handle.seek(chunk.start_byte)
         offset = chunk.start_byte
@@ -428,6 +451,7 @@ def _read_byte_range_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
 
 
 def _read_line_block_chunk(chunk: TraceChunk, metrics=None) -> Iterator[tuple]:
+    faultinject.check_io(chunk.path)
     with _open(chunk.path, "r") as handle:
         for index, line in enumerate(handle):
             if index >= chunk.end_line:

@@ -37,20 +37,42 @@ keys by first-seen order key, and (c) concatenates each aggregation's raw
 value lists in order-key order. Since the serial pass is a fold over the
 same samples in the same order, every derived statistic — medians,
 McKean–Schrader CIs, window tables, verdict series — is exactly equal.
+
+Fault tolerance (DESIGN.md §9): a failing shard is retried with
+exponential backoff (``max_retries`` × ``retry_backoff``), and a shard
+that exhausts its retries is **quarantined** — the run completes on the
+surviving shards and the merged dataset carries a :class:`DegradedLedger`
+(``dataset.degraded``) naming every lost shard, its error, and the best
+estimate of samples and store partitions lost with it. ``strict=True``
+restores fail-fast: the first exhausted shard raises a typed
+:class:`ShardError` naming the shard. Fault-free runs take the exact same
+code path and stay bit-identical to the pre-retry pipeline.
 """
 
 from __future__ import annotations
 
+import logging
 import pathlib
 import time
 import zlib
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import faultinject
 from repro.core.aggregation import Aggregation
 from repro.core.records import SessionSample, UserGroupKey
-from repro.obs import MetricsRegistry, merge_into_active, span
+from repro.obs import (
+    MetricsRegistry,
+    active_metrics,
+    merge_into_active,
+    span,
+)
 from repro.pipeline.dataset import SessionRow, StudyDataset
 from repro.pipeline.filters import FilterStats
 from repro.pipeline.io import (
@@ -64,12 +86,16 @@ from repro.pipeline.io import (
 
 __all__ = [
     "EXECUTORS",
+    "DegradedLedger",
     "ParallelOptions",
+    "ShardError",
     "ShardResult",
     "build_dataset",
     "shard_of",
     "shard_samples",
 ]
+
+_LOG = logging.getLogger("repro.pipeline.parallel")
 
 EXECUTORS = ("process", "thread", "serial")
 
@@ -106,6 +132,101 @@ def shard_samples(
     return shards
 
 
+class ShardError(RuntimeError):
+    """A shard worker failed for good; names the shard and keeps the cause.
+
+    Raised by :func:`_execute` when a shard exhausts its retries under
+    ``strict`` mode (and available on the :class:`DegradedLedger` entries
+    otherwise). ``shard_id`` is the task ordinal, ``cause`` the original
+    worker exception, ``attempts`` how many times the shard ran.
+    """
+
+    def __init__(
+        self, shard_id: int, cause: BaseException, attempts: int = 1
+    ) -> None:
+        super().__init__(
+            f"shard {shard_id} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.shard_id = shard_id
+        self.cause = cause
+        self.attempts = attempts
+
+    def __reduce__(self):
+        # Default exception pickling re-invokes cls(*args) with the
+        # formatted message; rebuild from the real constructor instead.
+        return (type(self), (self.shard_id, self.cause, self.attempts))
+
+
+@dataclass
+class DegradedLedger:
+    """What a non-strict run lost to quarantined shards.
+
+    ``shards`` holds one entry per quarantined shard: ``ordinal``, the
+    stringified ``error``, ``attempts`` made, ``samples_lost`` (the shard's
+    planned sample count, or ``None`` when the plan cannot know it — a
+    JSONL byte-range chunk counts lines only when read), and
+    ``partitions_skipped`` (store partitions the shard covered). ``retries``
+    counts every re-run attempt across all shards, including ones that
+    eventually succeeded. Falsy when nothing was lost, so
+    ``if dataset.degraded`` reads naturally.
+    """
+
+    shards: List[dict] = field(default_factory=list)
+    retries: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.shards)
+
+    @property
+    def shards_lost(self) -> int:
+        return len(self.shards)
+
+    @property
+    def samples_lost(self) -> int:
+        """Known lost samples (lower bound when a shard's count is unknown)."""
+        return sum(entry["samples_lost"] or 0 for entry in self.shards)
+
+    @property
+    def partitions_skipped(self) -> int:
+        return sum(entry["partitions_skipped"] for entry in self.shards)
+
+    def quarantine(
+        self, task: "_ShardTask", error: BaseException, attempts: int
+    ) -> None:
+        self.shards.append(
+            {
+                "ordinal": task.ordinal,
+                "error": f"{type(error).__name__}: {error}",
+                "attempts": attempts,
+                "samples_lost": task.expected_rows,
+                "partitions_skipped": (
+                    len(task.chunk.partition_ids)
+                    if isinstance(task.chunk, StoreChunk)
+                    else 0
+                ),
+            }
+        )
+
+    def summary(self) -> str:
+        ordinals = ", ".join(str(entry["ordinal"]) for entry in self.shards)
+        return (
+            f"{self.shards_lost} shard(s) quarantined "
+            f"(ordinal(s) {ordinals}); ~{self.samples_lost} sample(s) lost, "
+            f"{self.partitions_skipped} store partition(s) skipped, "
+            f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "shards_lost": self.shards_lost,
+            "samples_lost": self.samples_lost,
+            "partitions_skipped": self.partitions_skipped,
+            "retries": self.retries,
+            "shards": [dict(entry) for entry in self.shards],
+        }
+
+
 @dataclass(frozen=True)
 class ParallelOptions:
     """How to fan the analysis out.
@@ -117,11 +238,19 @@ class ParallelOptions:
     (GIL-bound; useful when ingestion is I/O-dominated), or ``serial``
     (same sharded code path, one task at a time — the determinism
     baseline).
+
+    Fault handling: a failing shard is re-run up to ``max_retries`` times
+    with exponential backoff (``retry_backoff * 2**(attempt-1)`` seconds
+    between attempts) before being quarantined; ``strict=True`` raises
+    :class:`ShardError` instead of quarantining.
     """
 
     workers: int = 1
     shards: Optional[int] = None
     executor: str = "process"
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -130,6 +259,10 @@ class ParallelOptions:
             raise ValueError("shards must be >= 1")
         if self.executor not in EXECUTORS:
             raise ValueError(f"executor must be one of {EXECUTORS}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
 
     @property
     def effective_shards(self) -> int:
@@ -140,6 +273,9 @@ class ParallelOptions:
 class ShardResult:
     """Picklable partial state produced by one shard worker."""
 
+    #: Task ordinal this result answers (results can complete out of order
+    #: under retry; the merge sorts on this to restore the plan order).
+    ordinal: int = 0
     rows: List[Tuple[int, SessionRow]] = field(default_factory=list)
     #: (first order key seen for the key, aggregation key, aggregation)
     aggregations: List[Tuple[int, AggregationKey, Aggregation]] = field(
@@ -161,10 +297,16 @@ class _ShardTask:
     dataset_kwargs: dict
     indexed_samples: Optional[List[Tuple[int, SessionSample]]] = None
     chunk: Optional[Union[TraceChunk, StoreChunk]] = None
+    #: Position in the shard plan; names the shard in errors and ledgers.
+    ordinal: int = 0
+    #: Planned sample count (None when the plan cannot know it, e.g. a
+    #: JSONL byte-range chunk). Feeds the degraded ledger's loss estimate.
+    expected_rows: Optional[int] = None
 
 
 def _run_shard(task: _ShardTask) -> ShardResult:
     """Ingest one partition through the ordinary ``StudyDataset`` fold."""
+    faultinject.check_shard(task.ordinal)
     start = time.perf_counter()
     dataset = StudyDataset(**task.dataset_kwargs)
     if task.chunk is not None:
@@ -172,7 +314,9 @@ def _run_shard(task: _ShardTask) -> ShardResult:
     else:
         source = iter(task.indexed_samples or [])
     result = ShardResult(
-        filter_stats=dataset.filter_stats, metrics=dataset.metrics
+        ordinal=task.ordinal,
+        filter_stats=dataset.filter_stats,
+        metrics=dataset.metrics,
     )
     first_seen: Dict[AggregationKey, int] = {}
     for order_key, sample in source:
@@ -190,30 +334,125 @@ def _run_shard(task: _ShardTask) -> ShardResult:
     return result
 
 
-def _execute(tasks: Sequence[_ShardTask], options: ParallelOptions) -> List[ShardResult]:
+def _on_shard_failure(
+    task: _ShardTask,
+    attempt: int,
+    error: BaseException,
+    options: ParallelOptions,
+    ledger: DegradedLedger,
+) -> Optional[float]:
+    """Decide one failed attempt's fate.
+
+    Returns the backoff delay (seconds) before the next attempt, or
+    ``None`` when the shard is spent — quarantined into ``ledger``, or
+    raised as :class:`ShardError` under ``strict``. Every worker failure
+    flows through here, so every failure names its shard.
+    """
+    if attempt <= options.max_retries:
+        ledger.retries += 1
+        _LOG.warning(
+            "shard %d attempt %d/%d failed (%s: %s); retrying",
+            task.ordinal,
+            attempt,
+            options.max_retries + 1,
+            type(error).__name__,
+            error,
+        )
+        return options.retry_backoff * (2 ** (attempt - 1))
+    if options.strict:
+        raise ShardError(task.ordinal, error, attempt) from error
+    ledger.quarantine(task, error, attempt)
+    _LOG.warning(
+        "shard %d quarantined after %d attempt(s): %s: %s",
+        task.ordinal,
+        attempt,
+        type(error).__name__,
+        error,
+    )
+    return None
+
+
+def _run_shard_with_retry(
+    task: _ShardTask, options: ParallelOptions, ledger: DegradedLedger
+) -> Optional[ShardResult]:
+    attempt = 1
+    while True:
+        try:
+            return _run_shard(task)
+        except Exception as error:  # noqa: BLE001 — fate decided below
+            delay = _on_shard_failure(task, attempt, error, options, ledger)
+            if delay is None:
+                return None
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+
+
+def _execute(
+    tasks: Sequence[_ShardTask],
+    options: ParallelOptions,
+    ledger: DegradedLedger,
+) -> List[ShardResult]:
+    """Run the shard plan; returns surviving results in plan order.
+
+    Quarantined shards (non-strict, retries exhausted) are simply absent
+    from the returned list — the ledger records them.
+    """
     if not tasks:
         return []
     if options.executor == "serial" or len(tasks) == 1:
-        return [_run_shard(task) for task in tasks]
+        results = [
+            _run_shard_with_retry(task, options, ledger) for task in tasks
+        ]
+        return [result for result in results if result is not None]
     pool_cls = (
         ThreadPoolExecutor if options.executor == "thread" else ProcessPoolExecutor
     )
+    results: List[ShardResult] = []
     with pool_cls(max_workers=min(options.workers, len(tasks))) as pool:
-        return list(pool.map(_run_shard, tasks))
+        pending = {pool.submit(_run_shard, task): (task, 1) for task in tasks}
+        try:
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, attempt = pending.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        results.append(future.result())
+                        continue
+                    if not isinstance(error, Exception):
+                        raise error  # KeyboardInterrupt and kin: not ours
+                    delay = _on_shard_failure(
+                        task, attempt, error, options, ledger
+                    )
+                    if delay is None:
+                        continue
+                    if delay > 0:
+                        time.sleep(delay)
+                    pending[pool.submit(_run_shard, task)] = (
+                        task,
+                        attempt + 1,
+                    )
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+    results.sort(key=lambda result: result.ordinal)
+    return results
 
 
 def _merge_results(dataset: StudyDataset, results: Iterable[ShardResult]) -> StudyDataset:
     """Fold shard results into ``dataset``, restoring exact serial order."""
     indexed_rows: List[Tuple[int, SessionRow]] = []
     parts: Dict[AggregationKey, List[Tuple[int, Aggregation]]] = {}
-    for ordinal, result in enumerate(results):
+    for result in results:
         indexed_rows.extend(result.rows)
         dataset.filter_stats.merge(result.filter_stats)
         dataset.metrics.merge(result.metrics)
         dataset.metrics.observe("pipeline.shard_wall_seconds", result.wall_seconds)
         dataset.shard_report.append(
             {
-                "ordinal": ordinal,
+                "ordinal": result.ordinal,
                 "samples": result.samples_ingested,
                 "rows_kept": len(result.rows),
                 "wall_seconds": result.wall_seconds,
@@ -249,6 +488,15 @@ def build_dataset(
     stores into partition-aligned chunks, in-memory streams by group hash —
     executed per ``options``, and merged back into a dataset whose state is
     bit-identical to the serial pass.
+
+    Sharded runs tolerate shard failures per the options' retry policy:
+    shards that exhaust their retries under non-strict mode are quarantined
+    and the returned dataset's ``degraded`` attribute holds the
+    :class:`DegradedLedger` (``None`` on a clean run). The active metrics
+    registry receives the ``fault.*`` execution counters
+    (``fault.shard_retries``, ``fault.shards_quarantined``,
+    ``fault.samples_lost``, ``fault.partitions_skipped``) only when
+    non-zero, so clean manifests are unchanged.
     """
     dataset_kwargs = dict(
         study_windows=study_windows,
@@ -259,6 +507,7 @@ def build_dataset(
     dataset = StudyDataset(**dataset_kwargs)
     is_path = isinstance(source, (str, pathlib.Path))
     options = options or ParallelOptions(workers=1, executor="serial")
+    ledger = DegradedLedger()
     with span("pipeline.ingest"):
         if options.effective_shards == 1 and options.executor == "serial":
             with span("serial"):
@@ -271,21 +520,35 @@ def build_dataset(
             with span("plan"):
                 if is_path:
                     tasks = [
-                        _ShardTask(dataset_kwargs=dataset_kwargs, chunk=chunk)
-                        for chunk in plan_chunks(source, options.effective_shards)
+                        _ShardTask(
+                            dataset_kwargs=dataset_kwargs,
+                            chunk=chunk,
+                            ordinal=index,
+                            expected_rows=_planned_rows(chunk),
+                        )
+                        for index, chunk in enumerate(
+                            plan_chunks(source, options.effective_shards)
+                        )
                     ]
                 else:
-                    tasks = [
-                        _ShardTask(
-                            dataset_kwargs=dataset_kwargs, indexed_samples=shard
-                        )
+                    shards = [
+                        shard
                         for shard in shard_samples(
                             source, options.effective_shards
                         )
                         if shard
                     ]
+                    tasks = [
+                        _ShardTask(
+                            dataset_kwargs=dataset_kwargs,
+                            indexed_samples=shard,
+                            ordinal=index,
+                            expected_rows=len(shard),
+                        )
+                        for index, shard in enumerate(shards)
+                    ]
             with span("execute"):
-                results = _execute(tasks, options)
+                results = _execute(tasks, options, ledger)
             with span("merge"):
                 _merge_results(dataset, results)
     # Dataset-shape gauges are plan-invariant (same rows and store whatever
@@ -293,5 +556,24 @@ def build_dataset(
     dataset.metrics.set_gauge("pipeline.rows", len(dataset.rows))
     dataset.metrics.set_gauge("pipeline.aggregations", len(dataset.store))
     dataset.metrics.set_gauge("pipeline.groups", len(dataset.store.groups()))
+    # Fault counters are execution facts: they describe how *this* run
+    # fared, not the data, so they go to the active registry only — and
+    # only when non-zero, keeping clean runs' manifests unchanged.
+    registry = active_metrics()
+    if registry is not None:
+        if ledger.retries:
+            registry.inc("fault.shard_retries", ledger.retries)
+        if ledger:
+            registry.inc("fault.shards_quarantined", ledger.shards_lost)
+            registry.inc("fault.samples_lost", ledger.samples_lost)
+            registry.inc("fault.partitions_skipped", ledger.partitions_skipped)
+    dataset.degraded = ledger if ledger else None
     merge_into_active(dataset.metrics)
     return dataset
+
+
+def _planned_rows(chunk: Union[TraceChunk, StoreChunk]) -> Optional[int]:
+    """Best planned row count for a chunk (None when the plan can't know)."""
+    if isinstance(chunk, StoreChunk) and chunk.rows > 0:
+        return chunk.rows
+    return None

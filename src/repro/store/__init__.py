@@ -18,22 +18,34 @@ versioned binary **columnar** layout:
   ``scan(filter)`` with manifest-level partition pruning, and
   partition-aligned :class:`StoreChunk` planning for the sharded pipeline.
 
-Format and analysis-equivalence guarantees are specified in DESIGN.md §8;
-``repro convert`` (CLI) and :func:`repro.pipeline.io.convert` move traces
-between the two formats losslessly.
+Format and analysis-equivalence guarantees are specified in DESIGN.md §8,
+the failure model (per-block CRC32, typed errors, ``verify_store``) in
+DESIGN.md §9; ``repro convert`` (CLI) and :func:`repro.pipeline.io.convert`
+move traces between the two formats losslessly.
 """
 
+from repro.store.errors import (
+    ColumnDecodeError,
+    CorruptBlockError,
+    CorruptManifestError,
+    StoreError,
+    TruncatedPartitionError,
+)
 from repro.store.reader import (
     ScanFilter,
     StoreChunk,
+    StoreVerifyFinding,
+    StoreVerifyReport,
     TraceStoreReader,
     read_store_chunk,
+    verify_store,
 )
 from repro.store.schema import SCHEMA_VERSION
 from repro.store.writer import (
     DEFAULT_BAND_WINDOWS,
     STORE_FORMAT,
     STORE_FORMAT_VERSION,
+    SUPPORTED_STORE_VERSIONS,
     TraceStoreWriter,
     is_store_path,
     write_store,
@@ -44,11 +56,20 @@ __all__ = [
     "SCHEMA_VERSION",
     "STORE_FORMAT",
     "STORE_FORMAT_VERSION",
+    "SUPPORTED_STORE_VERSIONS",
+    "ColumnDecodeError",
+    "CorruptBlockError",
+    "CorruptManifestError",
     "ScanFilter",
     "StoreChunk",
+    "StoreError",
+    "StoreVerifyFinding",
+    "StoreVerifyReport",
     "TraceStoreReader",
     "TraceStoreWriter",
+    "TruncatedPartitionError",
     "is_store_path",
     "read_store_chunk",
+    "verify_store",
     "write_store",
 ]

@@ -21,6 +21,11 @@ Each column of a partition is encoded independently into one *block*:
 Blocks are optionally deflated (zlib) when that actually shrinks them; the
 choice is recorded per block in the partition manifest (``codec``), never
 guessed at read time.
+
+Every block also carries a CRC32 (:func:`block_checksum`, computed over
+the on-disk bytes — i.e. *after* compression) in the manifest, so a reader
+can detect a flipped or truncated byte range and attribute it to an exact
+(partition, column, offset) before any decoder touches it.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ _BYTE_FLAGS = tuple(
 )
 
 __all__ = [
+    "block_checksum",
     "compress_block",
     "decompress_block",
     "decode_bitmap",
@@ -226,8 +232,14 @@ def decode_string_dict(data: bytes) -> List[str]:
 
 
 # --------------------------------------------------------------------- #
-# Per-block compression
+# Per-block compression and integrity
 # --------------------------------------------------------------------- #
+def block_checksum(payload: bytes) -> int:
+    """CRC32 of a block's on-disk bytes (post-compression)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+
 def compress_block(payload: bytes, compress: bool = True) -> Tuple[bytes, str]:
     """Deflate a block when it helps; returns ``(data, codec)``."""
     if compress and len(payload) > 64:

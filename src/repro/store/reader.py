@@ -18,12 +18,20 @@ pipeline's sort-by-order-key merge absorbs — all derived statistics are
 order statistics or integer sums, so results stay byte-identical to the
 serial pass (asserted by ``tests/test_store_pipeline.py``).
 
+Integrity: every block read is CRC32-verified against the manifest before
+its decoder runs (store format v2; v1 blocks carry no checksum and skip
+the check). Damage raises a typed :class:`~repro.store.errors.StoreError`
+subclass naming the partition, column, and absolute byte range — never a
+bare ``struct.error`` — and :func:`verify_store` scans a whole store and
+*reports* findings instead of raising, for ``repro verify-store``.
+
 Observability (all data-fact counters, subject to the serial-vs-parallel
 counter-equality invariant):
 
 - ``store.partitions.scanned`` / ``store.partitions.pruned``
 - ``store.bytes.read`` / ``store.bytes.skipped``
 - ``store.rows.decoded``
+- ``store.blocks.verified`` / ``store.blocks.unverified`` (v1 blocks)
 - plus the shared ``io.rows_read`` ledger per yielded sample.
 """
 
@@ -31,20 +39,37 @@ from __future__ import annotations
 
 import json
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import faultinject
 from repro.core.records import SessionSample
+from repro.store.encoding import block_checksum
+from repro.store.errors import (
+    ColumnDecodeError,
+    CorruptBlockError,
+    CorruptManifestError,
+    StoreError,
+    TruncatedPartitionError,
+)
 from repro.store.schema import SCHEMA_VERSION, decode_rows
 from repro.store.writer import (
     DATA_NAME,
     MANIFEST_NAME,
     STORE_FORMAT,
-    STORE_FORMAT_VERSION,
+    SUPPORTED_STORE_VERSIONS,
 )
 
-__all__ = ["ScanFilter", "StoreChunk", "TraceStoreReader", "read_store_chunk"]
+__all__ = [
+    "ScanFilter",
+    "StoreChunk",
+    "StoreVerifyFinding",
+    "StoreVerifyReport",
+    "TraceStoreReader",
+    "read_store_chunk",
+    "verify_store",
+]
 
 PathLike = Union[str, pathlib.Path]
 
@@ -126,6 +151,10 @@ class StoreChunk:
     path: str
     ordinal: int
     partition_ids: Tuple[int, ...]
+    #: Total manifest row count of the chunk's partitions. Lets the
+    #: pipeline's degraded ledger report exactly how many samples a
+    #: quarantined store shard lost (0 = unknown, for hand-built chunks).
+    rows: int = 0
 
 
 class TraceStoreReader:
@@ -138,23 +167,27 @@ class TraceStoreReader:
         try:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except FileNotFoundError:
-            raise ValueError(
+            raise StoreError(
                 f"{self.path}: not a trace store (missing {MANIFEST_NAME}; "
                 "an interrupted write leaves no manifest on purpose)"
             ) from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CorruptManifestError(manifest_path, str(error)) from error
+        if not isinstance(manifest, dict):
+            raise CorruptManifestError(manifest_path, "not a JSON object")
         if manifest.get("format") != STORE_FORMAT:
-            raise ValueError(
+            raise StoreError(
                 f"{manifest_path}: unrecognized format "
                 f"{manifest.get('format')!r}"
             )
-        if manifest.get("version") != STORE_FORMAT_VERSION:
-            raise ValueError(
+        if manifest.get("version") not in SUPPORTED_STORE_VERSIONS:
+            raise StoreError(
                 f"{manifest_path}: unsupported store version "
                 f"{manifest.get('version')!r} (reader supports "
-                f"{STORE_FORMAT_VERSION})"
+                f"{SUPPORTED_STORE_VERSIONS})"
             )
         if manifest.get("schema_version") != SCHEMA_VERSION:
-            raise ValueError(
+            raise StoreError(
                 f"{manifest_path}: unsupported schema version "
                 f"{manifest.get('schema_version')!r} (reader supports "
                 f"{SCHEMA_VERSION})"
@@ -181,20 +214,94 @@ class TraceStoreReader:
     def decode_partition(
         self, partition: dict, metrics=None
     ) -> List[Tuple[int, SessionSample]]:
-        """Read and decode one partition (one contiguous file read)."""
-        with open(self.data_path, "rb") as handle:
-            handle.seek(partition["offset"])
-            payload = handle.read(partition["length"])
-        if len(payload) != partition["length"]:
-            raise ValueError(
-                f"{self.data_path}: truncated partition {partition['id']}"
-            )
-        rows = decode_rows(payload, partition["blocks"])
+        """Read, verify, and decode one partition (one contiguous read).
+
+        Raises :class:`TruncatedPartitionError` when the data file ends
+        inside the partition, and :class:`CorruptBlockError` (naming the
+        partition, column, and absolute byte range) when a block fails its
+        CRC32 check or its decode.
+        """
+        payload = self._read_partition_payload(partition)
+        self._verify_blocks(payload, partition, metrics)
+        try:
+            rows = decode_rows(payload, partition["blocks"])
+        except ColumnDecodeError as error:
+            raise self._block_error(
+                partition, error.column, error.detail
+            ) from error
+        except (IndexError, KeyError, StopIteration) as error:
+            # Row-assembly failures (cursor overruns, short child columns):
+            # the payload is internally inconsistent even though every
+            # block decoded — attribute to the partition as a whole.
+            raise self._block_error(
+                partition, None, f"row assembly failed ({error!r})"
+            ) from error
         if metrics is not None:
             metrics.inc("store.partitions.scanned")
             metrics.inc("store.bytes.read", partition["length"])
             metrics.inc("store.rows.decoded", len(rows))
         return rows
+
+    def _read_partition_payload(self, partition: dict) -> bytes:
+        faultinject.check_io(self.data_path)
+        try:
+            with open(self.data_path, "rb") as handle:
+                handle.seek(partition["offset"])
+                payload = handle.read(partition["length"])
+        except FileNotFoundError:
+            raise StoreError(
+                f"{self.path}: data file {self.data_path.name} is missing "
+                f"but the manifest references partition {partition['id']}"
+            ) from None
+        if len(payload) != partition["length"]:
+            raise TruncatedPartitionError(
+                self.data_path,
+                partition["id"],
+                partition["length"],
+                len(payload),
+            )
+        return faultinject.corrupt_block_payload(payload, partition)
+
+    def _verify_blocks(
+        self, payload: bytes, partition: dict, metrics=None
+    ) -> None:
+        """CRC-check every block against the manifest before decoding."""
+        view = memoryview(payload)
+        for block in partition["blocks"]:
+            expected = block.get("crc32")
+            if expected is None:
+                # v1 store: blocks predate checksums.
+                if metrics is not None:
+                    metrics.inc("store.blocks.unverified")
+                continue
+            actual = block_checksum(
+                bytes(view[block["offset"] : block["offset"] + block["length"]])
+            )
+            if actual != expected:
+                raise self._block_error(
+                    partition,
+                    block["column"],
+                    f"crc32 mismatch (manifest {expected:#010x}, "
+                    f"data {actual:#010x})",
+                )
+            if metrics is not None:
+                metrics.inc("store.blocks.verified")
+
+    def _block_error(
+        self, partition: dict, column: Optional[str], detail: str
+    ) -> CorruptBlockError:
+        offset = length = None
+        if column is not None:
+            block = next(
+                (b for b in partition["blocks"] if b["column"] == column),
+                None,
+            )
+            if block is not None:
+                offset = partition["offset"] + block["offset"]
+                length = block["length"]
+        return CorruptBlockError(
+            self.data_path, partition["id"], column, offset, length, detail
+        )
 
     def _merged_pairs(
         self, partitions: Sequence[dict], metrics=None
@@ -267,13 +374,22 @@ class TraceStoreReader:
         Partitions are kept in manifest order (first-appearance order, so
         consecutive partitions cover nearby sequence ranges) and split into
         contiguous runs balanced by row count. Concatenating the chunks'
-        partitions reproduces the whole store.
+        partitions reproduces the whole store. ``num_chunks`` above the
+        partition count collapses to one chunk per partition (a partition
+        is the smallest contiguous-read unit), so no empty chunks are ever
+        planned.
         """
         if num_chunks <= 0:
             raise ValueError("num_chunks must be positive")
         partitions = self.partitions
         if not partitions:
             return []
+        # Collapse over-sharding: a partition is the smallest contiguous
+        # read unit, so more chunks than partitions degenerates to exactly
+        # one chunk per partition (never fewer — the balancer below could
+        # otherwise merge small partitions and under-fill the plan).
+        if num_chunks >= len(partitions):
+            return [self._chunk_of([p]) for p in partitions]
         total_rows = sum(p["rows"] for p in partitions)
         chunks: List[StoreChunk] = []
         run: List[dict] = []
@@ -298,7 +414,190 @@ class TraceStoreReader:
             path=str(self.path),
             ordinal=min(p["stats"]["min_seq"] for p in partitions),
             partition_ids=tuple(p["id"] for p in partitions),
+            rows=sum(p["rows"] for p in partitions),
         )
+
+    # ------------------------------------------------------------------ #
+    def verify(self, metrics=None) -> List["StoreVerifyFinding"]:
+        """Scan every partition for corruption; returns findings, raises
+        nothing.
+
+        Checks, per partition: payload present and full-length, every
+        block's CRC32, a clean decode, and the decoded row count against
+        the manifest. Also checks the data file's total size against the
+        manifest's ``data_bytes``. An empty list means the store is clean.
+        """
+        findings: List[StoreVerifyFinding] = []
+        try:
+            size = self.data_path.stat().st_size
+        except FileNotFoundError:
+            return [
+                StoreVerifyFinding(
+                    partition_id=None,
+                    column=None,
+                    offset=None,
+                    error=f"data file {self.data_path.name} is missing",
+                )
+            ]
+        expected_bytes = self.manifest.get("data_bytes")
+        if expected_bytes is not None and size != expected_bytes:
+            findings.append(
+                StoreVerifyFinding(
+                    partition_id=None,
+                    column=None,
+                    offset=None,
+                    error=(
+                        f"data file is {size} bytes; manifest expects "
+                        f"{expected_bytes}"
+                    ),
+                )
+            )
+        for partition in self.partitions:
+            findings.extend(self._verify_partition(partition, metrics))
+        return findings
+
+    def _verify_partition(
+        self, partition: dict, metrics=None
+    ) -> List["StoreVerifyFinding"]:
+        try:
+            payload = self._read_partition_payload(partition)
+        except StoreError as error:
+            return [
+                StoreVerifyFinding(
+                    partition_id=partition["id"],
+                    column=None,
+                    offset=partition["offset"],
+                    error=str(error),
+                )
+            ]
+        findings: List[StoreVerifyFinding] = []
+        view = memoryview(payload)
+        for block in partition["blocks"]:
+            expected = block.get("crc32")
+            if expected is None:
+                continue
+            actual = block_checksum(
+                bytes(view[block["offset"] : block["offset"] + block["length"]])
+            )
+            if actual != expected:
+                findings.append(
+                    StoreVerifyFinding(
+                        partition_id=partition["id"],
+                        column=block["column"],
+                        offset=partition["offset"] + block["offset"],
+                        error=(
+                            f"crc32 mismatch (manifest {expected:#010x}, "
+                            f"data {actual:#010x})"
+                        ),
+                    )
+                )
+        if findings:
+            # Decoding checksummed-bad blocks would only duplicate the
+            # attribution (or crash on garbage); report the CRCs.
+            if metrics is not None:
+                metrics.inc("store.partitions.corrupt", 1)
+            return findings
+        try:
+            rows = decode_rows(payload, partition["blocks"])
+        except StoreError as error:
+            findings.append(
+                StoreVerifyFinding(
+                    partition_id=partition["id"],
+                    column=getattr(error, "column", None),
+                    offset=partition["offset"],
+                    error=str(error),
+                )
+            )
+        else:
+            if len(rows) != partition["rows"]:
+                findings.append(
+                    StoreVerifyFinding(
+                        partition_id=partition["id"],
+                        column=None,
+                        offset=partition["offset"],
+                        error=(
+                            f"decoded {len(rows)} rows; manifest expects "
+                            f"{partition['rows']}"
+                        ),
+                    )
+                )
+        if metrics is not None:
+            metrics.inc(
+                "store.partitions.corrupt" if findings
+                else "store.partitions.verified",
+                1,
+            )
+        return findings
+
+
+@dataclass(frozen=True)
+class StoreVerifyFinding:
+    """One corruption found by :meth:`TraceStoreReader.verify`.
+
+    ``partition_id``/``column`` are ``None`` for store-level damage (a
+    missing or mis-sized data file, an unreadable manifest).
+    """
+
+    partition_id: Optional[int]
+    column: Optional[str]
+    offset: Optional[int]
+    error: str
+
+    def describe(self) -> str:
+        where = []
+        if self.partition_id is not None:
+            where.append(f"partition {self.partition_id}")
+        if self.column is not None:
+            where.append(f"column {self.column!r}")
+        if self.offset is not None:
+            where.append(f"offset {self.offset}")
+        prefix = ", ".join(where) if where else "store"
+        return f"{prefix}: {self.error}"
+
+
+@dataclass
+class StoreVerifyReport:
+    """Result of :func:`verify_store`: per-partition findings, never raises."""
+
+    path: str
+    partitions_total: int = 0
+    findings: List[StoreVerifyFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def partitions_corrupt(self) -> int:
+        return len(
+            {
+                finding.partition_id
+                for finding in self.findings
+                if finding.partition_id is not None
+            }
+        )
+
+
+def verify_store(path: PathLike, metrics=None) -> StoreVerifyReport:
+    """Scan a store for corruption; reports (never raises) integrity
+    errors, including an unreadable manifest."""
+    try:
+        reader = TraceStoreReader(path)
+    except StoreError as error:
+        return StoreVerifyReport(
+            path=str(path),
+            findings=[
+                StoreVerifyFinding(
+                    partition_id=None, column=None, offset=None,
+                    error=str(error),
+                )
+            ],
+        )
+    return StoreVerifyReport(
+        path=str(path),
+        partitions_total=len(reader.partitions),
+        findings=reader.verify(metrics=metrics),
+    )
 
 
 def read_store_chunk(

@@ -25,6 +25,8 @@ whole point of the binary path is to avoid re-paying per-row Python cost.
 from __future__ import annotations
 
 import gc
+import struct
+import zlib
 from typing import Dict, List, Tuple
 
 from repro.core.records import (
@@ -35,6 +37,7 @@ from repro.core.records import (
     TransactionRecord,
 )
 from repro.store.encoding import (
+    block_checksum,
     compress_block,
     decode_bitmap,
     decode_delta_varints,
@@ -50,6 +53,7 @@ from repro.store.encoding import (
     encode_string_dict,
     encode_varints,
 )
+from repro.store.errors import ColumnDecodeError
 
 __all__ = ["SCHEMA_VERSION", "COLUMNS", "encode_rows", "decode_rows"]
 
@@ -170,6 +174,7 @@ def encode_rows(
                 "offset": len(payload),
                 "length": len(data),
                 "codec": codec,
+                "crc32": block_checksum(data),
             }
         )
         payload += data
@@ -224,12 +229,26 @@ def _decode_rows(
     decoded: Dict[str, list] = {}
     for block in blocks:
         name = block["column"]
-        encoding = encodings[name]
-        raw = decompress_block(
-            bytes(view[block["offset"] : block["offset"] + block["length"]]),
-            block["codec"],
-        )
-        decoded[name] = _DECODERS[encoding](raw)
+        encoding = encodings.get(name)
+        if encoding is None:
+            raise ColumnDecodeError(name, "not a schema column")
+        try:
+            raw = decompress_block(
+                bytes(
+                    view[block["offset"] : block["offset"] + block["length"]]
+                ),
+                block["codec"],
+            )
+            decoded[name] = _DECODERS[encoding](raw)
+        except ColumnDecodeError:
+            raise
+        except (struct.error, zlib.error, ValueError) as error:
+            # Attribute the failure to the column; the reader adds the
+            # partition and file-offset context only it knows.
+            raise ColumnDecodeError(name, str(error)) from error
+    missing = [name for name, _ in COLUMNS if name not in decoded]
+    if missing:
+        raise ColumnDecodeError(missing[0], "column block missing")
 
     # Enum lookup tables beat Enum.__call__ in the per-row loop.
     http_versions = list(

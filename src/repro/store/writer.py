@@ -14,27 +14,35 @@ window (§2.2.2, §3.3). Each partition carries min/max statistics
 can prune it without touching ``data.bin``.
 
 Durability: ``data.bin`` and ``manifest.json`` are each written to a
-temporary file and renamed into place, manifest last. An interrupted
-write therefore leaves either the previous store intact or a directory
-without a valid manifest — never a truncated store that parses as a
-short-but-valid trace.
+temporary file, fsync'd, and renamed into place (manifest last), with the
+directory entry fsync'd after each rename (:mod:`repro.fsutil`). An
+interrupted write therefore leaves either the previous store intact or a
+directory without a valid manifest — never a truncated store that parses
+as a short-but-valid trace — and a rename that returned cannot be undone
+by a crash.
+
+Integrity: store format v2 records a CRC32 per column block (computed in
+:func:`repro.store.schema.encode_rows` over the on-disk bytes), which the
+reader verifies before decoding. v1 stores (no checksums) remain readable;
+see ``SUPPORTED_STORE_VERSIONS``.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.aggregation import window_index
 from repro.core.records import SessionSample
+from repro.fsutil import atomic_write_bytes
 from repro.store.schema import COLUMNS, SCHEMA_VERSION, encode_rows
 
 __all__ = [
     "DEFAULT_BAND_WINDOWS",
     "STORE_FORMAT",
     "STORE_FORMAT_VERSION",
+    "SUPPORTED_STORE_VERSIONS",
     "MANIFEST_NAME",
     "DATA_NAME",
     "TraceStoreWriter",
@@ -43,7 +51,12 @@ __all__ = [
 ]
 
 STORE_FORMAT = "repro-store"
-STORE_FORMAT_VERSION = 1
+#: v1: original layout. v2: per-block ``crc32`` fields in the manifest.
+#: The writer emits the newest version; the reader accepts all of
+#: ``SUPPORTED_STORE_VERSIONS`` (a v1 block without a checksum simply
+#: skips verification).
+STORE_FORMAT_VERSION = 2
+SUPPORTED_STORE_VERSIONS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 DATA_NAME = "data.bin"
 
@@ -56,13 +69,9 @@ PathLike = Union[str, pathlib.Path]
 
 
 def _atomic_write(path: pathlib.Path, data: bytes) -> None:
-    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
-    try:
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+    # Module-level indirection kept for tests that monkeypatch the write
+    # path; the durable temp+fsync+rename protocol lives in fsutil.
+    atomic_write_bytes(path, data)
 
 
 class TraceStoreWriter:

@@ -1,0 +1,532 @@
+"""Fault-injection matrix for the pipeline's failure model (DESIGN.md §9).
+
+Three properties, proven with :mod:`repro.faultinject`:
+
+1. **Detection with attribution** — corrupted store bytes surface as typed
+   errors naming the exact partition, column, and byte range (never a bare
+   ``struct.error``), and ``verify_store`` finds them without raising.
+2. **Graceful degradation** — a shard that keeps failing is retried, then
+   quarantined; the run completes and the dataset/manifest carry an exact
+   degraded ledger. ``strict=True`` fails fast with a :class:`ShardError`
+   naming the shard.
+3. **No-fault transparency** — with no plan active, serial and sharded
+   runs are byte-identical to each other and to the pre-fault-tolerance
+   pipeline (the hooks are no-ops).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro import faultinject
+from repro.faultinject import FaultPlan
+from repro.obs import MetricsRegistry, RunManifest, activate_metrics
+from repro.pipeline import (
+    DegradedLedger,
+    ParallelOptions,
+    ShardError,
+    StudyDataset,
+    build_dataset,
+)
+from repro.pipeline.io import write_samples
+from repro.store import (
+    CorruptBlockError,
+    CorruptManifestError,
+    StoreError,
+    TraceStoreReader,
+    TruncatedPartitionError,
+    verify_store,
+    write_store,
+)
+from tests.helpers import make_trace_samples
+
+pytestmark = pytest.mark.faults
+
+STUDY_WINDOWS = 8
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    faultinject.reset()
+    yield
+    faultinject.reset()
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return make_trace_samples(400, seed=23, windows=STUDY_WINDOWS)
+
+
+@pytest.fixture()
+def store_path(samples, tmp_path):
+    path = tmp_path / "trace.store"
+    write_store(path, samples, band_windows=2)
+    return path
+
+
+def _flip_block_byte(store_path, partition_index=0, block_index=0, mask=0xFF):
+    """Corrupt one on-disk byte; returns (partition, block) manifest dicts."""
+    manifest = json.loads((store_path / "manifest.json").read_text())
+    partition = manifest["partitions"][partition_index]
+    block = partition["blocks"][block_index]
+    data_path = store_path / "data.bin"
+    data = bytearray(data_path.read_bytes())
+    data[partition["offset"] + block["offset"]] ^= mask
+    data_path.write_bytes(bytes(data))
+    return partition, block
+
+
+# --------------------------------------------------------------------- #
+# 1. Corruption detection with exact attribution
+# --------------------------------------------------------------------- #
+class TestCorruptionDetection:
+    def test_flipped_byte_names_partition_column_offset(self, store_path):
+        partition, block = _flip_block_byte(store_path)
+        reader = TraceStoreReader(store_path)
+        with pytest.raises(CorruptBlockError) as excinfo:
+            list(reader.scan())
+        error = excinfo.value
+        assert error.partition_id == partition["id"]
+        assert error.column == block["column"]
+        assert error.offset == partition["offset"] + block["offset"]
+        assert "crc32 mismatch" in str(error)
+
+    def test_harness_flip_byte_matches_disk_flip(self, store_path):
+        # The injection harness must be indistinguishable from real disk
+        # corruption: same typed error, same attribution.
+        reader = TraceStoreReader(store_path)
+        partition = reader.partitions[0]
+        column = partition["blocks"][0]["column"]
+        plan = FaultPlan(
+            flip_byte={
+                "partition": partition["id"],
+                "column": column,
+                "offset": 0,
+            }
+        )
+        with faultinject.inject(plan):
+            with pytest.raises(CorruptBlockError) as excinfo:
+                list(reader.scan())
+        assert excinfo.value.partition_id == partition["id"]
+        assert excinfo.value.column == column
+        # Nothing lingers after the context exits.
+        assert len(list(reader.scan())) == reader.row_count
+
+    def test_truncated_data_file(self, store_path):
+        data_path = store_path / "data.bin"
+        data_path.write_bytes(data_path.read_bytes()[:-20])
+        reader = TraceStoreReader(store_path)
+        with pytest.raises(TruncatedPartitionError) as excinfo:
+            list(reader.scan())
+        assert excinfo.value.actual < excinfo.value.expected
+        assert excinfo.value.partition_id is not None
+
+    def test_corrupt_manifest(self, store_path):
+        manifest_path = store_path / "manifest.json"
+        manifest_path.write_bytes(manifest_path.read_bytes()[:-40])
+        with pytest.raises(CorruptManifestError):
+            TraceStoreReader(store_path)
+
+    def test_missing_data_file(self, store_path):
+        (store_path / "data.bin").unlink()
+        reader = TraceStoreReader(store_path)
+        with pytest.raises(StoreError, match="data file.*missing"):
+            list(reader.scan())
+
+    def test_typed_errors_are_valueerrors(self, store_path):
+        # Compatibility: pre-existing callers catch ValueError.
+        _flip_block_byte(store_path)
+        with pytest.raises(ValueError):
+            list(TraceStoreReader(store_path).scan())
+
+    def test_v1_store_without_checksums_still_reads(self, store_path, samples):
+        manifest_path = store_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 1
+        for partition in manifest["partitions"]:
+            for block in partition["blocks"]:
+                block.pop("crc32", None)
+        manifest_path.write_text(json.dumps(manifest))
+        registry = MetricsRegistry()
+        read = list(TraceStoreReader(store_path).scan(metrics=registry))
+        assert read == samples
+        assert registry.counter("store.blocks.unverified") > 0
+        assert registry.counter("store.blocks.verified") == 0
+
+    def test_v2_scan_counts_verified_blocks(self, store_path):
+        registry = MetricsRegistry()
+        list(TraceStoreReader(store_path).scan(metrics=registry))
+        assert registry.counter("store.blocks.verified") > 0
+        assert registry.counter("store.blocks.unverified") == 0
+
+
+class TestVerifyStore:
+    def test_clean_store(self, store_path):
+        report = verify_store(store_path)
+        assert report.ok
+        assert report.partitions_total == len(
+            TraceStoreReader(store_path).partitions
+        )
+        assert report.partitions_corrupt == 0
+
+    def test_corrupt_store_reports_without_raising(self, store_path):
+        partition, block = _flip_block_byte(store_path)
+        report = verify_store(store_path)
+        assert not report.ok
+        assert report.partitions_corrupt == 1
+        finding = report.findings[0]
+        assert finding.partition_id == partition["id"]
+        assert finding.column == block["column"]
+        assert str(finding.offset) in finding.describe()
+
+    def test_missing_manifest_is_a_finding(self, tmp_path):
+        report = verify_store(tmp_path / "nope.store")
+        assert not report.ok
+        assert "manifest" in report.findings[0].error
+
+    def test_truncated_file_reports_size_and_partition(self, store_path):
+        data_path = store_path / "data.bin"
+        data_path.write_bytes(data_path.read_bytes()[:-20])
+        report = verify_store(store_path)
+        assert not report.ok
+        assert any("bytes" in f.error for f in report.findings)
+
+    def test_cli_exit_codes(self, store_path, capsys):
+        from repro.cli import main
+
+        assert main(["verify-store", str(store_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        _flip_block_byte(store_path)
+        assert main(["verify-store", str(store_path)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT:" in out
+
+
+# --------------------------------------------------------------------- #
+# 2. Retry, quarantine, degraded ledger
+# --------------------------------------------------------------------- #
+def _options(executor="serial", **kwargs) -> ParallelOptions:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("shards", 4)
+    kwargs.setdefault("retry_backoff", 0.0)
+    return ParallelOptions(executor=executor, **kwargs)
+
+
+class TestRetryAndQuarantine:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_transient_failure_retries_to_identical_result(
+        self, samples, executor
+    ):
+        serial = StudyDataset(study_windows=STUDY_WINDOWS).ingest(iter(samples))
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": 2})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_options(executor),
+            )
+        assert dataset.degraded is None
+        assert dataset.rows == serial.rows
+        assert registry.counter("fault.shard_retries") == 2
+        assert registry.counter("fault.injected.shard_kills") == 2
+        assert registry.counter("fault.shards_quarantined") == 0
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_permanent_failure_quarantines_with_exact_counts(
+        self, samples, executor
+    ):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": None})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_options(executor),
+            )
+        ledger = dataset.degraded
+        assert isinstance(ledger, DegradedLedger)
+        assert ledger.shards_lost == 1
+        entry = ledger.shards[0]
+        assert entry["ordinal"] == 1
+        assert entry["attempts"] == 3  # 1 try + 2 retries (default)
+        assert "injected fault" in entry["error"]
+        # In-memory sharding knows the exact loss: the shard's sample list.
+        from repro.pipeline.parallel import shard_samples
+
+        expected_lost = len(shard_samples(iter(samples), 4)[1])
+        assert ledger.samples_lost == expected_lost == entry["samples_lost"]
+        assert registry.counter("fault.shards_quarantined") == 1
+        assert registry.counter("fault.samples_lost") == expected_lost
+        # The surviving shards' samples are all present.
+        assert dataset.session_count > 0
+
+    def test_strict_raises_shard_error(self, samples):
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": None})
+        with faultinject.inject(plan):
+            with pytest.raises(ShardError) as excinfo:
+                build_dataset(
+                    iter(samples),
+                    study_windows=STUDY_WINDOWS,
+                    options=_options("serial", strict=True),
+                )
+        assert excinfo.value.shard_id == 1
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.cause, RuntimeError)
+
+    def test_zero_retries_quarantines_immediately(self, samples):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_shard={"ordinal": 0, "times": None})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_options("serial", max_retries=0),
+            )
+        assert dataset.degraded.shards[0]["attempts"] == 1
+        assert registry.counter("fault.shard_retries") == 0
+
+    def test_os_error_kind(self, samples):
+        plan = FaultPlan(
+            kill_shard={"ordinal": 0, "times": None, "error": "os"}
+        )
+        with faultinject.inject(plan):
+            with pytest.raises(ShardError) as excinfo:
+                build_dataset(
+                    iter(samples),
+                    study_windows=STUDY_WINDOWS,
+                    options=_options("serial", strict=True, max_retries=0),
+                )
+        assert isinstance(excinfo.value.cause, OSError)
+
+    def test_store_chunk_quarantine_counts_partitions(self, store_path):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_shard={"ordinal": 0, "times": None})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                store_path,
+                study_windows=STUDY_WINDOWS,
+                options=_options("serial"),
+            )
+        chunk = TraceStoreReader(store_path).plan_chunks(4)[0]
+        entry = dataset.degraded.shards[0]
+        assert entry["partitions_skipped"] == len(chunk.partition_ids)
+        assert entry["samples_lost"] == chunk.rows
+        assert registry.counter("fault.partitions_skipped") == len(
+            chunk.partition_ids
+        )
+
+    def test_corrupt_block_quarantined_not_fatal(self, store_path):
+        partition, _ = _flip_block_byte(store_path)
+        dataset = build_dataset(
+            store_path,
+            study_windows=STUDY_WINDOWS,
+            options=_options("serial"),
+        )
+        assert dataset.degraded is not None
+        assert "CorruptBlockError" in dataset.degraded.shards[0]["error"]
+        with pytest.raises(ShardError):
+            build_dataset(
+                store_path,
+                study_windows=STUDY_WINDOWS,
+                options=_options("serial", strict=True),
+            )
+
+    def test_process_pool_kill_via_env(self, samples, tmp_path, monkeypatch):
+        # ProcessPoolExecutor workers pick the plan up from REPRO_FAULTS.
+        # A permanent kill exercises cross-process typed-error transport
+        # (the exception pickles back to the parent) plus quarantine.
+        trace = tmp_path / "trace.jsonl"
+        write_samples(trace, samples)
+        plan = FaultPlan(kill_shard={"ordinal": 0, "times": None})
+        monkeypatch.setenv(faultinject.ENV_VAR, plan.to_json())
+        faultinject.reset()
+        dataset = build_dataset(
+            trace,
+            study_windows=STUDY_WINDOWS,
+            options=_options("process", workers=2, shards=2),
+        )
+        assert dataset.degraded is not None
+        assert dataset.degraded.shards[0]["ordinal"] == 0
+
+    def test_retry_log_names_shard(self, samples, caplog):
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": 1})
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline.parallel"):
+            with faultinject.inject(plan):
+                build_dataset(
+                    iter(samples),
+                    study_windows=STUDY_WINDOWS,
+                    options=_options("serial"),
+                )
+        assert any(
+            "shard 1" in record.message and "retrying" in record.message
+            for record in caplog.records
+        )
+
+    def test_io_error_is_transient_and_retried(self, samples, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_samples(trace, samples)
+        registry = MetricsRegistry()
+        plan = FaultPlan(io_error={"times": 1, "path_substr": "trace.jsonl"})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                trace,
+                study_windows=STUDY_WINDOWS,
+                options=_options("serial", shards=2),
+            )
+        assert dataset.degraded is None
+        assert registry.counter("fault.injected.io_errors") == 1
+        assert registry.counter("fault.shard_retries") == 1
+
+    def test_ledger_shape(self):
+        ledger = DegradedLedger()
+        assert not ledger
+        assert ledger.to_dict()["shards_lost"] == 0
+        assert "0 shard(s)" in ledger.summary()
+
+
+# --------------------------------------------------------------------- #
+# 3. No-fault transparency + manifest integration
+# --------------------------------------------------------------------- #
+class TestNoFaultTransparency:
+    def test_parallel_identical_without_faults(self, samples, store_path):
+        serial = StudyDataset(study_windows=STUDY_WINDOWS).ingest(iter(samples))
+        for options in (
+            None,
+            _options("serial"),
+            _options("thread", workers=4, shards=4),
+        ):
+            dataset = build_dataset(
+                store_path, study_windows=STUDY_WINDOWS, options=options
+            )
+            assert dataset.rows == serial.rows
+            assert dataset.degraded is None
+
+    def test_no_fault_counters_on_clean_runs(self, samples):
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_options("serial"),
+            )
+        assert not [
+            name
+            for name in registry.to_dict()["counters"]
+            if name.startswith("fault.")
+        ]
+
+    def test_manifest_degraded_section(self, samples):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": None})
+        with activate_metrics(registry), faultinject.inject(plan):
+            build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_options("serial"),
+            )
+        manifest = RunManifest.collect(command="analyze", registry=registry)
+        assert manifest.degraded["shards_lost"] == 1
+        assert manifest.degraded["samples_lost"] > 0
+        # fault.* counters are execution facts, not sample accounting.
+        assert not [
+            name
+            for name in manifest.sample_accounting()
+            if name.startswith("fault.")
+        ]
+        # Round-trips through JSON.
+        loaded = RunManifest.from_dict(manifest.to_dict())
+        assert loaded.degraded == manifest.degraded
+
+    def test_clean_manifest_degraded_is_empty(self):
+        manifest = RunManifest.collect(
+            command="analyze", registry=MetricsRegistry()
+        )
+        assert manifest.degraded == {}
+
+    def test_cli_degraded_run_end_to_end(
+        self, samples, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        store = tmp_path / "t.store"
+        write_store(store, samples, band_windows=2)
+        _flip_block_byte(store)
+        manifest_path = tmp_path / "m.json"
+        code = main(
+            [
+                "analyze",
+                str(store),
+                "--workers", "2",
+                "--executor", "serial",
+                "--retry-backoff", "0",
+                "--metrics-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WARNING: degraded run" in out
+        payload = json.loads(manifest_path.read_text())
+        assert payload["degraded"]["shards_lost"] == 1
+        assert payload["shard_plan"]["strict"] is False
+
+    def test_cli_strict_flag_fails_fast(self, samples, tmp_path):
+        from repro.cli import main
+
+        store = tmp_path / "t.store"
+        write_store(store, samples, band_windows=2)
+        _flip_block_byte(store)
+        with pytest.raises(ShardError):
+            main(
+                [
+                    "analyze",
+                    str(store),
+                    "--workers", "2",
+                    "--executor", "serial",
+                    "--retry-backoff", "0",
+                    "--strict",
+                ]
+            )
+
+
+# --------------------------------------------------------------------- #
+# Satellite: durable atomic writes
+# --------------------------------------------------------------------- #
+class TestDurableWrites:
+    def test_jsonl_write_fsyncs_file_and_dir(
+        self, samples, tmp_path, monkeypatch
+    ):
+        import repro.fsutil as fsutil
+
+        synced = {"file": 0, "dir": 0}
+        real_file, real_dir = fsutil.fsync_file, fsutil.fsync_dir
+        monkeypatch.setattr(
+            "repro.pipeline.io.fsync_file",
+            lambda p: (synced.__setitem__("file", synced["file"] + 1),
+                       real_file(p))[1],
+        )
+        monkeypatch.setattr(
+            "repro.pipeline.io.fsync_dir",
+            lambda p: (synced.__setitem__("dir", synced["dir"] + 1),
+                       real_dir(p))[1],
+        )
+        path = tmp_path / "t.jsonl"
+        write_samples(path, samples[:5])
+        assert synced == {"file": 1, "dir": 1}
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_store_write_fsyncs_through_fsutil(self, samples, tmp_path, monkeypatch):
+        import os
+
+        fsyncs: list = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (fsyncs.append(fd), real_fsync(fd))[1]
+        )
+        write_store(tmp_path / "t.store", samples[:5])
+        # data.bin + manifest.json, each: temp-file fsync + dir fsync.
+        assert len(fsyncs) >= 4

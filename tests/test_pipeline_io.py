@@ -369,6 +369,30 @@ class TestGzipChunkFallback:
         # equality (serial ingestion never plans chunks).
         assert registry.counter("io.gzip_chunk_fallback") == 1
 
+    def test_warns_once_per_path_but_counts_every_plan(self, tmp_path):
+        import warnings
+
+        from repro.obs import MetricsRegistry, activate_metrics
+
+        path = tmp_path / "t.jsonl.gz"
+        write_samples(path, [sample_with_txns() for _ in range(8)])
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            with pytest.warns(RuntimeWarning, match="not seekable"):
+                plan_chunks(path, 4)
+            # Same path again: the counter keeps the tally, the warning
+            # does not repeat (one actionable line per file per process).
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                plan_chunks(path, 4)
+        assert registry.counter("io.gzip_chunk_fallback") == 2
+
+        # A different gzip path is new information and warns afresh.
+        other = tmp_path / "other.jsonl.gz"
+        write_samples(other, [sample_with_txns() for _ in range(8)])
+        with pytest.warns(RuntimeWarning, match="not seekable"):
+            plan_chunks(other, 4)
+
     def test_single_chunk_gzip_plan_is_silent(self, tmp_path):
         import warnings
 

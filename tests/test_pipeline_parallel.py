@@ -15,6 +15,7 @@ import pytest
 from repro.core.records import UserGroupKey
 from repro.pipeline import (
     ParallelOptions,
+    ShardError,
     StudyDataset,
     build_dataset,
     fig6_global_performance,
@@ -228,7 +229,10 @@ class TestSharding:
         assert dataset.session_count == 0
         assert len(dataset.store) == 0
 
-    def test_missing_route_raises_like_serial(self, samples):
+    def test_missing_route_fails_fast_under_strict(self, samples):
+        # Under strict mode a broken sample still fails the build, wrapped
+        # in a ShardError naming the shard (the default policy quarantines
+        # the shard instead; see tests/test_fault_tolerance.py).
         broken = [samples[0]]
         broken[0] = type(broken[0])(
             **{
@@ -238,12 +242,16 @@ class TestSharding:
                 "client_ip_is_hosting": False,
             }
         )
-        with pytest.raises(ValueError, match="route"):
+        with pytest.raises(ShardError, match="route") as excinfo:
             build_dataset(
                 iter(broken),
                 study_windows=STUDY_WINDOWS,
-                options=ParallelOptions(workers=2, shards=2, executor="serial"),
+                options=ParallelOptions(
+                    workers=2, shards=2, executor="serial", strict=True
+                ),
             )
+        assert excinfo.value.shard_id == 0
+        assert isinstance(excinfo.value.cause, ValueError)
 
     def test_dataset_kwargs_forwarded(self, samples):
         dataset = build_dataset(
