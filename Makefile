@@ -18,6 +18,11 @@
 #                 benchmarks/results/parallel_scaling.txt.
 #   bench-io    - the store-vs-JSONL ingest/pushdown bench; writes
 #                 benchmarks/results/BENCH_io.json.
+#   test-kernels - just the batch-kernel suite (`kernels` marker): the
+#                 batch-vs-row differential oracle matrix and the
+#                 per-kernel Hypothesis properties. Also part of tier-1.
+#   bench-analyze - the batch-vs-row analysis-engine bench; writes
+#                 benchmarks/results/BENCH_analyze.json.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
@@ -26,29 +31,37 @@ OBS_TESTS = tests/test_obs_registry.py tests/test_obs_tracing.py \
             tests/test_obs_manifest.py tests/test_obs_pipeline.py
 STORE_TESTS = tests/test_store.py tests/test_store_pipeline.py
 FAULT_TESTS = tests/test_fault_tolerance.py
+KERNEL_TESTS = tests/test_batch_equivalence.py tests/test_kernels_property.py
 COV_FLOOR = 85
 
-.PHONY: test test-all test-faults coverage bench bench-scaling bench-io
+.PHONY: test test-all test-faults test-kernels coverage bench bench-scaling \
+	bench-io bench-analyze
 
 test:
 	$(PYTEST) -x -q
 
-test-all: coverage test-faults
+test-all: coverage test-faults test-kernels
 	$(PYTEST) -q -m ""
 
 test-faults:
 	$(PYTEST) -q -m faults
 
+test-kernels:
+	$(PYTEST) -q -m kernels
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
+			$(KERNEL_TESTS) \
 			--cov=repro.obs --cov=repro.store --cov=repro.faultinject \
+			--cov=repro.kernels \
 			--cov-report=term-missing \
 			--cov-fail-under=$(COV_FLOOR); \
 	else \
-		echo "pytest-cov not installed; running obs/store/fault tests" \
-		     "without the $(COV_FLOOR)% floor"; \
-		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS); \
+		echo "pytest-cov not installed; running obs/store/fault/kernel" \
+		     "tests without the $(COV_FLOOR)% floor"; \
+		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
+			$(KERNEL_TESTS); \
 	fi
 
 bench:
@@ -59,3 +72,6 @@ bench-scaling:
 
 bench-io:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_io.py
+
+bench-analyze:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_analyze.py

@@ -1,0 +1,98 @@
+"""Analysis-engine benchmark: batch column kernels vs the row oracle.
+
+Builds one synthetic trace, materializes it as a columnar store and as
+plain JSONL, then times the full trace→report path (``build_dataset`` +
+the Figure-6 driver) under both engines (best of N). Results — seconds,
+sessions/sec, and the batch/row speedup per source — land in
+``benchmarks/results/BENCH_analyze.json``.
+
+The acceptance floor: over the columnar store — where the batch engine's
+``read_columns`` fast path skips Session-record materialization entirely —
+batch must run the trace→report path at >=2x the row engine. Both engines
+are pure single-threaded CPU on the same decoded bytes, so the floor
+applies on any host. The JSONL numbers are reported for context only
+(``json.loads`` dominates there and is paid by both engines).
+
+Scale knob: ``REPRO_BENCH_ANALYZE_SESSIONS`` (default 20_000).
+
+Run with ``make bench-analyze`` or ``pytest -m bench benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.pipeline import build_dataset, fig6_global_performance
+from repro.pipeline.io import convert, write_samples
+
+from tests.helpers import make_trace_samples
+
+pytestmark = pytest.mark.bench
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SESSIONS = int(os.environ.get("REPRO_BENCH_ANALYZE_SESSIONS", 20_000))
+STUDY_WINDOWS = 16
+# Best-of-4: single passes on a shared CI host jitter by ~20%, which is
+# enough to blur a 2x ratio; the minimum is the stable estimator.
+REPEATS = 4
+BATCH_SPEEDUP_FLOOR = 2.0
+
+
+def _analyze_seconds(source, engine: str) -> "tuple[int, float]":
+    """Best-of-N trace→report time and the session count (sanity-checked)."""
+    best = float("inf")
+    sessions = 0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        dataset = build_dataset(
+            source, study_windows=STUDY_WINDOWS, engine=engine
+        )
+        fig6_global_performance(dataset)
+        best = min(best, time.perf_counter() - start)
+        sessions = dataset.session_count
+    return sessions, best
+
+
+def test_batch_vs_row_analyze(tmp_path):
+    jsonl = tmp_path / "bench_analyze.jsonl"
+    store = tmp_path / "bench_analyze.store"
+    write_samples(
+        jsonl, make_trace_samples(SESSIONS, seed=47, windows=STUDY_WINDOWS)
+    )
+    convert(jsonl, store)
+
+    results = {
+        "sessions": SESSIONS,
+        "repeats_best_of": REPEATS,
+        "pipeline": "build_dataset + fig6_global_performance",
+    }
+    speedups = {}
+    for source_name, source in (("store", store), ("jsonl", jsonl)):
+        row_sessions, row_s = _analyze_seconds(source, "row")
+        batch_sessions, batch_s = _analyze_seconds(source, "batch")
+        assert row_sessions == batch_sessions > 0
+        speedup = row_s / batch_s
+        speedups[source_name] = speedup
+        results[source_name] = {
+            "row_seconds": round(row_s, 4),
+            "batch_seconds": round(batch_s, 4),
+            "row_sessions_per_sec": round(row_sessions / row_s),
+            "batch_sessions_per_sec": round(batch_sessions / batch_s),
+            "batch_speedup": round(speedup, 2),
+        }
+    results["batch_speedup_floor"] = BATCH_SPEEDUP_FLOOR
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_analyze.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+    assert speedups["store"] >= BATCH_SPEEDUP_FLOOR, (
+        f"batch engine only {speedups['store']:.2f}x over the row engine "
+        f"on the store path (floor {BATCH_SPEEDUP_FLOOR}x)"
+    )

@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="fail fast on the first exhausted shard instead of "
             "quarantining it and completing degraded",
         )
+        command.add_argument(
+            "--engine", choices=("row", "batch"), default="batch",
+            help="analysis engine: 'batch' runs the column kernels "
+            "(default), 'row' the per-record oracle fold; outputs are "
+            "byte-identical",
+        )
 
     fig4 = sub.add_parser("figure4", help="run the Figure-4 goodput walkthrough")
     fig4.add_argument(
@@ -302,6 +308,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
         strict=args.strict,
+        engine=args.engine,
     )
     print(f"{dataset.session_count:,} sampled sessions")
     _print_degraded(dataset)
@@ -356,6 +363,7 @@ def _cmd_routing(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
         strict=args.strict,
+        engine=args.engine,
     )
     print(f"{dataset.session_count:,} sampled sessions")
     _print_degraded(dataset)
@@ -444,6 +452,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
         strict=args.strict,
+        engine=args.engine,
     )
     print(f"{dataset.session_count:,} sessions loaded from {args.trace}")
     _print_degraded(dataset)

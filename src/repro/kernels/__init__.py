@@ -1,0 +1,63 @@
+"""Vectorized column-batch analysis kernels (DESIGN.md §10).
+
+The row path (:mod:`repro.core` + :class:`repro.pipeline.dataset.StudyDataset`)
+materializes one ``SessionSample``/``TransactionRecord`` object per row and
+walks the §3.2 methodology record by record. This package runs the same math
+directly over decoded column arrays — flat per-transaction lists indexed by a
+per-session length column, the layout the columnar store already holds — with
+no per-row object materialization on the hot path.
+
+The row path is the **equivalence oracle**: every kernel here is required to
+reproduce its row implementation bit for bit (same expressions, evaluated in
+the same order, on the same Python numeric types), so batch-engine output —
+rows, aggregations, reports, figures, counters — is byte-identical to the row
+engine's. The invariant is enforced by ``tests/test_batch_equivalence.py``
+(end-to-end differential matrix) and ``tests/test_kernels_property.py``
+(per-kernel Hypothesis properties), so a divergence names the kernel.
+
+Layout contract and oracle argument: DESIGN.md §10.
+"""
+
+from repro.kernels.columns import ColumnBatch
+from repro.kernels.engine import (
+    BatchIngestor,
+    batches_from_pairs,
+    fold_into_dataset,
+    iter_batches,
+)
+from repro.kernels.goodput import (
+    FunnelCounts,
+    assess_kernel,
+    coalesce_kernel,
+    eligibility_kernel,
+    funnel_single,
+    gtestable_kernel,
+    hdratio_kernel,
+    minrtt_bucket_kernel,
+    minrtt_ms_kernel,
+    next_wstart_kernel,
+    rounds_kernel,
+    session_funnel,
+    tmodel_kernel,
+)
+
+__all__ = [
+    "BatchIngestor",
+    "ColumnBatch",
+    "FunnelCounts",
+    "assess_kernel",
+    "batches_from_pairs",
+    "coalesce_kernel",
+    "eligibility_kernel",
+    "funnel_single",
+    "fold_into_dataset",
+    "gtestable_kernel",
+    "hdratio_kernel",
+    "iter_batches",
+    "minrtt_bucket_kernel",
+    "minrtt_ms_kernel",
+    "next_wstart_kernel",
+    "rounds_kernel",
+    "session_funnel",
+    "tmodel_kernel",
+]

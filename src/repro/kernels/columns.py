@@ -1,0 +1,262 @@
+"""Column-batch layout: the batch engine's unit of work.
+
+A :class:`ColumnBatch` holds one run of samples as parallel per-session
+lists plus *flat* child columns for nested data — transactions and media
+sizes are single flat lists indexed through per-session length columns,
+exactly the shape the columnar store's schema already uses
+(:mod:`repro.store.schema`). The batch engine walks these with integer
+cursors; no ``SessionSample``/``TransactionRecord`` objects exist on the
+hot path.
+
+Layout contract (DESIGN.md §10):
+
+- every per-session column has one entry per row, in the batch's order;
+- ``order_keys[i]`` is row *i*'s global order key (stream index, JSONL
+  byte offset/line index, or store ``seq``) — unique across batches, and
+  non-decreasing **within** a batch (store partitions are seq-sorted;
+  pair slices inherit stream order);
+- ``txn_lens[i]`` transactions for row *i* start at the flat transaction
+  columns' running offset (sum of ``txn_lens[:i]``); ``media_lens`` /
+  ``media_values`` follow the same discipline;
+- ``txn_lbwt`` is the *effective* last-byte-write-time: rows without a
+  recorded ``last_byte_write_time`` carry their ``first_byte_time``,
+  which is the row path's fallback
+  (:func:`repro.core.coalesce.coalesce_transactions`) applied once at
+  build time instead of once per analysis pass;
+- ``routes[i]`` is the row's interned :class:`RouteInfo` (or ``None``) —
+  routes repeat heavily, so interning keeps route construction off the
+  per-row cost while the per-sample and per-transaction work stays
+  object-free.
+
+Two builders cover both trace formats: :meth:`ColumnBatch.from_pairs`
+shreds already-materialized samples (JSONL / in-memory sources), and
+:meth:`ColumnBatch.from_store_columns` adopts a store partition's decoded
+column dict directly — the store fast path that never builds records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.records import HttpVersion, RouteInfo, SessionSample
+
+__all__ = ["ColumnBatch"]
+
+_HTTP2_VALUE = HttpVersion.HTTP_2.value
+
+
+class ColumnBatch:
+    """One batch of samples as parallel columns (see module docstring)."""
+
+    __slots__ = (
+        "order_keys",
+        "start_times",
+        "end_times",
+        "is_http2",
+        "min_rtts",
+        "bytes_sents",
+        "busy_times",
+        "pops",
+        "countries",
+        "continents",
+        "hostings",
+        "geo_tags",
+        "routes",
+        "media_lens",
+        "media_values",
+        "txn_lens",
+        "txn_fbt",
+        "txn_ack",
+        "txn_resp",
+        "txn_last",
+        "txn_cwnd",
+        "txn_inflight",
+        "txn_lbwt",
+    )
+
+    def __init__(self) -> None:
+        self.order_keys: List[int] = []
+        self.start_times: List[float] = []
+        self.end_times: List[float] = []
+        self.is_http2: List[bool] = []
+        self.min_rtts: List[float] = []
+        self.bytes_sents: List[int] = []
+        self.busy_times: List[float] = []
+        self.pops: List[str] = []
+        self.countries: List[str] = []
+        self.continents: List[str] = []
+        self.hostings: List[bool] = []
+        self.geo_tags: List[str] = []
+        self.routes: List[Optional[RouteInfo]] = []
+        self.media_lens: List[int] = []
+        self.media_values: List[int] = []
+        self.txn_lens: List[int] = []
+        self.txn_fbt: List[float] = []
+        self.txn_ack: List[float] = []
+        self.txn_resp: List[int] = []
+        self.txn_last: List[int] = []
+        self.txn_cwnd: List[int] = []
+        self.txn_inflight: List[int] = []
+        self.txn_lbwt: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.order_keys)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(
+        cls, pairs: List[Tuple[int, SessionSample]]
+    ) -> "ColumnBatch":
+        """Shred ``(order_key, sample)`` pairs into columns.
+
+        The sample-object path (JSONL traces, in-memory streams): objects
+        already exist upstream, so this only flattens them; the per-row
+        saving comes from the kernels not re-walking objects afterwards.
+        """
+        batch = cls()
+        order_keys = batch.order_keys
+        start_times = batch.start_times
+        end_times = batch.end_times
+        is_http2 = batch.is_http2
+        min_rtts = batch.min_rtts
+        bytes_sents = batch.bytes_sents
+        busy_times = batch.busy_times
+        pops = batch.pops
+        countries = batch.countries
+        continents = batch.continents
+        hostings = batch.hostings
+        geo_tags = batch.geo_tags
+        routes = batch.routes
+        media_lens = batch.media_lens
+        media_values = batch.media_values
+        txn_lens = batch.txn_lens
+        txn_fbt = batch.txn_fbt
+        txn_ack = batch.txn_ack
+        txn_resp = batch.txn_resp
+        txn_last = batch.txn_last
+        txn_cwnd = batch.txn_cwnd
+        txn_inflight = batch.txn_inflight
+        txn_lbwt = batch.txn_lbwt
+        http2 = HttpVersion.HTTP_2
+        for order_key, sample in pairs:
+            order_keys.append(order_key)
+            start_times.append(sample.start_time)
+            end_times.append(sample.end_time)
+            is_http2.append(sample.http_version is http2)
+            min_rtts.append(sample.min_rtt_seconds)
+            bytes_sents.append(sample.bytes_sent)
+            busy_times.append(sample.busy_time_seconds)
+            pops.append(sample.pop)
+            countries.append(sample.client_country)
+            continents.append(sample.client_continent)
+            hostings.append(sample.client_ip_is_hosting)
+            geo_tags.append(sample.geo_tag)
+            routes.append(sample.route)
+            media = sample.media_response_sizes
+            media_lens.append(len(media))
+            media_values.extend(media)
+            transactions = sample.transactions
+            txn_lens.append(len(transactions))
+            for txn in transactions:
+                fbt = txn.first_byte_time
+                txn_fbt.append(fbt)
+                txn_ack.append(txn.ack_time)
+                txn_resp.append(txn.response_bytes)
+                txn_last.append(txn.last_packet_bytes)
+                txn_cwnd.append(txn.cwnd_bytes_at_first_byte)
+                txn_inflight.append(txn.bytes_in_flight_at_start)
+                lbwt = txn.last_byte_write_time
+                txn_lbwt.append(fbt if lbwt is None else lbwt)
+        return batch
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store_columns(cls, decoded: Dict[str, list]) -> "ColumnBatch":
+        """Adopt one store partition's decoded columns (the fast path).
+
+        ``decoded`` is :func:`repro.store.schema.decode_columns` output:
+        the schema's flat columns, one partition's worth, seq-sorted. Most
+        columns transfer by reference — zero copies, zero objects; only
+        the presence-compacted columns (route, ``last_byte_write_time``)
+        are expanded, and routes are interned exactly like the row
+        decoder so repeated routes cost one ``RouteInfo`` each.
+        """
+        # Late import: repro.store imports nothing from repro.kernels, so
+        # the dependency points one way (kernels -> store).
+        from repro.store.schema import _new_route, _RELATIONSHIP_BY_VALUE
+
+        batch = cls()
+        batch.order_keys = decoded["seq"]
+        batch.start_times = decoded["start_time"]
+        batch.end_times = decoded["end_time"]
+        batch.is_http2 = [
+            value == _HTTP2_VALUE for value in decoded["http_version"]
+        ]
+        batch.min_rtts = decoded["min_rtt_seconds"]
+        batch.bytes_sents = decoded["bytes_sent"]
+        batch.busy_times = decoded["busy_time_seconds"]
+        batch.pops = decoded["pop"]
+        batch.countries = decoded["client_country"]
+        batch.continents = decoded["client_continent"]
+        batch.hostings = decoded["client_ip_is_hosting"]
+        batch.geo_tags = decoded["geo_tag"]
+        batch.media_lens = decoded["media_lens"]
+        batch.media_values = decoded["media_values"]
+        batch.txn_lens = decoded["txn_lens"]
+        batch.txn_fbt = decoded["txn_first_byte_time"]
+        batch.txn_ack = decoded["txn_ack_time"]
+        batch.txn_resp = decoded["txn_response_bytes"]
+        batch.txn_last = decoded["txn_last_packet_bytes"]
+        batch.txn_cwnd = decoded["txn_cwnd"]
+        batch.txn_inflight = decoded["txn_inflight"]
+
+        # Effective last-byte-write-time: presence-compacted values spread
+        # back over the flat transaction rows, absent rows falling back to
+        # first_byte_time (the coalescer's rule, applied once here).
+        fbt = batch.txn_fbt
+        next_lbwt = iter(decoded["txn_lbwt_values"]).__next__
+        batch.txn_lbwt = [
+            next_lbwt() if present else fallback
+            for present, fallback in zip(decoded["txn_lbwt_present"], fbt)
+        ]
+
+        # Routes: presence-compacted and interned, same cache discipline as
+        # the row decoder (repro.store.schema._decode_rows).
+        routes: List[Optional[RouteInfo]] = batch.routes
+        route_prefixes = decoded["route_prefix"]
+        relationships = decoded["route_relationship"]
+        route_ranks = decoded["route_rank"]
+        route_prepends = decoded["route_prepended"]
+        aspath_lens = decoded["route_aspath_lens"]
+        aspath_values = decoded["route_aspath_values"]
+        route_cache: Dict[tuple, RouteInfo] = {}
+        route_cursor = 0
+        aspath_cursor = 0
+        for present in decoded["route_present"]:
+            if not present:
+                routes.append(None)
+                continue
+            aspath_len = aspath_lens[route_cursor]
+            as_path = tuple(
+                aspath_values[aspath_cursor : aspath_cursor + aspath_len]
+            )
+            aspath_cursor += aspath_len
+            key = (
+                route_prefixes[route_cursor],
+                as_path,
+                relationships[route_cursor],
+                route_ranks[route_cursor],
+                route_prepends[route_cursor],
+            )
+            route = route_cache.get(key)
+            if route is None:
+                route = route_cache[key] = _new_route(
+                    key[0],
+                    as_path,
+                    _RELATIONSHIP_BY_VALUE[key[2]],
+                    key[3],
+                    key[4],
+                )
+            routes.append(route)
+            route_cursor += 1
+        return batch

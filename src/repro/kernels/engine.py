@@ -1,0 +1,444 @@
+"""Batch engine: fold :class:`ColumnBatch` runs into dataset state.
+
+:class:`BatchIngestor` is the batch path's counterpart of
+:meth:`repro.pipeline.dataset.StudyDataset.ingest_one` — same filters, same
+§3.2 funnel (via :func:`repro.kernels.goodput.session_funnel`), same rows,
+aggregations, filter accounting, and observability counters — driven by
+column cursors instead of per-row objects. Its output plugs into both
+execution topologies:
+
+- **serial**: :func:`fold_into_dataset` installs the finalized rows and
+  aggregations into a :class:`StudyDataset`, restoring exact stream order
+  (batches may interleave: store partitions are keyed by PoP and time
+  band, not stream position);
+- **sharded**: ``repro.pipeline.parallel`` builds one ingestor per shard
+  and ships ``finalize()``'s output as a ``ShardResult`` through the same
+  order-independent merge the row engine uses.
+
+Counter parity is exact, not just sum-equal: the registry creates a
+counter key on any ``inc``, including ``inc(name, 0)``, so the ingestor
+reproduces the row path's key-creation pattern — e.g. the
+``methodology.*`` funnel counters exist iff at least one kept session had
+transactions, and ``methodology.sessions.hd_testable`` iff at least one
+session tested — by buffering totals and flushing them under the same
+conditions at :meth:`BatchIngestor.finalize`.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from operator import itemgetter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.aggregation import Aggregation
+from repro.core.records import SessionSample, UserGroupKey
+from repro.kernels.columns import ColumnBatch
+from repro.kernels.goodput import funnel_single, session_funnel
+from repro.obs import MetricsRegistry
+from repro.pipeline.filters import FilterStats
+
+__all__ = [
+    "BatchIngestor",
+    "batches_for_chunk",
+    "batches_from_pairs",
+    "fold_into_dataset",
+    "iter_batches",
+]
+
+AggregationKey = Tuple[UserGroupKey, int, int]
+
+#: Rows per batch when slicing sample streams (JSONL / in-memory). Large
+#: enough to amortize per-batch setup, small enough to keep a batch's flat
+#: columns cache-resident. Store sources batch per partition instead.
+DEFAULT_BATCH_ROWS = 2048
+
+
+class BatchIngestor:
+    """Accumulate batches; finalize into rows + aggregation pieces.
+
+    Constructor arguments match :class:`StudyDataset`'s so the pipeline's
+    ``dataset_kwargs`` dict drives either engine unchanged.
+    """
+
+    def __init__(
+        self,
+        study_windows: int,
+        keep_response_sizes: bool = True,
+        compute_naive: bool = False,
+        window_seconds: float = 900.0,
+    ) -> None:
+        if study_windows <= 0:
+            raise ValueError("study_windows must be positive")
+        self.study_windows = study_windows
+        self.keep_response_sizes = keep_response_sizes
+        self.compute_naive = compute_naive
+        self.window_seconds = window_seconds
+        self.metrics = MetricsRegistry()
+        self.filter_stats = FilterStats()
+        self._rows: List[Tuple[int, object]] = []
+        #: Per-key aggregation pieces: each batch that touches a key adds
+        #: one (first order key in that batch, Aggregation) piece; finalize
+        #: merges them in order-key order, the parallel merger's rule.
+        self._pieces: Dict[AggregationKey, List[Tuple[int, Aggregation]]] = {}
+        self._groups: Dict[Tuple[str, str, str], UserGroupKey] = {}
+        # Buffered counter totals (flushed with row-path gating; see
+        # module docstring).
+        self._read = 0
+        self._kept = 0
+        self._dropped = 0
+        self._txn_raw = 0
+        self._txn_coalesced_away = 0
+        self._txn_inflight_dropped = 0
+        self._txn_gtestable = 0
+        self._txn_achieved = 0
+        self._any_txn = False
+        self._hd_testable_sessions = 0
+        self._hd_samples = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    def ingest_batch(self, batch: ColumnBatch) -> None:
+        """Fold one batch; every sample's full contribution happens here."""
+        # Import here, not at module top: dataset.py must stay importable
+        # without the kernels package (the row path owes it nothing).
+        from repro.pipeline.dataset import SessionRow
+
+        order_keys = batch.order_keys
+        start_times = batch.start_times
+        end_times = batch.end_times
+        is_http2 = batch.is_http2
+        min_rtts = batch.min_rtts
+        bytes_sents = batch.bytes_sents
+        busy_times = batch.busy_times
+        pops = batch.pops
+        countries = batch.countries
+        continents = batch.continents
+        hostings = batch.hostings
+        geo_tags = batch.geo_tags
+        routes = batch.routes
+        media_lens = batch.media_lens
+        media_values = batch.media_values
+        txn_lens = batch.txn_lens
+        txn_fbt = batch.txn_fbt
+        txn_ack = batch.txn_ack
+        txn_resp = batch.txn_resp
+        txn_last = batch.txn_last
+        txn_cwnd = batch.txn_cwnd
+        txn_inflight = batch.txn_inflight
+        txn_lbwt = batch.txn_lbwt
+
+        stats = self.filter_stats
+        keep_sizes = self.keep_response_sizes
+        compute_naive = self.compute_naive
+        window_seconds = self.window_seconds
+        groups = self._groups
+        pieces = self._pieces
+        rows_append = self._rows.append
+        new_row = SessionRow.__new__
+        floor = math.floor
+        funnel = session_funnel
+        single = funnel_single
+
+        read = kept = dropped = 0
+        txn_raw = txn_coalesced_away = txn_inflight_dropped = 0
+        txn_gtestable = txn_achieved = 0
+        any_txn = False
+        hd_testable_sessions = 0
+        hd_samples = 0
+        #: Batch-local aggregations: one piece per key per batch, so the
+        #: finalize merge sees at most one piece per (key, batch).
+        local: Dict[AggregationKey, Aggregation] = {}
+
+        txn_cursor = 0
+        media_cursor = 0
+        for i in range(len(order_keys)):
+            t0 = txn_cursor
+            tlen = txn_lens[i]
+            txn_cursor = t0 + tlen
+            m0 = media_cursor
+            mlen = media_lens[i]
+            media_cursor = m0 + mlen
+
+            read += 1
+            sent = bytes_sents[i]
+            if hostings[i]:
+                dropped += 1
+                stats.dropped_sessions += 1
+                stats.dropped_bytes += sent
+                continue
+            kept += 1
+            stats.kept_sessions += 1
+            stats.kept_bytes += sent
+
+            min_rtt = min_rtts[i]
+            naive = None
+            if tlen == 1:
+                # Scalar fast path: one record is one always-eligible
+                # group with an empty ideal-window chain.
+                any_txn = True
+                tested, achieved, naive_achieved = single(
+                    txn_fbt[t0],
+                    txn_ack[t0],
+                    txn_resp[t0],
+                    txn_last[t0],
+                    txn_cwnd[t0],
+                    min_rtt,
+                    compute_naive=compute_naive,
+                )
+                txn_raw += 1
+                txn_gtestable += tested
+                txn_achieved += achieved
+                if tested:
+                    hd_testable_sessions += 1
+                    hd = achieved / tested
+                    if compute_naive:
+                        naive = naive_achieved / tested
+                else:
+                    hd = None
+            elif tlen:
+                any_txn = True
+                counts = funnel(
+                    txn_fbt,
+                    txn_ack,
+                    txn_resp,
+                    txn_last,
+                    txn_cwnd,
+                    txn_inflight,
+                    txn_lbwt,
+                    t0,
+                    txn_cursor,
+                    min_rtt,
+                    compute_naive=compute_naive,
+                )
+                txn_raw += tlen
+                txn_coalesced_away += tlen - counts.coalesced
+                txn_inflight_dropped += counts.coalesced - counts.eligible
+                txn_gtestable += counts.tested
+                txn_achieved += counts.achieved
+                tested = counts.tested
+                if tested:
+                    hd_testable_sessions += 1
+                    hd = counts.achieved / tested
+                    if compute_naive:
+                        naive = counts.naive_achieved / tested
+                else:
+                    hd = None
+            else:
+                hd = None
+
+            if keep_sizes:
+                sizes = tuple(txn_resp[t0:txn_cursor])
+                media = tuple(media_values[m0:media_cursor])
+            else:
+                sizes = ()
+                media = ()
+
+            end_time = end_times[i]
+            duration = end_time - start_times[i]
+            if duration <= 0:
+                busy_fraction = 1.0
+            else:
+                busy_fraction = min(busy_times[i] / duration, 1.0)
+
+            row = new_row(SessionRow)
+            # SessionRow is frozen: mutating the (empty) __dict__ in place
+            # is the one write path its __setattr__ cannot veto.
+            row.__dict__.update({
+                "min_rtt_ms": min_rtt * 1000.0,
+                "hdratio": hd,
+                "naive_hdratio": naive,
+                "bytes_sent": sent,
+                "duration": duration,
+                "busy_fraction": busy_fraction,
+                "transaction_count": tlen,
+                "is_http2": is_http2[i],
+                "continent": continents[i],
+                "geo_tag": geo_tags[i],
+                "response_sizes": sizes,
+                "media_bytes": media,
+            })
+            order_key = order_keys[i]
+            rows_append((order_key, row))
+
+            route = routes[i]
+            if route is None:
+                raise ValueError("sample is missing its egress route annotation")
+            pop = pops[i]
+            country = countries[i]
+            group_key = (pop, route.prefix, country)
+            group = groups.get(group_key)
+            if group is None:
+                group = groups[group_key] = UserGroupKey(
+                    pop=pop, prefix=route.prefix, country=country
+                )
+            window = int(floor(end_time / window_seconds))
+            akey = (group, route.preference_rank, window)
+            aggregation = local.get(akey)
+            if aggregation is None:
+                aggregation = local[akey] = Aggregation(
+                    group=group,
+                    route_rank=route.preference_rank,
+                    window=window,
+                    route=route,
+                )
+                pieces.setdefault(akey, []).append((order_key, aggregation))
+            aggregation.min_rtts_ms.append(min_rtt * 1000.0)
+            if hd is not None:
+                aggregation.hdratios.append(hd)
+                hd_samples += 1
+            aggregation.traffic_bytes += sent
+            aggregation.session_count += 1
+
+        self._read += read
+        self._kept += kept
+        self._dropped += dropped
+        self._txn_raw += txn_raw
+        self._txn_coalesced_away += txn_coalesced_away
+        self._txn_inflight_dropped += txn_inflight_dropped
+        self._txn_gtestable += txn_gtestable
+        self._txn_achieved += txn_achieved
+        self._any_txn = self._any_txn or any_txn
+        self._hd_testable_sessions += hd_testable_sessions
+        self._hd_samples += hd_samples
+
+    # ------------------------------------------------------------------ #
+    def finalize(
+        self,
+    ) -> Tuple[List[Tuple[int, object]], List[Tuple[int, AggregationKey, Aggregation]]]:
+        """Flush counters; return (sorted rows, merged aggregations).
+
+        Rows come back as ``(order_key, SessionRow)`` sorted globally;
+        aggregations as ``(first order key, key, Aggregation)`` sorted by
+        first appearance — exactly the shapes the parallel merger and the
+        serial fold consume. Call once.
+        """
+        if self._finalized:
+            raise RuntimeError("BatchIngestor.finalize() already called")
+        self._finalized = True
+        metrics = self.metrics
+        if self._read:
+            metrics.inc("pipeline.samples.read", self._read)
+        if self._dropped:
+            metrics.inc("pipeline.samples.dropped_hosting", self._dropped)
+        if self._kept:
+            metrics.inc("pipeline.samples.kept", self._kept)
+        if self._any_txn:
+            # The row path incs these per session-with-transactions (even
+            # when a summand is 0), so the keys exist exactly when at least
+            # one kept session had transactions.
+            metrics.inc("methodology.transactions.raw", self._txn_raw)
+            metrics.inc(
+                "methodology.transactions.coalesced", self._txn_coalesced_away
+            )
+            metrics.inc(
+                "methodology.transactions.inflight_dropped",
+                self._txn_inflight_dropped,
+            )
+            metrics.inc("methodology.transactions.gtestable", self._txn_gtestable)
+            metrics.inc("methodology.transactions.achieved", self._txn_achieved)
+        if self._hd_testable_sessions:
+            metrics.inc(
+                "methodology.sessions.hd_testable", self._hd_testable_sessions
+            )
+        if self._kept:
+            metrics.inc("core.aggregation.samples", self._kept)
+        if self._hd_samples:
+            metrics.inc("core.aggregation.hd_samples", self._hd_samples)
+
+        first = itemgetter(0)
+        self._rows.sort(key=first)
+        aggregations: List[Tuple[int, AggregationKey, Aggregation]] = []
+        for akey, parts in self._pieces.items():
+            parts.sort(key=first)
+            first_key, merged = parts[0]
+            for _, piece in parts[1:]:
+                merged.merge(piece)
+            aggregations.append((first_key, akey, merged))
+        aggregations.sort(key=first)
+        return self._rows, aggregations
+
+
+# --------------------------------------------------------------------- #
+# Batch sources
+# --------------------------------------------------------------------- #
+def batches_from_pairs(
+    pairs: Iterable[Tuple[int, SessionSample]],
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> Iterator[ColumnBatch]:
+    """Slice an ``(order_key, sample)`` stream into column batches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    buffer: List[Tuple[int, SessionSample]] = []
+    for pair in pairs:
+        buffer.append(pair)
+        if len(buffer) >= batch_size:
+            yield ColumnBatch.from_pairs(buffer)
+            buffer = []
+    if buffer:
+        yield ColumnBatch.from_pairs(buffer)
+
+
+def iter_batches(
+    source,
+    metrics: Optional[MetricsRegistry] = None,
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> Iterator[ColumnBatch]:
+    """Column batches from any dataset source (path or sample iterable).
+
+    Store paths take the column fast path — one batch per partition, no
+    row objects; JSONL paths and in-memory streams are sliced into
+    ``batch_size`` batches with stream-position order keys. ``metrics``
+    receives the same ``io.*``/``store.*`` counters as the row readers.
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        from repro.pipeline.io import detect_format, read_samples
+        from repro.store import TraceStoreReader
+
+        if detect_format(source) == "store":
+            yield from TraceStoreReader(source).read_column_batches(
+                metrics=metrics
+            )
+            return
+        yield from batches_from_pairs(
+            enumerate(read_samples(source, metrics=metrics)), batch_size
+        )
+        return
+    yield from batches_from_pairs(enumerate(source), batch_size)
+
+
+def batches_for_chunk(
+    chunk, metrics: Optional[MetricsRegistry] = None,
+    batch_size: int = DEFAULT_BATCH_ROWS,
+) -> Iterator[ColumnBatch]:
+    """Column batches for one shard chunk (store or JSONL).
+
+    Store chunks decode their partitions straight to columns; JSONL
+    chunks reuse the chunk readers' order keys (byte offsets / line
+    indexes), so shard results merge identically to the row engine's.
+    """
+    from repro.pipeline.io import StoreChunk, read_chunk
+    from repro.store import TraceStoreReader
+
+    if isinstance(chunk, StoreChunk):
+        yield from TraceStoreReader(chunk.path).read_column_batches(
+            metrics=metrics, partition_ids=chunk.partition_ids
+        )
+        return
+    yield from batches_from_pairs(read_chunk(chunk, metrics=metrics), batch_size)
+
+
+def fold_into_dataset(dataset, ingestor: BatchIngestor):
+    """Install an ingestor's finalized state into a ``StudyDataset``.
+
+    The serial batch path's last step: rows in global order, aggregations
+    installed in first-seen order (reproducing serial insertion order),
+    filter stats and counters merged. Returns the dataset.
+    """
+    rows, aggregations = ingestor.finalize()
+    dataset.rows.extend(row for _, row in rows)
+    for _, key, aggregation in aggregations:
+        dataset.store.put(key, aggregation)
+    dataset.filter_stats.merge(ingestor.filter_stats)
+    dataset.metrics.merge(ingestor.metrics)
+    return dataset

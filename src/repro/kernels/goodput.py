@@ -1,0 +1,482 @@
+"""§3.2 goodput kernels over flat column arrays.
+
+Each kernel mirrors one stage of the row-path methodology —
+:mod:`repro.core.coalesce` (coalescing, bytes-in-flight eligibility),
+:mod:`repro.core.goodput` (Gtestable, Tmodel(R), the ideal-Wstart chain),
+:mod:`repro.core.hdratio` (the per-session funnel) — over parallel lists
+instead of record objects. ``session_funnel`` composes the stages exactly the
+way :func:`repro.core.hdratio.session_goodput` does, operating on a
+``[start, end)`` slice of a batch's flat transaction columns.
+
+**Oracle invariant.** Every arithmetic expression here is a transcription of
+its row-path counterpart: the same operations on the same Python numeric
+types in the same order (including the ``- 1e-12`` log2 guard, the int
+``max`` before the float division in Gtestable, and the left-to-right
+addition order of Tmodel). That is what makes batch output *byte*-identical
+to row output rather than merely approximately equal; do not "simplify" an
+expression here without re-deriving bit-equality — the differential suite
+(``tests/test_batch_equivalence.py``, ``tests/test_kernels_property.py``)
+holds each kernel to its row implementation.
+
+The power-of-two lookup table replaces the row path's ``2 ** (m - 1)``: for
+in-range exponents both produce the same exact int, and the table indexes are
+guarded by the same ``_MAX_ROUNDS`` bounds the row path enforces through
+:func:`repro.core.goodput.window_at_round`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.coalesce import BACK_TO_BACK_GAP_SECONDS
+from repro.core.constants import HD_GOODPUT_BYTES_PER_SEC
+
+__all__ = [
+    "FunnelCounts",
+    "assess_kernel",
+    "coalesce_kernel",
+    "eligibility_kernel",
+    "funnel_single",
+    "gtestable_kernel",
+    "hdratio_kernel",
+    "minrtt_bucket_kernel",
+    "minrtt_ms_kernel",
+    "next_wstart_kernel",
+    "rounds_kernel",
+    "session_funnel",
+    "tmodel_kernel",
+]
+
+#: Mirrors ``repro.core.goodput._MAX_ROUNDS``.
+_MAX_ROUNDS = 60
+
+#: ``_POW2[k] == 2 ** k`` for every exponent the bounded model can reach
+#: (``window_at_round`` admits indexes up to ``_MAX_ROUNDS``, and Gtestable
+#: reads one round past it before the bound check fires on the chain).
+_POW2: Tuple[int, ...] = tuple(1 << k for k in range(_MAX_ROUNDS + 2))
+
+_ORDER_ERROR = "transactions must be ordered by first_byte_time"
+_ROUNDS_ERROR = "round_index implausibly large"
+
+
+# --------------------------------------------------------------------- #
+# Coalescing (§3.2.5) — mirrors repro.core.coalesce.coalesce_transactions
+# --------------------------------------------------------------------- #
+def coalesce_kernel(
+    fbt: Sequence[float],
+    ack: Sequence[float],
+    resp: Sequence[int],
+    last: Sequence[int],
+    cwnd: Sequence[int],
+    inflight: Sequence[int],
+    lbwt: Sequence[float],
+    start: int = 0,
+    end: Optional[int] = None,
+) -> Tuple[List[float], List[float], List[int], List[int], List[int], List[int]]:
+    """Coalesce the ``[start, end)`` slice of flat transaction columns.
+
+    ``lbwt`` is the *effective* last-byte-write-time column: rows whose
+    record had no ``last_byte_write_time`` carry their ``first_byte_time``
+    (the row path's fallback, applied when the batch was built).
+
+    Returns group columns ``(fbt, ack, total_bytes, last_packet_bytes,
+    opener_cwnd, opener_inflight)`` — exactly the fields of
+    :class:`repro.core.coalesce.CoalescedTransaction` the downstream stages
+    consume, plus the opening record's bytes-in-flight for the eligibility
+    rule. Raises the row path's ``ValueError`` on out-of-order input.
+    """
+    if end is None:
+        end = len(fbt)
+    g_fbt: List[float] = []
+    g_ack: List[float] = []
+    g_total: List[int] = []
+    g_last: List[int] = []
+    g_cwnd: List[int] = []
+    g_inflight: List[int] = []
+    previous_start = -math.inf
+    open_lbwt = -math.inf
+    gap = BACK_TO_BACK_GAP_SECONDS
+    for t in range(start, end):
+        f = fbt[t]
+        if f < previous_start:
+            raise ValueError(_ORDER_ERROR)
+        previous_start = f
+        lw = lbwt[t]
+        if g_fbt and f <= open_lbwt + gap:
+            a = ack[t]
+            if a > g_ack[-1]:
+                g_ack[-1] = a
+            g_total[-1] += resp[t]
+            g_last[-1] = last[t]
+            if lw > open_lbwt:
+                open_lbwt = lw
+        else:
+            g_fbt.append(f)
+            g_ack.append(ack[t])
+            g_total.append(resp[t])
+            g_last.append(last[t])
+            g_cwnd.append(cwnd[t])
+            g_inflight.append(inflight[t])
+            open_lbwt = lw
+    return g_fbt, g_ack, g_total, g_last, g_cwnd, g_inflight
+
+
+def eligibility_kernel(g_inflight: Sequence[int]) -> List[bool]:
+    """Bytes-in-flight mask over coalesced groups — mirrors
+    :func:`repro.core.coalesce.filter_eligible`.
+
+    ``g_inflight`` holds each group's *opening* record's bytes in flight.
+    The first group is always eligible (handshake/TLS bytes, not a prior
+    response).
+    """
+    return [
+        position == 0 or opener_inflight == 0
+        for position, opener_inflight in enumerate(g_inflight)
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Per-transaction model kernels (§§3.2.2–3.2.3) — array forms of
+# repro.core.goodput, for property testing and reuse; assess_kernel
+# inlines the same expressions on the hot path.
+# --------------------------------------------------------------------- #
+def rounds_kernel(total: Sequence[int], wstart: Sequence[int]) -> List[int]:
+    """Eq. (1) ideal round trips per element — mirrors ``ideal_round_trips``."""
+    ceil = math.ceil
+    log2 = math.log2
+    out = []
+    for total_bytes, wstart_bytes in zip(total, wstart):
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        if wstart_bytes <= 0:
+            raise ValueError("wstart_bytes must be positive")
+        m = ceil(log2(total_bytes / wstart_bytes + 1.0) - 1e-12)
+        out.append(m if m > 1 else 1)
+    return out
+
+
+def next_wstart_kernel(total: Sequence[int], wstart: Sequence[int]) -> List[int]:
+    """Ideal post-transaction cwnd per element — mirrors ``ideal_wstart``."""
+    pow2 = _POW2
+    out = []
+    for m, wstart_bytes in zip(rounds_kernel(total, wstart), wstart):
+        if m > _MAX_ROUNDS:
+            raise ValueError(_ROUNDS_ERROR)
+        out.append(pow2[m - 1] * wstart_bytes)
+    return out
+
+
+def gtestable_kernel(
+    total: Sequence[int], wstart: Sequence[int], min_rtt: Sequence[float]
+) -> List[float]:
+    """Eq. (3) max testable goodput per element — mirrors
+    ``max_testable_goodput`` (bytes/s)."""
+    pow2 = _POW2
+    out = []
+    for m, total_bytes, wstart_bytes, rtt in zip(
+        rounds_kernel(total, wstart), total, wstart, min_rtt
+    ):
+        if rtt <= 0:
+            raise ValueError("min_rtt_seconds must be positive")
+        if m == 1:
+            best = total_bytes
+        else:
+            if m - 1 > _MAX_ROUNDS:
+                raise ValueError(_ROUNDS_ERROR)
+            penultimate = pow2[m - 2] * wstart_bytes
+            final_round = total_bytes - wstart_bytes * (pow2[m - 1] - 1)
+            best = penultimate if penultimate > final_round else final_round
+        out.append(best / rtt)
+    return out
+
+
+def tmodel_kernel(
+    rate: float,
+    total: Sequence[int],
+    wstart: Sequence[int],
+    min_rtt: Sequence[float],
+) -> List[float]:
+    """Tmodel(R) per element — mirrors ``model_transfer_time`` (seconds)."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    pow2 = _POW2
+    ceil = math.ceil
+    log2 = math.log2
+    out = []
+    for m, total_bytes, wstart_bytes, rtt in zip(
+        rounds_kernel(total, wstart), total, wstart, min_rtt
+    ):
+        if rtt <= 0:
+            raise ValueError("min_rtt_seconds must be positive")
+        needed = rate * rtt
+        if wstart_bytes >= needed:
+            n = 0
+        else:
+            n = ceil(log2(needed / wstart_bytes) - 1e-12)
+            if n < 0:
+                n = 0
+            elif n > _MAX_ROUNDS:
+                n = _MAX_ROUNDS
+        if n > m - 1:
+            n = m - 1
+        remaining = total_bytes - wstart_bytes * (pow2[n] - 1)
+        out.append(n * rtt + remaining / rate + rtt)
+    return out
+
+
+def minrtt_ms_kernel(min_rtt_seconds: Sequence[float]) -> List[float]:
+    """MinRTT column in milliseconds — mirrors
+    :attr:`repro.core.records.SessionSample.min_rtt_ms`."""
+    return [seconds * 1000.0 for seconds in min_rtt_seconds]
+
+
+def hdratio_kernel(
+    tested: Sequence[int], achieved: Sequence[int]
+) -> List[Optional[float]]:
+    """Per-session HDratio from funnel counts — mirrors
+    :attr:`repro.core.hdratio.SessionGoodput.hdratio` (``None`` when the
+    session could not test)."""
+    return [
+        (a / t) if t else None for t, a in zip(tested, achieved)
+    ]
+
+
+def minrtt_bucket_kernel(
+    min_rtt_ms: Sequence[float],
+    buckets: Sequence[Tuple[float, float]],
+) -> List[int]:
+    """Bucket index per MinRTT value — mirrors the Figure-7 row loop
+    (:func:`repro.pipeline.experiments.fig7_rtt_vs_hdratio`): first bucket
+    whose upper bound admits the value, ``-1`` when none does (unreachable
+    while the last bucket is open-ended, kept for bit-fidelity with the
+    row loop's fallthrough)."""
+    out = []
+    for value in min_rtt_ms:
+        index = -1
+        for position, bounds in enumerate(buckets):
+            if value <= bounds[1]:
+                index = position
+                break
+        out.append(index)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Fused per-session assessment — mirrors repro.core.hdratio._assess_session
+# --------------------------------------------------------------------- #
+def assess_kernel(
+    g_fbt: Sequence[float],
+    g_ack: Sequence[float],
+    g_total: Sequence[int],
+    g_last: Sequence[int],
+    g_cwnd: Sequence[int],
+    eligible: Sequence[bool],
+    min_rtt_seconds: float,
+    target_rate: float = HD_GOODPUT_BYTES_PER_SEC,
+    compute_naive: bool = False,
+) -> Tuple[int, int, int]:
+    """(tested, achieved, naive_achieved) over coalesced groups.
+
+    Walks the eligible groups in order, chaining the ideal Wstart exactly
+    like the row path's ``_assess_session``: a group whose delayed-ACK
+    corrected size is non-positive only grows the chain; every other group
+    is assessed for capability (Gtestable vs target) and, when capable,
+    for achievement (Ttotal vs Tmodel). ``naive_achieved`` applies the §4
+    ablation's ``Btotal/Ttotal`` criterion under the same capability gate;
+    it is only computed when ``compute_naive`` is set (it is independent of
+    the model verdict, so one pass yields both).
+    """
+    pow2 = _POW2
+    ceil = math.ceil
+    log2 = math.log2
+    tested = 0
+    achieved = 0
+    naive_achieved = 0
+    prev_ideal = 0
+    for gi in range(len(g_fbt)):
+        if not eligible[gi]:
+            continue
+        cw = g_cwnd[gi]
+        total_bytes = g_total[gi] - g_last[gi]
+        if total_bytes <= 0:
+            # Single-packet group: nothing left after the delayed-ACK
+            # correction; it still grows the ideal window chain.
+            if cw > prev_ideal:
+                prev_ideal = cw
+            continue
+        wstart = cw if cw > prev_ideal else prev_ideal
+        m = ceil(log2(total_bytes / wstart + 1.0) - 1e-12)
+        if m < 1:
+            m = 1
+        if m == 1:
+            best = total_bytes
+        else:
+            if m - 1 > _MAX_ROUNDS:
+                raise ValueError(_ROUNDS_ERROR)
+            penultimate = pow2[m - 2] * wstart
+            final_round = total_bytes - wstart * (pow2[m - 1] - 1)
+            best = penultimate if penultimate > final_round else final_round
+        testable = best / min_rtt_seconds
+        if m > _MAX_ROUNDS:
+            raise ValueError(_ROUNDS_ERROR)
+        prev_ideal = pow2[m - 1] * wstart
+        if testable < target_rate:
+            continue
+        tested += 1
+        transfer = g_ack[gi] - g_fbt[gi]
+        needed = target_rate * min_rtt_seconds
+        if wstart >= needed:
+            n = 0
+        else:
+            n = ceil(log2(needed / wstart) - 1e-12)
+            if n < 0:
+                n = 0
+            elif n > _MAX_ROUNDS:
+                n = _MAX_ROUNDS
+        if n > m - 1:
+            n = m - 1
+        remaining = total_bytes - wstart * (pow2[n] - 1)
+        model_time = n * min_rtt_seconds + remaining / target_rate + min_rtt_seconds
+        if transfer <= model_time:
+            achieved += 1
+        if compute_naive and transfer > 0 and total_bytes / transfer >= target_rate:
+            naive_achieved += 1
+    return tested, achieved, naive_achieved
+
+
+class FunnelCounts(NamedTuple):
+    """One session's §3.2 funnel, batch-engine form.
+
+    Field-for-field the counts :class:`repro.core.hdratio.SessionGoodput`
+    carries (``raw_count`` is implied by the caller's slice length), plus
+    the ablation's ``naive_achieved``.
+    """
+
+    tested: int
+    achieved: int
+    eligible: int
+    coalesced: int
+    naive_achieved: int
+
+    @property
+    def hdratio(self) -> Optional[float]:
+        if self.tested == 0:
+            return None
+        return self.achieved / self.tested
+
+    @property
+    def naive_hdratio(self) -> Optional[float]:
+        if self.tested == 0:
+            return None
+        return self.naive_achieved / self.tested
+
+
+def funnel_single(
+    fbt: float,
+    ack: float,
+    resp: int,
+    last: int,
+    cwnd: int,
+    min_rtt_seconds: float,
+    target_rate: float = HD_GOODPUT_BYTES_PER_SEC,
+    compute_naive: bool = False,
+) -> Tuple[int, int, int]:
+    """(tested, achieved, naive_achieved) for a single-transaction session.
+
+    The scalar fast path for the dominant case: one record is one coalesced
+    group (nothing to merge, nothing to order-check), always eligible
+    (position 0), with an empty ideal-window chain (``Wstart = Wnic``).
+    Bit-identical to ``session_funnel`` on a one-record slice — the
+    differential harness holds it to that.
+    """
+    if min_rtt_seconds <= 0:
+        raise ValueError("min_rtt_seconds must be positive")
+    total_bytes = resp - last
+    if total_bytes <= 0:
+        return 0, 0, 0
+    pow2 = _POW2
+    m = math.ceil(math.log2(total_bytes / cwnd + 1.0) - 1e-12)
+    if m < 1:
+        m = 1
+    if m == 1:
+        best = total_bytes
+    else:
+        if m - 1 > _MAX_ROUNDS:
+            raise ValueError(_ROUNDS_ERROR)
+        penultimate = pow2[m - 2] * cwnd
+        final_round = total_bytes - cwnd * (pow2[m - 1] - 1)
+        best = penultimate if penultimate > final_round else final_round
+    testable = best / min_rtt_seconds
+    if m > _MAX_ROUNDS:
+        raise ValueError(_ROUNDS_ERROR)
+    if testable < target_rate:
+        return 0, 0, 0
+    transfer = ack - fbt
+    needed = target_rate * min_rtt_seconds
+    if cwnd >= needed:
+        n = 0
+    else:
+        n = math.ceil(math.log2(needed / cwnd) - 1e-12)
+        if n < 0:
+            n = 0
+        elif n > _MAX_ROUNDS:
+            n = _MAX_ROUNDS
+    if n > m - 1:
+        n = m - 1
+    remaining = total_bytes - cwnd * (pow2[n] - 1)
+    model_time = (
+        n * min_rtt_seconds + remaining / target_rate + min_rtt_seconds
+    )
+    achieved = 1 if transfer <= model_time else 0
+    naive_achieved = 0
+    if compute_naive and transfer > 0 and total_bytes / transfer >= target_rate:
+        naive_achieved = 1
+    return 1, achieved, naive_achieved
+
+
+def session_funnel(
+    fbt: Sequence[float],
+    ack: Sequence[float],
+    resp: Sequence[int],
+    last: Sequence[int],
+    cwnd: Sequence[int],
+    inflight: Sequence[int],
+    lbwt: Sequence[float],
+    start: int,
+    end: int,
+    min_rtt_seconds: float,
+    target_rate: float = HD_GOODPUT_BYTES_PER_SEC,
+    compute_naive: bool = False,
+) -> FunnelCounts:
+    """Full §3.2 funnel for one session's ``[start, end)`` column slice.
+
+    Composes :func:`coalesce_kernel` → :func:`eligibility_kernel` →
+    :func:`assess_kernel` in the row path's order
+    (:func:`repro.core.hdratio.session_goodput`), including its
+    ``min_rtt_seconds`` guard.
+    """
+    if min_rtt_seconds <= 0:
+        raise ValueError("min_rtt_seconds must be positive")
+    g_fbt, g_ack, g_total, g_last, g_cwnd, g_inflight = coalesce_kernel(
+        fbt, ack, resp, last, cwnd, inflight, lbwt, start, end
+    )
+    eligible = eligibility_kernel(g_inflight)
+    tested, achieved, naive_achieved = assess_kernel(
+        g_fbt,
+        g_ack,
+        g_total,
+        g_last,
+        g_cwnd,
+        eligible,
+        min_rtt_seconds,
+        target_rate,
+        compute_naive,
+    )
+    return FunnelCounts(
+        tested=tested,
+        achieved=achieved,
+        eligible=sum(eligible),
+        coalesced=len(g_fbt),
+        naive_achieved=naive_achieved,
+    )

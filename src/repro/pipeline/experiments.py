@@ -47,6 +47,7 @@ def dataset_from_source(
     max_retries: int = 2,
     retry_backoff: float = 0.05,
     strict: bool = False,
+    engine: str = "row",
 ) -> StudyDataset:
     """Build the :class:`StudyDataset` every figure driver consumes.
 
@@ -59,6 +60,10 @@ def dataset_from_source(
     ``retry_backoff``, and ``strict`` set the sharded pipeline's fault
     policy (retry, then quarantine — or fail fast under ``strict``); see
     :class:`repro.pipeline.parallel.ParallelOptions`.
+
+    ``engine`` selects the row fold (``"row"``, the oracle) or the
+    column-batch kernels (``"batch"``, :mod:`repro.kernels`); outputs are
+    byte-identical either way (``tests/test_batch_equivalence.py``).
     """
     from repro.pipeline.parallel import ParallelOptions, build_dataset
 
@@ -81,6 +86,7 @@ def dataset_from_source(
             compute_naive=compute_naive,
             window_seconds=window_seconds,
             options=options,
+            engine=engine,
         )
 
 

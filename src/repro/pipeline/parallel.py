@@ -302,11 +302,17 @@ class _ShardTask:
     #: Planned sample count (None when the plan cannot know it, e.g. a
     #: JSONL byte-range chunk). Feeds the degraded ledger's loss estimate.
     expected_rows: Optional[int] = None
+    #: Analysis engine: ``"row"`` (the oracle StudyDataset fold) or
+    #: ``"batch"`` (column kernels, :mod:`repro.kernels`). Both produce
+    #: the same ShardResult shape, so retry/quarantine/merge are shared.
+    engine: str = "row"
 
 
 def _run_shard(task: _ShardTask) -> ShardResult:
-    """Ingest one partition through the ordinary ``StudyDataset`` fold."""
+    """Ingest one partition through the selected engine's fold."""
     faultinject.check_shard(task.ordinal)
+    if task.engine == "batch":
+        return _run_shard_batch(task)
     start = time.perf_counter()
     dataset = StudyDataset(**task.dataset_kwargs)
     if task.chunk is not None:
@@ -330,6 +336,39 @@ def _run_shard(task: _ShardTask) -> ShardResult:
     result.aggregations = [
         (first_seen[key], key, aggregations[key]) for key in aggregations
     ]
+    result.wall_seconds = time.perf_counter() - start
+    return result
+
+
+def _run_shard_batch(task: _ShardTask) -> ShardResult:
+    """Ingest one partition through the column-batch kernels.
+
+    Same inputs, same ShardResult contract as the row fold — the batch
+    ingestor's finalized rows/aggregations are already in the (order key,
+    payload) shapes :func:`_merge_results` consumes, so the merger cannot
+    tell the engines apart.
+    """
+    from repro.kernels.engine import BatchIngestor, batches_for_chunk, batches_from_pairs
+
+    start = time.perf_counter()
+    ingestor = BatchIngestor(**task.dataset_kwargs)
+    if task.chunk is not None:
+        batches = batches_for_chunk(task.chunk, metrics=ingestor.metrics)
+    else:
+        batches = batches_from_pairs(iter(task.indexed_samples or []))
+    samples_ingested = 0
+    for batch in batches:
+        samples_ingested += len(batch)
+        ingestor.ingest_batch(batch)
+    rows, aggregations = ingestor.finalize()
+    result = ShardResult(
+        ordinal=task.ordinal,
+        rows=rows,
+        aggregations=aggregations,
+        filter_stats=ingestor.filter_stats,
+        metrics=ingestor.metrics,
+        samples_ingested=samples_ingested,
+    )
     result.wall_seconds = time.perf_counter() - start
     return result
 
@@ -479,6 +518,7 @@ def build_dataset(
     compute_naive: bool = False,
     window_seconds: float = 900.0,
     options: Optional[ParallelOptions] = None,
+    engine: str = "row",
 ) -> StudyDataset:
     """Build a :class:`StudyDataset` from a trace file or sample stream.
 
@@ -489,6 +529,12 @@ def build_dataset(
     executed per ``options``, and merged back into a dataset whose state is
     bit-identical to the serial pass.
 
+    ``engine`` selects the analysis path: ``"row"`` is the per-record
+    oracle fold; ``"batch"`` runs the same methodology over column arrays
+    (:mod:`repro.kernels`) with byte-identical reports, figures, and data
+    counters — the equivalence the differential suite enforces
+    (``tests/test_batch_equivalence.py``).
+
     Sharded runs tolerate shard failures per the options' retry policy:
     shards that exhaust their retries under non-strict mode are quarantined
     and the returned dataset's ``degraded`` attribute holds the
@@ -498,6 +544,8 @@ def build_dataset(
     ``fault.samples_lost``, ``fault.partitions_skipped``) only when
     non-zero, so clean manifests are unchanged.
     """
+    if engine not in ("row", "batch"):
+        raise ValueError(f"engine must be 'row' or 'batch', not {engine!r}")
     dataset_kwargs = dict(
         study_windows=study_windows,
         keep_response_sizes=keep_response_sizes,
@@ -511,11 +559,25 @@ def build_dataset(
     with span("pipeline.ingest"):
         if options.effective_shards == 1 and options.executor == "serial":
             with span("serial"):
-                dataset.ingest(
-                    read_samples(source, metrics=dataset.metrics)
-                    if is_path
-                    else source
-                )
+                if engine == "batch":
+                    from repro.kernels.engine import (
+                        BatchIngestor,
+                        fold_into_dataset,
+                        iter_batches,
+                    )
+
+                    ingestor = BatchIngestor(**dataset_kwargs)
+                    for batch in iter_batches(
+                        source, metrics=ingestor.metrics
+                    ):
+                        ingestor.ingest_batch(batch)
+                    fold_into_dataset(dataset, ingestor)
+                else:
+                    dataset.ingest(
+                        read_samples(source, metrics=dataset.metrics)
+                        if is_path
+                        else source
+                    )
         else:
             with span("plan"):
                 if is_path:
@@ -525,6 +587,7 @@ def build_dataset(
                             chunk=chunk,
                             ordinal=index,
                             expected_rows=_planned_rows(chunk),
+                            engine=engine,
                         )
                         for index, chunk in enumerate(
                             plan_chunks(source, options.effective_shards)
@@ -544,6 +607,7 @@ def build_dataset(
                             indexed_samples=shard,
                             ordinal=index,
                             expected_rows=len(shard),
+                            engine=engine,
                         )
                         for index, shard in enumerate(shards)
                     ]

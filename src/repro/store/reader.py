@@ -53,7 +53,7 @@ from repro.store.errors import (
     StoreError,
     TruncatedPartitionError,
 )
-from repro.store.schema import SCHEMA_VERSION, decode_rows
+from repro.store.schema import SCHEMA_VERSION, decode_columns, decode_rows
 from repro.store.writer import (
     DATA_NAME,
     MANIFEST_NAME,
@@ -241,6 +241,59 @@ class TraceStoreReader:
             metrics.inc("store.bytes.read", partition["length"])
             metrics.inc("store.rows.decoded", len(rows))
         return rows
+
+    def decode_partition_columns(self, partition: dict, metrics=None):
+        """Column fast path: one partition as a :class:`ColumnBatch`.
+
+        Same read, CRC verification, typed error attribution, and counters
+        as :meth:`decode_partition` — but the decoded columns are handed to
+        the batch engine directly instead of being assembled into
+        ``SessionSample`` rows. ``io.rows_read`` is counted here per
+        decoded row, so a column scan's ledger matches a row scan's.
+        """
+        from repro.kernels.columns import ColumnBatch
+
+        payload = self._read_partition_payload(partition)
+        self._verify_blocks(payload, partition, metrics)
+        try:
+            decoded = decode_columns(payload, partition["blocks"])
+            batch = ColumnBatch.from_store_columns(decoded)
+        except ColumnDecodeError as error:
+            raise self._block_error(
+                partition, error.column, error.detail
+            ) from error
+        except (IndexError, KeyError, StopIteration) as error:
+            # Column assembly failures (cursor overruns, short child
+            # columns): same attribution rule as the row decoder.
+            raise self._block_error(
+                partition, None, f"row assembly failed ({error!r})"
+            ) from error
+        if metrics is not None:
+            metrics.inc("store.partitions.scanned")
+            metrics.inc("store.bytes.read", partition["length"])
+            metrics.inc("store.rows.decoded", len(batch))
+            if len(batch):
+                metrics.inc("io.rows_read", len(batch))
+        return batch
+
+    def read_column_batches(
+        self,
+        metrics=None,
+        partition_ids: Optional[Iterable[int]] = None,
+    ):
+        """Yield one :class:`ColumnBatch` per partition, in manifest order.
+
+        ``partition_ids`` restricts the scan (the shard-aligned path).
+        Batches carry the store's ``seq`` column as their order keys, so a
+        consumer that sorts on them reconstructs exact stream order — the
+        same contract :meth:`scan_pairs` satisfies row by row.
+        """
+        candidates = self.partitions
+        if partition_ids is not None:
+            wanted = set(partition_ids)
+            candidates = [p for p in candidates if p["id"] in wanted]
+        for partition in candidates:
+            yield self.decode_partition_columns(partition, metrics)
 
     def _read_partition_payload(self, partition: dict) -> bytes:
         faultinject.check_io(self.data_path)

@@ -55,7 +55,13 @@ from repro.store.encoding import (
 )
 from repro.store.errors import ColumnDecodeError
 
-__all__ = ["SCHEMA_VERSION", "COLUMNS", "encode_rows", "decode_rows"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "COLUMNS",
+    "encode_rows",
+    "decode_columns",
+    "decode_rows",
+]
 
 SCHEMA_VERSION = 1
 
@@ -221,9 +227,15 @@ def decode_rows(
             gc.enable()
 
 
-def _decode_rows(
-    payload: bytes, blocks: List[dict]
-) -> List[Tuple[int, SessionSample]]:
+def decode_columns(payload: bytes, blocks: List[dict]) -> Dict[str, list]:
+    """Decode a partition payload into the schema's flat column lists.
+
+    The first phase of :func:`decode_rows`, exposed on its own for the
+    batch engine's column fast path
+    (:meth:`repro.store.TraceStoreReader.decode_partition_columns`): the
+    blocks are decompressed and decoded with per-column error attribution
+    (:class:`ColumnDecodeError`), but no row objects are assembled.
+    """
     view = memoryview(payload)
     encodings = dict(COLUMNS)
     decoded: Dict[str, list] = {}
@@ -249,6 +261,13 @@ def _decode_rows(
     missing = [name for name, _ in COLUMNS if name not in decoded]
     if missing:
         raise ColumnDecodeError(missing[0], "column block missing")
+    return decoded
+
+
+def _decode_rows(
+    payload: bytes, blocks: List[dict]
+) -> List[Tuple[int, SessionSample]]:
+    decoded = decode_columns(payload, blocks)
 
     # Enum lookup tables beat Enum.__call__ in the per-row loop.
     http_versions = list(

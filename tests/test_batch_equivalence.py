@@ -1,0 +1,210 @@
+"""Differential oracle: the batch engine must equal the row engine exactly.
+
+The row path (`StudyDataset.ingest` and its parallel fold) is the reference
+implementation of the §3.2 methodology; the column-batch kernels in
+:mod:`repro.kernels` are a from-scratch reimplementation of the same math
+over decoded column arrays. This harness asserts the two engines produce
+**identical** output — rows, filter accounting, observability counters,
+gauges, aggregation contents, figure/report numbers, and run-manifest
+accounting — across the full execution matrix:
+
+    {serial, workers=4} x {jsonl trace, columnar store}
+
+on the committed golden trace, plus in-memory sources and the
+``compute_naive`` ablation. Everything here is exact equality (``==`` on
+floats): the kernels are required to perform the same float operations in
+the same order as the row path, not merely approximate it. When one of
+these tests fails, ``tests/test_kernels_property.py`` names the kernel.
+"""
+
+import pathlib
+
+import pytest
+
+from tests.helpers import make_trace_samples
+from repro.obs import RunManifest
+from repro.pipeline import (
+    ParallelOptions,
+    StudyDataset,
+    ablation_naive_goodput,
+    build_dataset,
+    fig1_session_behaviour,
+    fig2_transfer_sizes,
+    fig3_transaction_counts,
+    fig6_global_performance,
+    fig7_rtt_vs_hdratio,
+    fig8_degradation,
+    fig9_opportunity,
+    fig10_relationship_comparison,
+    read_samples,
+    table1_temporal_classes,
+    table2_opportunity_relationships,
+)
+from repro.store import write_store
+
+pytestmark = pytest.mark.kernels
+
+DATA = pathlib.Path(__file__).parent / "data"
+TRACE = DATA / "golden_trace.jsonl.gz"
+STUDY_WINDOWS = 4
+
+SERIAL = None
+WORKERS4 = {"workers": 4, "shards": 4, "executor": "thread"}
+
+
+@pytest.fixture(scope="module")
+def golden_store(tmp_path_factory):
+    """The golden trace converted once into a columnar store."""
+    store = tmp_path_factory.mktemp("equivalence") / "golden.store"
+    write_store(store, read_samples(TRACE))
+    return store
+
+
+def build(source, engine, options=None, **kwargs):
+    parallel = ParallelOptions(**options) if options else None
+    return build_dataset(
+        source,
+        study_windows=STUDY_WINDOWS,
+        engine=engine,
+        options=parallel,
+        **kwargs,
+    )
+
+
+def dataset_facts(dataset: StudyDataset, store_source: bool):
+    """Everything deterministic a dataset exposes, as one comparable value.
+
+    For store sources the *within*-aggregation raw sample order is not
+    pinned (partitions interleave sequence ranges, and the parallel row
+    path already merges them piece-wise), so per-aggregation lists are
+    compared as sorted multisets there; jsonl and in-memory sources are
+    compared with raw order intact. Every derived statistic is an order
+    statistic or a sum, so the figure-level comparisons below stay exact
+    either way.
+    """
+    normalize = sorted if store_source else list
+    return (
+        dataset.rows,
+        dataset.filter_stats,
+        dataset.metrics.counters,
+        dataset.metrics.gauges,
+        [key for key, _ in dataset.store.items()],
+        dataset.store.windows(),
+        sorted(dataset.store.groups(), key=str),
+        [
+            (
+                aggregation.group,
+                aggregation.window,
+                aggregation.route,
+                normalize(aggregation.min_rtts_ms),
+                normalize(aggregation.hdratios),
+                aggregation.traffic_bytes,
+                aggregation.session_count,
+            )
+            for aggregation in dataset.store.all_aggregations()
+        ],
+    )
+
+
+def figure_facts(dataset: StudyDataset):
+    """All figure/table driver outputs (dataclasses with exact equality)."""
+    return (
+        fig1_session_behaviour(dataset),
+        fig2_transfer_sizes(dataset),
+        fig3_transaction_counts(dataset),
+        fig6_global_performance(dataset),
+        fig7_rtt_vs_hdratio(dataset),
+        fig8_degradation(dataset),
+        fig9_opportunity(dataset),
+        fig10_relationship_comparison(dataset),
+        table1_temporal_classes(dataset),
+        table2_opportunity_relationships(dataset),
+    )
+
+
+def manifest_facts(dataset: StudyDataset):
+    """The run-manifest view of a dataset: accounting + degradation."""
+    manifest = RunManifest.collect("analyze", registry=dataset.metrics)
+    return manifest.sample_accounting(), manifest.degraded
+
+
+def assert_engines_equal(source, options, store_source=False, **kwargs):
+    row = build(source, "row", options, **kwargs)
+    batch = build(source, "batch", options, **kwargs)
+    assert dataset_facts(batch, store_source) == dataset_facts(row, store_source)
+    assert figure_facts(batch) == figure_facts(row)
+    assert manifest_facts(batch) == manifest_facts(row)
+
+
+class TestGoldenTraceMatrix:
+    """The ISSUE-mandated matrix: {serial, workers=4} x {jsonl, store}."""
+
+    def test_jsonl_serial(self):
+        assert_engines_equal(TRACE, SERIAL)
+
+    def test_jsonl_workers4(self):
+        assert_engines_equal(TRACE, WORKERS4)
+
+    def test_store_serial(self, golden_store):
+        assert_engines_equal(golden_store, SERIAL, store_source=True)
+
+    def test_store_workers4(self, golden_store):
+        assert_engines_equal(golden_store, WORKERS4, store_source=True)
+
+
+class TestCrossSourceConsistency:
+    """Batch over a store must also equal row over the original jsonl,
+    modulo the store.* read counters that only a store source emits."""
+
+    def test_batch_store_equals_row_jsonl(self, golden_store):
+        row = build(TRACE, "row")
+        batch = build(golden_store, "batch")
+        assert batch.rows == row.rows
+        assert batch.filter_stats == row.filter_stats
+        row_counters = {
+            name: value
+            for name, value in row.metrics.counters.items()
+            if not name.startswith("store.")
+        }
+        batch_counters = {
+            name: value
+            for name, value in batch.metrics.counters.items()
+            if not name.startswith("store.")
+        }
+        assert batch_counters == row_counters
+        assert figure_facts(batch) == figure_facts(row)
+
+
+class TestInMemoryAndModes:
+    """In-memory sources, the naive ablation, and dataset-shape knobs."""
+
+    def test_in_memory_serial(self):
+        samples = make_trace_samples(400)
+        assert_engines_equal(samples, SERIAL)
+
+    def test_in_memory_sharded(self):
+        samples = make_trace_samples(400)
+        assert_engines_equal(samples, WORKERS4)
+
+    def test_compute_naive_ablation(self):
+        samples = make_trace_samples(300)
+        row = build(samples, "row", compute_naive=True)
+        batch = build(samples, "batch", compute_naive=True)
+        assert dataset_facts(batch, False) == dataset_facts(row, False)
+        assert ablation_naive_goodput(batch) == ablation_naive_goodput(row)
+
+    def test_without_response_sizes(self):
+        samples = make_trace_samples(300)
+        assert_engines_equal(samples, SERIAL, keep_response_sizes=False)
+
+    def test_empty_source(self):
+        row = build([], "row")
+        batch = build([], "batch")
+        assert dataset_facts(batch, False) == dataset_facts(row, False)
+        assert manifest_facts(batch) == manifest_facts(row)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be 'row' or 'batch'"):
+            build_dataset([], study_windows=1, engine="vector")

@@ -1,0 +1,444 @@
+"""Per-kernel properties: each batch kernel equals its row implementation.
+
+`tests/test_batch_equivalence.py` asserts whole-pipeline equality; these
+properties localize a divergence to the kernel that caused it. Every
+comparison is exact (`==` on floats): the kernels must perform the same
+float operations in the same order as the row functions, so any drift —
+a reassociated sum, a different epsilon, a reordered guard — fails here
+with the kernel's name in the test id.
+
+Explicit edge cases the generators may under-sample (empty batches,
+single-row sessions, all-ineligible sessions) get dedicated tests.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coalesce import (
+    coalesce_transactions,
+    filter_eligible,
+)
+from repro.core.goodput import (
+    ideal_round_trips,
+    ideal_wstart,
+    max_testable_goodput,
+    model_transfer_time,
+)
+from repro.core.hdratio import naive_hdratio, session_goodput
+from repro.core.records import TransactionRecord
+from repro.kernels import (
+    assess_kernel,
+    coalesce_kernel,
+    eligibility_kernel,
+    funnel_single,
+    gtestable_kernel,
+    hdratio_kernel,
+    minrtt_bucket_kernel,
+    minrtt_ms_kernel,
+    next_wstart_kernel,
+    rounds_kernel,
+    session_funnel,
+    tmodel_kernel,
+)
+from repro.pipeline.experiments import MINRTT_BUCKETS
+
+pytestmark = pytest.mark.kernels
+
+common = settings(deadline=None, max_examples=150)
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+# Gaps mix "clearly separate" with "overlapping/back-to-back" magnitudes
+# so the coalescing branch and the 1e-4 boundary both get exercised.
+gaps = st.one_of(
+    st.floats(min_value=0.0, max_value=0.3),
+    st.floats(min_value=0.0, max_value=5e-5),
+    st.just(0.0),
+    st.just(1e-4),
+)
+write_spans = st.one_of(st.none(), st.floats(min_value=0.0, max_value=0.1))
+ack_spans = st.floats(min_value=0.0, max_value=0.8)
+byte_counts = st.integers(min_value=1, max_value=2_000_000)
+cwnds = st.integers(min_value=1, max_value=200_000)
+inflights = st.sampled_from((0, 0, 0, 1, 17, 40_000))
+rtts = st.floats(min_value=1e-4, max_value=0.5)
+
+
+@st.composite
+def transaction_lists(draw, min_size=0, max_size=10):
+    """Ordered TransactionRecord lists spanning coalesce/eligibility space."""
+    specs = draw(
+        st.lists(
+            st.tuples(
+                gaps, ack_spans, byte_counts, st.floats(0.0, 1.0),
+                cwnds, inflights, write_spans,
+            ),
+            min_size=min_size,
+            max_size=max_size,
+        )
+    )
+    records = []
+    clock = 1_000.0
+    for gap, ack_span, resp, last_frac, cwnd, inflight, write_span in specs:
+        clock += gap
+        records.append(
+            TransactionRecord(
+                first_byte_time=clock,
+                ack_time=clock + ack_span,
+                response_bytes=resp,
+                last_packet_bytes=min(resp, int(resp * last_frac)),
+                cwnd_bytes_at_first_byte=cwnd,
+                bytes_in_flight_at_start=inflight,
+                last_byte_write_time=(
+                    None if write_span is None else clock + write_span
+                ),
+            )
+        )
+    return records
+
+
+def columns_of(records):
+    """Shred records into the seven per-transaction kernel columns."""
+    return (
+        [r.first_byte_time for r in records],
+        [r.ack_time for r in records],
+        [r.response_bytes for r in records],
+        [r.last_packet_bytes for r in records],
+        [r.cwnd_bytes_at_first_byte for r in records],
+        [r.bytes_in_flight_at_start for r in records],
+        [
+            r.first_byte_time
+            if r.last_byte_write_time is None
+            else r.last_byte_write_time
+            for r in records
+        ],
+    )
+
+
+def row_groups(records):
+    """The row path's coalesced groups, as the kernel's column tuple."""
+    coalesced = coalesce_transactions(records)
+    opener_inflight = []
+    opener_index = 0
+    for txn in coalesced:
+        opener_inflight.append(records[opener_index].bytes_in_flight_at_start)
+        opener_index += txn.member_count
+    return (
+        [t.first_byte_time for t in coalesced],
+        [t.ack_time for t in coalesced],
+        [t.total_bytes for t in coalesced],
+        [t.last_packet_bytes for t in coalesced],
+        [t.cwnd_bytes_at_first_byte for t in coalesced],
+        opener_inflight,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Coalescing and eligibility
+# --------------------------------------------------------------------- #
+class TestCoalesceKernel:
+    @common
+    @given(transaction_lists())
+    def test_matches_row_coalescing(self, records):
+        assert coalesce_kernel(*columns_of(records)) == row_groups(records)
+
+    @common
+    @given(transaction_lists(min_size=2))
+    def test_ordering_violation_raises_like_row(self, records):
+        disordered = list(reversed(records))
+        if disordered[0].first_byte_time <= disordered[-1].first_byte_time:
+            return  # all-equal timestamps: no violation to detect
+        with pytest.raises(ValueError, match="ordered by first_byte_time"):
+            coalesce_transactions(disordered)
+        with pytest.raises(ValueError, match="ordered by first_byte_time"):
+            coalesce_kernel(*columns_of(disordered))
+
+    @common
+    @given(transaction_lists())
+    def test_eligibility_matches_filter_eligible(self, records):
+        coalesced = coalesce_transactions(records)
+        eligible_row = filter_eligible(records, coalesced)
+        groups = coalesce_kernel(*columns_of(records))
+        mask = eligibility_kernel(groups[5])
+        kept = [
+            (groups[0][i], groups[1][i], groups[2][i], groups[3][i], groups[4][i])
+            for i, keep in enumerate(mask)
+            if keep
+        ]
+        assert kept == [
+            (
+                t.first_byte_time,
+                t.ack_time,
+                t.total_bytes,
+                t.last_packet_bytes,
+                t.cwnd_bytes_at_first_byte,
+            )
+            for t in eligible_row
+        ]
+
+
+# --------------------------------------------------------------------- #
+# Scalar math kernels
+# --------------------------------------------------------------------- #
+class TestScalarKernels:
+    @common
+    @given(
+        st.lists(st.tuples(byte_counts, cwnds, rtts), max_size=16),
+        st.floats(min_value=1e3, max_value=1e9),
+    )
+    def test_rounds_wstart_gtestable_tmodel(self, triples, rate):
+        total = [t for t, _, _ in triples]
+        wstart = [w for _, w, _ in triples]
+        rtt = [r for _, _, r in triples]
+        assert rounds_kernel(total, wstart) == [
+            ideal_round_trips(t, w) for t, w in zip(total, wstart)
+        ]
+        assert next_wstart_kernel(total, wstart) == [
+            ideal_wstart(t, w) for t, w in zip(total, wstart)
+        ]
+        assert gtestable_kernel(total, wstart, rtt) == [
+            max_testable_goodput(t, w, r) for t, w, r in zip(total, wstart, rtt)
+        ]
+        assert tmodel_kernel(rate, total, wstart, rtt) == [
+            model_transfer_time(rate, t, w, r)
+            for t, w, r in zip(total, wstart, rtt)
+        ]
+
+    @common
+    @given(st.lists(rtts, max_size=16))
+    def test_minrtt_ms(self, seconds):
+        assert minrtt_ms_kernel(seconds) == [s * 1000.0 for s in seconds]
+
+    @common
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)), max_size=16))
+    def test_hdratio(self, pairs):
+        tested = [max(t, a) for t, a in pairs]
+        achieved = [min(t, a) for t, a in pairs]
+        expected = [
+            (a / t) if t else None for t, a in zip(tested, achieved)
+        ]
+        assert hdratio_kernel(tested, achieved) == expected
+
+    @common
+    @given(st.lists(st.floats(min_value=0.0, max_value=200.0), max_size=16))
+    def test_minrtt_buckets_match_fig7_loop(self, values):
+        def fig7_bucket(value):
+            for position, bounds in enumerate(MINRTT_BUCKETS):
+                if value <= bounds[1]:
+                    return position
+            return -1
+
+        assert minrtt_bucket_kernel(values, MINRTT_BUCKETS) == [
+            fig7_bucket(v) for v in values
+        ]
+
+    def test_rounds_overflow_raises_like_row(self):
+        huge = [1 << 64]
+        with pytest.raises(ValueError, match="round_index implausibly large"):
+            ideal_wstart(huge[0], 1)
+        with pytest.raises(ValueError, match="round_index implausibly large"):
+            next_wstart_kernel(huge, [1])
+        with pytest.raises(ValueError, match="round_index implausibly large"):
+            max_testable_goodput(1 << 65, 1, 0.05)
+        with pytest.raises(ValueError, match="round_index implausibly large"):
+            gtestable_kernel([1 << 65], [1], [0.05])
+
+    def test_nonpositive_inputs_raise_like_row(self):
+        with pytest.raises(ValueError, match="total_bytes must be positive"):
+            rounds_kernel([0], [1])
+        with pytest.raises(ValueError, match="wstart_bytes must be positive"):
+            rounds_kernel([5], [0])
+        with pytest.raises(ValueError, match="min_rtt_seconds must be positive"):
+            gtestable_kernel([5], [1], [0.0])
+        with pytest.raises(ValueError, match="rate must be positive"):
+            tmodel_kernel(0.0, [5], [1], [0.05])
+
+
+# --------------------------------------------------------------------- #
+# Fused session funnel
+# --------------------------------------------------------------------- #
+class TestSessionFunnel:
+    @common
+    @given(transaction_lists(), rtts)
+    def test_matches_session_goodput(self, records, min_rtt):
+        row = session_goodput(records, min_rtt)
+        funnel = session_funnel(
+            *columns_of(records), 0, len(records), min_rtt
+        )
+        assert funnel.tested == row.tested
+        assert funnel.achieved == row.achieved
+        assert funnel.eligible == row.eligible
+        assert funnel.coalesced == row.coalesced_count
+        assert funnel.hdratio == row.hdratio
+
+    @common
+    @given(transaction_lists(), rtts)
+    def test_naive_matches_naive_hdratio(self, records, min_rtt):
+        funnel = session_funnel(
+            *columns_of(records), 0, len(records), min_rtt, compute_naive=True
+        )
+        assert funnel.naive_hdratio == naive_hdratio(records, min_rtt)
+
+    @common
+    @given(transaction_lists(), rtts, st.floats(min_value=1e3, max_value=1e8))
+    def test_matches_under_varied_target_rate(self, records, min_rtt, rate):
+        row = session_goodput(records, min_rtt, rate)
+        funnel = session_funnel(
+            *columns_of(records), 0, len(records), min_rtt, target_rate=rate
+        )
+        assert (funnel.tested, funnel.achieved) == (row.tested, row.achieved)
+
+    @common
+    @given(
+        transaction_lists(min_size=2, max_size=6),
+        transaction_lists(min_size=1, max_size=4),
+        rtts,
+    )
+    def test_slices_are_independent(self, first, second, min_rtt):
+        """A session's slice of a shared column must assess exactly like
+        the same records in isolation (no state leaks across sessions)."""
+        columns = [a + b for a, b in zip(columns_of(first), columns_of(second))]
+        split = len(first)
+        assert session_funnel(
+            *columns, 0, split, min_rtt
+        ) == session_funnel(*columns_of(first), 0, len(first), min_rtt)
+        assert session_funnel(
+            *columns, split, split + len(second), min_rtt
+        ) == session_funnel(*columns_of(second), 0, len(second), min_rtt)
+
+    @common
+    @given(transaction_lists(min_size=1, max_size=1), rtts)
+    def test_funnel_single_matches_row_and_general_funnel(
+        self, records, min_rtt
+    ):
+        """The scalar single-transaction fast path must agree with both
+        the row path and the general kernel funnel on one-record slices."""
+        record = records[0]
+        row = session_goodput(records, min_rtt)
+        general = session_funnel(
+            *columns_of(records), 0, 1, min_rtt, compute_naive=True
+        )
+        tested, achieved, naive_achieved = funnel_single(
+            record.first_byte_time,
+            record.ack_time,
+            record.response_bytes,
+            record.last_packet_bytes,
+            record.cwnd_bytes_at_first_byte,
+            min_rtt,
+            compute_naive=True,
+        )
+        assert (tested, achieved) == (row.tested, row.achieved)
+        assert (tested, achieved, naive_achieved) == (
+            general.tested,
+            general.achieved,
+            general.naive_achieved,
+        )
+
+    def test_funnel_single_nonpositive_min_rtt_raises_like_row(self):
+        with pytest.raises(ValueError, match="min_rtt_seconds must be positive"):
+            funnel_single(0.0, 0.1, 5_000, 100, 10_000, 0.0)
+
+    def test_nonpositive_min_rtt_raises_like_row(self):
+        records = [
+            TransactionRecord(
+                first_byte_time=0.0,
+                ack_time=0.1,
+                response_bytes=5_000,
+                last_packet_bytes=100,
+                cwnd_bytes_at_first_byte=10_000,
+            )
+        ]
+        with pytest.raises(ValueError, match="min_rtt_seconds must be positive"):
+            session_goodput(records, 0.0)
+        with pytest.raises(ValueError, match="min_rtt_seconds must be positive"):
+            session_funnel(*columns_of(records), 0, 1, 0.0)
+
+
+# --------------------------------------------------------------------- #
+# Explicit edge cases
+# --------------------------------------------------------------------- #
+class TestEdgeCases:
+    def test_empty_batch(self):
+        funnel = session_funnel([], [], [], [], [], [], [], 0, 0, 0.05)
+        assert funnel == (0, 0, 0, 0, 0)
+        assert funnel.hdratio is None
+        assert funnel.naive_hdratio is None
+        assert coalesce_kernel([], [], [], [], [], [], []) == (
+            [], [], [], [], [], []
+        )
+        assert eligibility_kernel([]) == []
+        assert rounds_kernel([], []) == []
+        assert assess_kernel([], [], [], [], [], [], 0.05) == (0, 0, 0)
+
+    def test_single_row_batch(self):
+        record = TransactionRecord(
+            first_byte_time=10.0,
+            ack_time=10.4,
+            response_bytes=900_000,
+            last_packet_bytes=1_200,
+            cwnd_bytes_at_first_byte=30_000,
+        )
+        row = session_goodput([record], 0.04)
+        funnel = session_funnel(*columns_of([record]), 0, 1, 0.04)
+        assert (funnel.tested, funnel.achieved) == (row.tested, row.achieved)
+        assert funnel.coalesced == 1
+        assert funnel.eligible == 1
+
+    def test_all_ineligible_batch(self):
+        """Every group refused by the mask: funnel counts must all be
+        zero even though the columns carry testable transfers."""
+        groups = (
+            [0.0, 5.0],
+            [0.3, 5.3],
+            [500_000, 600_000],
+            [1_000, 1_000],
+            [20_000, 20_000],
+        )
+        mask = [False, False]
+        assert assess_kernel(*groups, mask, 0.05) == (0, 0, 0)
+
+    def test_ineligible_after_first(self):
+        """Openers with bytes in flight: only the first group survives —
+        and the row path agrees."""
+        records = [
+            TransactionRecord(
+                first_byte_time=float(i),
+                ack_time=float(i) + 0.2,
+                response_bytes=400_000,
+                last_packet_bytes=1_000,
+                cwnd_bytes_at_first_byte=25_000,
+                bytes_in_flight_at_start=0 if i == 0 else 9_000,
+            )
+            for i in range(4)
+        ]
+        row = session_goodput(records, 0.05)
+        funnel = session_funnel(*columns_of(records), 0, 4, 0.05)
+        assert funnel.eligible == row.eligible == 1
+        assert (funnel.tested, funnel.achieved) == (row.tested, row.achieved)
+
+    def test_back_to_back_boundary_merges_like_row(self):
+        """A follow-up exactly at the 1e-4 gap merges; just beyond stays."""
+        for gap, expected_groups in ((1e-4, 1), (2.1e-4, 2)):
+            records = [
+                TransactionRecord(
+                    first_byte_time=0.0,
+                    ack_time=0.2,
+                    response_bytes=10_000,
+                    last_packet_bytes=500,
+                    cwnd_bytes_at_first_byte=15_000,
+                    last_byte_write_time=0.1,
+                ),
+                TransactionRecord(
+                    first_byte_time=0.1 + gap,
+                    ack_time=0.4,
+                    response_bytes=20_000,
+                    last_packet_bytes=700,
+                    cwnd_bytes_at_first_byte=15_000,
+                ),
+            ]
+            assert len(coalesce_transactions(records)) == expected_groups
+            groups = coalesce_kernel(*columns_of(records))
+            assert len(groups[0]) == expected_groups
+            assert groups == row_groups(records)
