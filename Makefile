@@ -23,6 +23,11 @@
 #                 per-kernel Hypothesis properties. Also part of tier-1.
 #   bench-analyze - the batch-vs-row analysis-engine bench; writes
 #                 benchmarks/results/BENCH_analyze.json.
+#   test-streaming - just the streaming suite (`streaming` marker): the
+#                 route-monitor window semantics and the ingest
+#                 watermark/replay-equivalence tests. Also part of tier-1.
+#   bench-ingest - the streaming-ingest throughput/seal-latency bench;
+#                 writes benchmarks/results/BENCH_ingest.json.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
@@ -32,15 +37,16 @@ OBS_TESTS = tests/test_obs_registry.py tests/test_obs_tracing.py \
 STORE_TESTS = tests/test_store.py tests/test_store_pipeline.py
 FAULT_TESTS = tests/test_fault_tolerance.py
 KERNEL_TESTS = tests/test_batch_equivalence.py tests/test_kernels_property.py
+STREAMING_TESTS = tests/test_pipeline_streaming.py tests/test_pipeline_ingest.py
 COV_FLOOR = 85
 
-.PHONY: test test-all test-faults test-kernels coverage bench bench-scaling \
-	bench-io bench-analyze
+.PHONY: test test-all test-faults test-kernels test-streaming coverage \
+	bench bench-scaling bench-io bench-analyze bench-ingest
 
 test:
 	$(PYTEST) -x -q
 
-test-all: coverage test-faults test-kernels
+test-all: coverage test-faults test-kernels test-streaming
 	$(PYTEST) -q -m ""
 
 test-faults:
@@ -49,19 +55,22 @@ test-faults:
 test-kernels:
 	$(PYTEST) -q -m kernels
 
+test-streaming:
+	$(PYTEST) -q -m streaming
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
-			$(KERNEL_TESTS) \
+			$(KERNEL_TESTS) $(STREAMING_TESTS) \
 			--cov=repro.obs --cov=repro.store --cov=repro.faultinject \
-			--cov=repro.kernels \
+			--cov=repro.kernels --cov=repro.pipeline.ingest \
 			--cov-report=term-missing \
 			--cov-fail-under=$(COV_FLOOR); \
 	else \
-		echo "pytest-cov not installed; running obs/store/fault/kernel" \
-		     "tests without the $(COV_FLOOR)% floor"; \
+		echo "pytest-cov not installed; running obs/store/fault/kernel/" \
+		     "streaming tests without the $(COV_FLOOR)% floor"; \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
-			$(KERNEL_TESTS); \
+			$(KERNEL_TESTS) $(STREAMING_TESTS); \
 	fi
 
 bench:
@@ -75,3 +84,6 @@ bench-io:
 
 bench-analyze:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_analyze.py
+
+bench-ingest:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_ingest.py

@@ -12,6 +12,10 @@ The subcommands mirror the library's main entry points:
 - ``repro trace`` / ``repro analyze`` — export a synthetic trace and
   re-analyse it later; both formats (JSONL and the columnar store of
   :mod:`repro.store`) are supported, selected by path or ``--format``;
+- ``repro ingest`` — stream a trace (or JSONL on stdin via ``-``) through
+  watermarked incremental windows: sealed windows append to a ``--out``
+  store and the §5 temporal classifier plus degradation alerts run online
+  (DESIGN.md §11);
 - ``repro convert`` — convert a trace between JSONL and the columnar
   store;
 - ``repro verify-store`` — scan a columnar store for corruption
@@ -179,6 +183,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_format_option(analyze, "the trace")
     add_parallel_options(analyze)
     _add_observability_options(analyze)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a trace through watermarked windows, sealing to a "
+        "store and analyzing online",
+    )
+    ingest.add_argument(
+        "trace",
+        help="trace to stream (JSONL or store), or '-' for JSONL on stdin",
+    )
+    ingest.add_argument(
+        "--windows", type=int, default=96,
+        help="nominal number of 15-minute windows the study spans",
+    )
+    ingest.add_argument(
+        "--lateness", type=float, default=None, metavar="SECONDS",
+        dest="lateness",
+        help="allowed event-time lateness before a window seals "
+        "(default: two aggregation windows)",
+    )
+    ingest.add_argument(
+        "--out", default=None, metavar="STORE", dest="out_store",
+        help="append sealed windows to this *.store directory "
+        "(created on first seal)",
+    )
+    ingest.add_argument(
+        "--band-windows", type=int, default=None, dest="band_windows",
+        metavar="N",
+        help="aggregation windows per store partition band for --out",
+    )
+    _add_observability_options(ingest)
 
     convert = sub.add_parser(
         "convert",
@@ -466,6 +501,61 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.obs import active_metrics, merge_into_active
+    from repro.pipeline.ingest import StreamingIngestor
+    from repro.pipeline.io import read_samples, read_samples_stream
+
+    ingestor = StreamingIngestor(
+        study_windows=args.windows,
+        out_store=args.out_store,
+        band_windows=args.band_windows,
+        metrics=active_metrics(),
+        **(
+            {"allowed_lateness_seconds": args.lateness}
+            if args.lateness is not None
+            else {}
+        ),
+    )
+    if args.trace == "-":
+        print("streaming JSONL samples from stdin…")
+        samples = read_samples_stream(sys.stdin, metrics=active_metrics())
+    else:
+        print(f"streaming saved trace {args.trace}…")
+        samples = read_samples(args.trace, metrics=active_metrics())
+    result = ingestor.offer_all(samples).finish()
+    merge_into_active(result.dataset.metrics)
+
+    print(
+        f"{result.samples_offered:,} samples offered; "
+        f"{result.samples_sealed:,} sealed across "
+        f"{result.windows_sealed} window(s) "
+        f"({result.windows_empty} empty); "
+        f"{result.late.count} late sample(s) ledgered"
+    )
+    if args.out_store:
+        print(f"sealed windows appended to {args.out_store}")
+    print(
+        f"{result.dataset.session_count:,} sessions kept; "
+        f"{len(result.alerts)} degradation alert(s)"
+    )
+    for alert in result.alerts[:10]:
+        print(
+            f"ALERT: {alert.group.pop}/{alert.group.prefix}/"
+            f"{alert.group.country} window {alert.window} {alert.metric} "
+            f"+{alert.difference:.2f} (ci_low {alert.ci_low:.2f})"
+        )
+    if len(result.alerts) > 10:
+        print(f"… and {len(result.alerts) - 10} more")
+    counts = result.class_counts()
+    if counts:
+        summary = ", ".join(
+            f"{label}: {count}" for label, count in sorted(counts.items())
+        )
+        print(f"temporal classes so far — {summary}")
+    return 0
+
+
 def _cmd_verify_store(args: argparse.Namespace) -> int:
     from repro.obs import active_metrics
     from repro.store import verify_store
@@ -516,6 +606,7 @@ _COMMANDS = {
     "routing": _cmd_routing,
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
+    "ingest": _cmd_ingest,
     "convert": _cmd_convert,
     "verify-store": _cmd_verify_store,
     "calibrate": _cmd_calibrate,

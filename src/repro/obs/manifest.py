@@ -13,6 +13,10 @@ keeps *data facts* and *execution facts* in separate sections:
 - ``degraded`` — what this execution lost to quarantined shards (the
   ``fault.*`` counters, summarized; see DESIGN.md §9). Empty (``{}``) for
   clean runs, so fault-free manifests are unchanged.
+- ``streaming`` — what a streaming-ingest execution did (the ``stream.*``
+  counters, summarized; see DESIGN.md §11): windows sealed/empty, samples
+  sealed, late samples ledgered, alerts raised. Empty (``{}``) for batch
+  runs, so non-streaming manifests are unchanged.
 
 The format is versioned; :meth:`RunManifest.read` rejects manifests from a
 different format version rather than misinterpreting them.
@@ -59,6 +63,24 @@ def _degraded_from_counters(counters: Dict[str, int]) -> Dict[str, object]:
     return summary
 
 
+def _streaming_from_counters(counters: Dict[str, int]) -> Dict[str, object]:
+    """Streaming summary from the ``stream.*`` execution counters.
+
+    Returns ``{}`` when the run sealed no windows (a batch run), so
+    non-streaming manifests stay byte-identical to the prior format.
+    """
+    summary = {
+        "windows_sealed": counters.get("stream.windows.sealed", 0),
+        "windows_empty": counters.get("stream.windows.empty", 0),
+        "samples_sealed": counters.get("stream.samples.sealed", 0),
+        "late_samples": counters.get("stream.late_samples", 0),
+        "alerts": counters.get("stream.alerts", 0),
+    }
+    if not any(summary.values()):
+        return {}
+    return summary
+
+
 @dataclass
 class RunManifest:
     """One run's configuration, accounting, and timing record."""
@@ -76,6 +98,9 @@ class RunManifest:
     #: samples_lost, partitions_skipped, retries (and, when collected via
     #: the CLI, the ledger's per-shard entries). Empty for clean runs.
     degraded: Dict[str, object] = field(default_factory=dict)
+    #: Streaming summary for ingest runs: windows sealed/empty, samples
+    #: sealed, late samples, alerts. Empty for batch runs.
+    streaming: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -87,17 +112,23 @@ class RunManifest:
         shard_plan: Optional[Dict[str, object]] = None,
         exit_code: Optional[int] = None,
         degraded: Optional[Dict[str, object]] = None,
+        streaming: Optional[Dict[str, object]] = None,
     ) -> "RunManifest":
         """Snapshot a registry and tracer into a manifest.
 
         ``degraded`` defaults to a summary derived from the registry's
         ``fault.*`` counters (empty when none fired); pass a
         ``DegradedLedger.to_dict()`` for the richer per-shard record.
+        ``streaming`` likewise defaults to a ``stream.*`` counter summary
+        (empty for batch runs); pass a richer dict — e.g. including a
+        ``LateSampleLedger.to_dict()`` — to keep the per-window record.
         """
         snapshot = registry.to_dict() if registry is not None else {}
         counters = snapshot.get("counters", {})
         if degraded is None:
             degraded = _degraded_from_counters(counters)
+        if streaming is None:
+            streaming = _streaming_from_counters(counters)
         return cls(
             command=command,
             config=dict(config or {}),
@@ -108,6 +139,7 @@ class RunManifest:
             timers=snapshot.get("timers", {}),
             exit_code=exit_code,
             degraded=dict(degraded),
+            streaming=dict(streaming),
         )
 
     # ------------------------------------------------------------------ #
@@ -140,6 +172,7 @@ class RunManifest:
             "exit_code": self.exit_code,
             "python_version": self.python_version,
             "degraded": dict(self.degraded),
+            "streaming": dict(self.streaming),
         }
 
     @classmethod
@@ -158,6 +191,7 @@ class RunManifest:
             exit_code=payload.get("exit_code"),
             python_version=payload.get("python_version", ""),
             degraded=dict(payload.get("degraded", {})),
+            streaming=dict(payload.get("streaming", {})),
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -22,11 +22,13 @@ the §3.2 classifier counts, ``core.*`` aggregation-store accounting,
 (partitions scanned/pruned, bytes read/skipped, rows decoded/written),
 ``netsim.*`` the simulator's event loop, ``fault.*`` fault handling —
 injected faults (:mod:`repro.faultinject`) and the sharded pipeline's
-retry/quarantine ledger. ``fault.*`` counters are **execution facts**:
-they describe how one run fared, never the data, so they go to the
-*active* registry only and sit outside the counter-equality invariant
-(and outside the manifest's sample accounting). See DESIGN.md §7 for the
-registry of names.
+retry/quarantine ledger, ``stream.*`` streaming ingest — windows
+sealed/empty, samples sealed, late samples, online alerts
+(:mod:`repro.pipeline.ingest`). ``fault.*`` and ``stream.*`` counters are
+**execution facts**: they describe how one run fared, never the data, so
+they go to the run's execution registry only and sit outside the
+counter-equality invariant (and outside the manifest's sample
+accounting). See DESIGN.md §7 for the registry of names.
 """
 
 from __future__ import annotations

@@ -4,6 +4,8 @@
 - :mod:`repro.pipeline.io` — trace serialization: JSONL and the columnar
   store (:mod:`repro.store`), format auto-detected, ``convert`` between;
 - :mod:`repro.pipeline.dataset` — single-pass study dataset;
+- :mod:`repro.pipeline.ingest` — always-on streaming ingest: watermarked
+  incremental windows sealed into the store, analyzed online;
 - :mod:`repro.pipeline.experiments` — Figures 1–7 and the naive-goodput
   ablation;
 - :mod:`repro.pipeline.routing_analysis` — Figures 8–10, Tables 1–2;
@@ -26,6 +28,13 @@ from repro.pipeline.experiments import (
     fig7_rtt_vs_hdratio,
 )
 from repro.pipeline.filters import FilterStats, filter_hosting_providers
+from repro.pipeline.ingest import (
+    DegradationAlert,
+    IngestResult,
+    LateSampleLedger,
+    OnlineTemporalAnalyzer,
+    StreamingIngestor,
+)
 from repro.pipeline.io import convert, detect_format, read_samples, write_samples
 from repro.pipeline.parallel import (
     DegradedLedger,
@@ -44,12 +53,17 @@ from repro.pipeline.routing_analysis import (
 
 __all__ = [
     "CdfSeries",
+    "DegradationAlert",
     "DegradedLedger",
     "FilterStats",
+    "IngestResult",
+    "LateSampleLedger",
+    "OnlineTemporalAnalyzer",
     "ParallelOptions",
     "ShardError",
     "RouteDecision",
     "SessionRow",
+    "StreamingIngestor",
     "StreamingRouteMonitor",
     "StudyDataset",
     "build_dataset",

@@ -60,6 +60,7 @@ __all__ = [
     "read_chunk",
     "read_samples",
     "read_samples_chunked",
+    "read_samples_stream",
     "write_samples",
     "sample_to_dict",
     "sample_from_dict",
@@ -265,6 +266,32 @@ def _read_samples_jsonl(
             if metrics is not None:
                 metrics.inc("io.rows_read")
             yield sample_from_dict(payload)
+
+
+def read_samples_stream(handle: IO, metrics=None) -> Iterator[SessionSample]:
+    """Stream JSONL samples from an open text handle (e.g. ``sys.stdin``).
+
+    The unbounded-input path for ``repro ingest -``: unlike
+    :func:`read_samples` there is no path to seek or re-open, so the
+    samples arrive strictly once, in arrival order — exactly the contract
+    :class:`repro.pipeline.ingest.StreamingIngestor` expects. Counts the
+    same ``io.rows_read`` / ``io.decode_errors`` as a JSONL file read.
+    """
+    for line_number, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            if metrics is not None:
+                metrics.inc("io.decode_errors")
+            raise ValueError(
+                f"<stream>:{line_number}: invalid JSON ({error})"
+            ) from error
+        if metrics is not None:
+            metrics.inc("io.rows_read")
+        yield sample_from_dict(payload)
 
 
 def convert(

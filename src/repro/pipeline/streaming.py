@@ -54,7 +54,24 @@ class RouteDecision:
 
 
 class StreamingRouteMonitor:
-    """Single-pass monitor: feed samples, collect per-window decisions."""
+    """Single-pass monitor: feed samples, collect per-window decisions.
+
+    Samples must arrive roughly in event-time order: the monitor keeps
+    state for the *current* window only, so a sample whose window already
+    closed cannot be aggregated any more. Such **late** samples are
+    excluded from window state (folding them into the current window would
+    corrupt its t-digests), counted on :attr:`late_samples`, and — when a
+    ``metrics`` registry is supplied — under the ``stream.late_samples``
+    counter. Pipelines that must *keep* late samples buffer them upstream
+    with a watermark instead (:class:`repro.pipeline.ingest.StreamingIngestor`,
+    which feeds this monitor only sealed, in-order windows).
+
+    :attr:`closed_windows` records every window the monitor closed, in
+    order, **including empty ones** skipped when a sample jumps more than
+    one window forward — so the record is gapless and monotone, and the
+    windows appearing in :attr:`decisions` are a subset of it in the same
+    order.
+    """
 
     def __init__(
         self,
@@ -62,18 +79,36 @@ class StreamingRouteMonitor:
         minrtt_threshold_ms: float = DEFAULT_MINRTT_THRESHOLD_MS,
         hdratio_threshold: float = DEFAULT_HDRATIO_THRESHOLD,
         compression: float = 100.0,
+        metrics=None,
     ) -> None:
         self.window_seconds = window_seconds
         self.minrtt_threshold_ms = minrtt_threshold_ms
         self.hdratio_threshold = hdratio_threshold
         self.compression = compression
+        #: Optional :class:`repro.obs.MetricsRegistry` receiving the
+        #: ``stream.late_samples`` execution counter.
+        self.metrics = metrics
         self._current_window: Optional[int] = None
         self._state: Dict[Tuple[UserGroupKey, int], StreamingAggregate] = {}
+        self._finished = False
         self.decisions: List[RouteDecision] = []
+        #: Late samples seen (window earlier than the current one); they
+        #: are counted, never aggregated.
+        self.late_samples = 0
+        #: Every window closed so far, gapless and monotone (empty skipped
+        #: windows included).
+        self.closed_windows: List[int] = []
 
     # ------------------------------------------------------------------ #
-    def observe(self, sample: SessionSample) -> None:
-        """Feed one sample; samples must arrive roughly in time order."""
+    def observe(self, sample: SessionSample) -> bool:
+        """Feed one sample; returns False when it was late (and dropped).
+
+        Samples must arrive roughly in time order; a sample whose window
+        precedes the current one arrived after its window closed and is
+        excluded from aggregation (see the class docstring).
+        """
+        if self._finished:
+            raise ValueError("monitor is finished; create a new one")
         if sample.route is None:
             raise ValueError("sample is missing its route annotation")
         window = window_index(sample.end_time, self.window_seconds)
@@ -81,7 +116,16 @@ class StreamingRouteMonitor:
             self._current_window = window
         elif window > self._current_window:
             self._close_window()
+            # A jump of more than one window closes the skipped, empty
+            # windows too, keeping closed_windows gapless and monotone.
+            for skipped in range(self._current_window + 1, window):
+                self.closed_windows.append(skipped)
             self._current_window = window
+        elif window < self._current_window:
+            self.late_samples += 1
+            if self.metrics is not None:
+                self.metrics.inc("stream.late_samples")
+            return False
         group = UserGroupKey(
             pop=sample.pop,
             prefix=sample.route.prefix,
@@ -101,15 +145,31 @@ class StreamingRouteMonitor:
             self.observe(sample)
 
     def finish(self) -> List[RouteDecision]:
-        """Close the trailing window and return every decision made."""
-        if self._state:
+        """Close the trailing window and return every decision made.
+
+        Idempotent: calling it again returns the same decision list
+        without re-closing state or duplicating decisions.
+        """
+        if self._finished:
+            return self.decisions
+        if self._current_window is not None:
             self._close_window()
         self._current_window = None
+        self._finished = True
         return self.decisions
 
     # ------------------------------------------------------------------ #
     def _close_window(self) -> None:
-        window = self._current_window if self._current_window is not None else 0
+        if self._current_window is None:
+            # State without a window has no honest label; the old fallback
+            # (window 0) silently mislabeled every decision it produced.
+            if self._state:
+                raise RuntimeError(
+                    "cannot close window state without a current window"
+                )
+            return
+        window = self._current_window
+        self.closed_windows.append(window)
         groups = {group for group, _ in self._state}
         for group in groups:
             decision = self._decide(group, window)

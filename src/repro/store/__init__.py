@@ -47,6 +47,7 @@ from repro.store.writer import (
     STORE_FORMAT_VERSION,
     SUPPORTED_STORE_VERSIONS,
     TraceStoreWriter,
+    append_to_store,
     is_store_path,
     write_store,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "TraceStoreReader",
     "TraceStoreWriter",
     "TruncatedPartitionError",
+    "append_to_store",
     "is_store_path",
     "read_store_chunk",
     "verify_store",

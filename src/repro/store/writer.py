@@ -30,6 +30,7 @@ see ``SUPPORTED_STORE_VERSIONS``.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -46,6 +47,7 @@ __all__ = [
     "MANIFEST_NAME",
     "DATA_NAME",
     "TraceStoreWriter",
+    "append_to_store",
     "is_store_path",
     "write_store",
 ]
@@ -138,37 +140,9 @@ class TraceStoreWriter:
             raise ValueError("writer is closed")
         self._closed = True
 
-        # Deterministic partition order: by first appearance in the stream,
-        # so a full scan's k-way merge starts near the front of every
-        # partition and the layout does not depend on dict iteration quirks.
-        ordered = sorted(
-            self._buckets.items(), key=lambda item: item[1][0][0]
+        payload, partitions = _encode_buckets(
+            self._buckets, compress=self.compress
         )
-        payload = bytearray()
-        partitions: List[dict] = []
-        for part_id, ((pop, band), rows) in enumerate(ordered):
-            encoded, blocks = encode_rows(rows, compress=self.compress)
-            partitions.append(
-                {
-                    "id": part_id,
-                    "pop": pop,
-                    "band": band,
-                    "rows": len(rows),
-                    "offset": len(payload),
-                    "length": len(encoded),
-                    "stats": {
-                        "min_seq": rows[0][0],
-                        "max_seq": rows[-1][0],
-                        "min_end_time": min(s.end_time for _, s in rows),
-                        "max_end_time": max(s.end_time for _, s in rows),
-                        "countries": sorted(
-                            {s.client_country for _, s in rows}
-                        ),
-                    },
-                    "blocks": blocks,
-                }
-            )
-            payload += encoded
 
         manifest = {
             "format": STORE_FORMAT,
@@ -202,6 +176,49 @@ class TraceStoreWriter:
         return manifest
 
 
+def _encode_buckets(
+    buckets: Dict[Tuple[str, int], List[Tuple[int, SessionSample]]],
+    compress: bool,
+    first_part_id: int = 0,
+    base_offset: int = 0,
+) -> Tuple[bytes, List[dict]]:
+    """Encode (PoP, band) buckets into a payload + manifest partition list.
+
+    Deterministic partition order: by first appearance in the stream, so a
+    full scan's k-way merge starts near the front of every partition and
+    the layout does not depend on dict iteration quirks. ``first_part_id``
+    and ``base_offset`` let an append continue an existing manifest's id
+    and offset sequences.
+    """
+    ordered = sorted(buckets.items(), key=lambda item: item[1][0][0])
+    payload = bytearray()
+    partitions: List[dict] = []
+    for part_id, ((pop, band), rows) in enumerate(ordered, start=first_part_id):
+        encoded, blocks = encode_rows(rows, compress=compress)
+        partitions.append(
+            {
+                "id": part_id,
+                "pop": pop,
+                "band": band,
+                "rows": len(rows),
+                "offset": base_offset + len(payload),
+                "length": len(encoded),
+                "stats": {
+                    "min_seq": rows[0][0],
+                    "max_seq": rows[-1][0],
+                    "min_end_time": min(s.end_time for _, s in rows),
+                    "max_end_time": max(s.end_time for _, s in rows),
+                    "countries": sorted(
+                        {s.client_country for _, s in rows}
+                    ),
+                },
+                "blocks": blocks,
+            }
+        )
+        payload += encoded
+    return bytes(payload), partitions
+
+
 def write_store(
     path: PathLike,
     samples: Iterable[SessionSample],
@@ -220,6 +237,129 @@ def write_store(
     )
     count = writer.add_all(samples)
     writer.close()
+    return count
+
+
+def append_to_store(
+    path: PathLike,
+    samples: Iterable[SessionSample],
+    band_windows: int = DEFAULT_BAND_WINDOWS,
+    window_seconds: float = 900.0,
+    compress: bool = True,
+    metrics=None,
+) -> int:
+    """Append samples to a store as new partitions; returns the row count.
+
+    The incremental-write path for streaming ingest
+    (:mod:`repro.pipeline.ingest`): each call packs its samples into fresh
+    (PoP, band) partitions whose sequence numbers continue the store's
+    ``row_count``, so a full :meth:`~repro.store.TraceStoreReader.scan`
+    yields the concatenation of every append in order — byte-identical to
+    having written the whole stream at once through a
+    :class:`TraceStoreWriter` **when sample (PoP, band) runs don't repeat**;
+    in general each append seals its own partitions (the reader's seq-merge
+    absorbs duplicates of a (PoP, band) key).
+
+    Durability keeps the writer's manifest-last protocol: new payload bytes
+    are appended to ``data.bin`` and fsync'd *before* the manifest is
+    atomically replaced. A crash mid-append leaves the previous manifest
+    pointing at the previous byte range — the trailing unreferenced bytes
+    are invisible to readers and are truncated away by the next successful
+    append. Appending to a version-1 store upgrades the manifest to the
+    current format version (old blocks simply carry no checksum).
+
+    A missing store is created (even for an empty sample stream, so a
+    streaming run's output is always scannable). ``band_windows`` and
+    ``window_seconds`` must match the existing manifest — partitions
+    banded inconsistently would break pruning.
+    """
+    path = pathlib.Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return write_store(
+            path,
+            samples,
+            band_windows=band_windows,
+            window_seconds=window_seconds,
+            compress=compress,
+            metrics=metrics,
+        )
+
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != STORE_FORMAT:
+        raise ValueError(
+            f"{manifest_path}: unrecognized format {manifest.get('format')!r}"
+        )
+    if manifest.get("version") not in SUPPORTED_STORE_VERSIONS:
+        raise ValueError(
+            f"{manifest_path}: unsupported store version "
+            f"{manifest.get('version')!r}"
+        )
+    if manifest.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{manifest_path}: schema version "
+            f"{manifest.get('schema_version')!r} != writer's {SCHEMA_VERSION}"
+        )
+    if manifest.get("band_windows") != band_windows:
+        raise ValueError(
+            f"band_windows {band_windows} does not match the store's "
+            f"{manifest.get('band_windows')}"
+        )
+    if manifest.get("window_seconds") != window_seconds:
+        raise ValueError(
+            f"window_seconds {window_seconds} does not match the store's "
+            f"{manifest.get('window_seconds')}"
+        )
+
+    writer = TraceStoreWriter(
+        path,
+        band_windows=band_windows,
+        window_seconds=window_seconds,
+        compress=compress,
+    )
+    writer._next_seq = int(manifest["row_count"])
+    first_seq = writer._next_seq
+    count = writer.add_all(samples) - first_seq
+    writer._closed = True  # bucketed by hand; never .close() this writer
+    if count == 0:
+        return 0
+
+    base_offset = int(manifest["data_bytes"])
+    payload, partitions = _encode_buckets(
+        writer._buckets,
+        compress=compress,
+        first_part_id=len(manifest["partitions"]),
+        base_offset=base_offset,
+    )
+
+    data_path = path / manifest.get("data_file", DATA_NAME)
+    with open(data_path, "r+b") as handle:
+        # Discard unreferenced tail bytes a crashed append may have left,
+        # so the manifest's offsets stay the single source of truth.
+        handle.truncate(base_offset)
+        handle.seek(base_offset)
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    manifest["version"] = STORE_FORMAT_VERSION
+    manifest["row_count"] = first_seq + count
+    manifest["data_bytes"] = base_offset + len(payload)
+    manifest["partitions"] = list(manifest["partitions"]) + partitions
+    # Crash safety requires rewriting the whole manifest atomically, so
+    # each append costs O(total partitions) serialization. Fine-grained
+    # appenders (one call per sealed window) should batch windows or
+    # accept the cost for modest stores; see DESIGN.md on the streaming
+    # seal path.
+    _atomic_write(
+        manifest_path, json.dumps(manifest, indent=1).encode("utf-8")
+    )
+
+    if metrics is not None:
+        metrics.inc("store.rows.written", count)
+        metrics.inc("store.partitions.written", len(partitions))
+        metrics.inc("store.bytes.written", len(payload))
+        metrics.inc("io.rows_written", count)
     return count
 
 

@@ -311,3 +311,115 @@ class TestCounterEqualityAcceptance:
         # The execution facts do differ: the shard plans disagree.
         assert serial["shard_plan"]["workers"] == 1
         assert parallel["shard_plan"]["workers"] == 4
+
+
+class TestIngestCli:
+    """`repro ingest`: streaming windows from a saved trace or stdin."""
+
+    def test_ingest_parser(self):
+        args = build_parser().parse_args(
+            ["ingest", "t.jsonl", "--windows", "8", "--lateness", "900",
+             "--out", "sealed.store"]
+        )
+        assert args.command == "ingest"
+        assert args.trace == "t.jsonl"
+        assert args.windows == 8
+        assert args.lateness == 900.0
+        assert args.out_store == "sealed.store"
+        args = build_parser().parse_args(["ingest", "-"])
+        assert args.trace == "-"
+        assert args.lateness is None
+        assert args.out_store is None
+
+    def test_ingest_trace_with_store_and_manifest(self, tmp_path, capsys):
+        from repro.pipeline.io import write_samples
+
+        from tests.helpers import make_trace_samples
+
+        jsonl = tmp_path / "t.jsonl"
+        sealed = tmp_path / "sealed.store"
+        manifest_path = tmp_path / "manifest.json"
+        samples = sorted(
+            make_trace_samples(400, seed=67, windows=8),
+            key=lambda s: s.end_time,
+        )
+        write_samples(jsonl, samples)
+        assert main(
+            ["ingest", str(jsonl), "--windows", "8",
+             "--out", str(sealed), "--metrics-out", str(manifest_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sealed across" in out
+        assert f"appended to {sealed}" in out
+        manifest = json.loads(manifest_path.read_text())
+        streaming = manifest["streaming"]
+        assert streaming["windows_sealed"] > 0
+        assert streaming["samples_sealed"] > 0
+        assert manifest["counters"]["stream.windows.sealed"] == streaming[
+            "windows_sealed"
+        ]
+        # The sealed store replays: a batch analyze over it succeeds.
+        assert main(["analyze", str(sealed), "--windows", "8"]) == 0
+        assert "sessions loaded" in capsys.readouterr().out
+
+    def test_ingest_stdin(self, tmp_path, capsys, monkeypatch):
+        import io as stdlib_io
+
+        from repro.pipeline.io import sample_to_dict
+
+        from tests.helpers import make_trace_samples
+
+        samples = sorted(
+            make_trace_samples(40, seed=61, windows=2),
+            key=lambda s: s.end_time,
+        )
+        lines = "".join(
+            json.dumps(sample_to_dict(sample)) + "\n" for sample in samples
+        )
+        monkeypatch.setattr("sys.stdin", stdlib_io.StringIO(lines))
+        assert main(["ingest", "-", "--windows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "stdin" in out
+        assert "40 samples offered" in out
+
+    def test_ingest_sealed_store_matches_batch_counters(
+        self, tmp_path, capsys
+    ):
+        """CLI acceptance for the replay invariant: the streaming manifest's
+        data-fact counters equal a batch analyze of the sealed store."""
+        from repro.pipeline.io import write_samples
+
+        from tests.helpers import make_trace_samples
+
+        jsonl = tmp_path / "t.jsonl"
+        sealed = tmp_path / "sealed.store"
+        stream_manifest = tmp_path / "stream.json"
+        batch_manifest = tmp_path / "batch.json"
+        samples = sorted(
+            make_trace_samples(400, seed=71, windows=8),
+            key=lambda s: s.end_time,
+        )
+        write_samples(jsonl, samples)
+        assert main(
+            ["ingest", str(jsonl), "--windows", "8", "--out", str(sealed),
+             "--metrics-out", str(stream_manifest)]
+        ) == 0
+        assert main(
+            ["analyze", str(sealed), "--windows", "8",
+             "--metrics-out", str(batch_manifest)]
+        ) == 0
+        capsys.readouterr()
+        stream = json.loads(stream_manifest.read_text())
+        batch = json.loads(batch_manifest.read_text())
+        prefixes = ("pipeline.", "methodology.", "core.")
+
+        def data_facts(manifest):
+            return {
+                name: value
+                for name, value in manifest["counters"].items()
+                if name.startswith(prefixes)
+            }
+
+        assert data_facts(stream) == data_facts(batch)
+        assert stream["gauges"] == batch["gauges"]
+        assert batch["streaming"] == {}

@@ -99,7 +99,7 @@ class TestRoundTrip:
         assert set(payload) == {
             "format_version", "command", "config", "shard_plan", "stages",
             "counters", "gauges", "timers", "exit_code", "python_version",
-            "degraded",
+            "degraded", "streaming",
         }
 
     def test_counters_serialize_sorted(self, tmp_path):

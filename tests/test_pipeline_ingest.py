@@ -1,0 +1,424 @@
+"""Streaming ingest must replay byte-identical to the batch engine.
+
+The standing invariant (DESIGN.md §11): a live stream pushed through
+:class:`StreamingIngestor` — in order or shuffled within the lateness
+bound — produces the same dataset, the same data-fact counters, and the
+same figures as a batch re-scan of the sealed output store; the store
+itself is byte-identical across admissible arrival orders. Plus the
+watermark mechanics: gapless monotone sealing, late samples ledgered and
+never aggregated, idempotent finish.
+"""
+
+import pathlib
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import window_index
+from repro.core.constants import AGGREGATION_WINDOW_SECONDS
+from repro.obs import MetricsRegistry
+from repro.pipeline import (
+    StreamingIngestor,
+    StudyDataset,
+    build_dataset,
+    fig6_global_performance,
+)
+from repro.pipeline.ingest import (
+    DEFAULT_ALLOWED_LATENESS_SECONDS,
+    LateSampleLedger,
+    OnlineTemporalAnalyzer,
+)
+from tests.helpers import DEFAULT_GROUP, make_route, make_sample, make_trace_samples
+from tests.test_store_pipeline import assert_same_analysis_state
+
+pytestmark = pytest.mark.streaming
+
+WINDOW = AGGREGATION_WINDOW_SECONDS
+
+#: Counters describing the storage/transport, not the data: a live stream
+#: reads no trace and a batch re-scan reads no stream, so these legitimately
+#: differ between the two while everything else must be byte-identical.
+EXECUTION_PREFIXES = ("io.", "store.")
+
+
+def data_counters(dataset: StudyDataset) -> dict:
+    return {
+        name: value
+        for name, value in dataset.metrics.counters.items()
+        if not name.startswith(EXECUTION_PREFIXES)
+    }
+
+
+def in_window(window: int, offset: float, rtt_ms: float = 40.0, rank: int = 0):
+    return make_sample(
+        end_time=window * WINDOW + offset,
+        min_rtt_ms=rtt_ms,
+        route=make_route(rank=rank),
+    )
+
+
+def jittered_order(samples, lateness: float, seed: int):
+    """An arrival order guaranteed to respect the lateness bound.
+
+    Sorting by ``end_time + jitter`` with ``jitter ∈ [0, lateness)`` keeps
+    every earlier-keyed sample's end_time within ``lateness`` of any later
+    one, so no admitted sample can find its window already sealed.
+    """
+    rng = random.Random(seed)
+    return sorted(
+        samples, key=lambda s: s.end_time + rng.uniform(0.0, lateness * 0.99)
+    )
+
+
+# --------------------------------------------------------------------- #
+class TestWatermarkSealing:
+    def test_watermark_tracks_max_end_time(self):
+        ingestor = StreamingIngestor(study_windows=8)
+        ingestor.offer(in_window(0, 100.0))
+        assert ingestor.watermark == 100.0 - DEFAULT_ALLOWED_LATENESS_SECONDS
+        ingestor.offer(in_window(3, 10.0))
+        assert (
+            ingestor.watermark
+            == 3 * WINDOW + 10.0 - DEFAULT_ALLOWED_LATENESS_SECONDS
+        )
+
+    def test_windows_seal_in_order_and_gapless(self):
+        ingestor = StreamingIngestor(
+            study_windows=16, allowed_lateness_seconds=0.0
+        )
+        ingestor.offer(in_window(0, 100.0))
+        assert ingestor.windows_sealed == 0
+        # A jump to window 5 seals 0 and the empty 1–4 behind the watermark.
+        ingestor.offer(in_window(5, 100.0))
+        assert ingestor.windows_sealed == 5
+        result = ingestor.finish()
+        assert result.windows_sealed == 6
+        assert result.windows_empty == 4
+
+    def test_empty_window_counters(self):
+        metrics = MetricsRegistry()
+        ingestor = StreamingIngestor(
+            study_windows=8, allowed_lateness_seconds=0.0, metrics=metrics
+        )
+        ingestor.offer(in_window(0, 10.0))
+        ingestor.offer(in_window(3, 10.0))
+        ingestor.finish()
+        assert metrics.counter("stream.windows.sealed") == 4
+        assert metrics.counter("stream.windows.empty") == 2
+        assert metrics.counter("stream.samples.sealed") == 2
+
+    def test_late_sample_is_ledgered_not_aggregated(self):
+        metrics = MetricsRegistry()
+        ingestor = StreamingIngestor(
+            study_windows=8, allowed_lateness_seconds=0.0, metrics=metrics
+        )
+        ingestor.offer(in_window(0, 100.0))
+        ingestor.offer(in_window(2, 100.0))  # seals windows 0 and 1
+        rows_before = len(ingestor.dataset.rows)
+        late = in_window(0, 200.0, rtt_ms=999.0)
+        assert ingestor.offer(late) is False
+        assert len(ingestor.dataset.rows) == rows_before
+        assert metrics.counter("stream.late_samples") == 1
+        result = ingestor.finish()
+        assert result.late.count == 1
+        assert result.late.per_window == {0: 1}
+        assert result.late.retained == [late]
+        # The polluted-window regression: the late 999ms RTT must appear in
+        # no aggregation of any window.
+        for _, aggregation in result.dataset.store.items():
+            assert 999.0 not in aggregation.min_rtts_ms
+
+    def test_sample_within_lateness_bound_is_accepted(self):
+        ingestor = StreamingIngestor(
+            study_windows=8,
+            allowed_lateness_seconds=2 * WINDOW,
+        )
+        ingestor.offer(in_window(2, 100.0))
+        # Window 1 is out of order but within two windows of lateness.
+        assert ingestor.offer(in_window(1, 50.0)) is True
+        result = ingestor.finish()
+        assert result.late.count == 0
+        assert result.samples_sealed == 2
+
+    def test_late_ledger_bounds_retention(self):
+        ledger = LateSampleLedger(max_retained=2)
+        for i in range(5):
+            ledger.record(in_window(0, float(i)), 0)
+        assert ledger.count == 5
+        assert len(ledger.retained) == 2
+        assert ledger.to_dict() == {
+            "count": 5,
+            "retained": 2,
+            "per_window": {"0": 5},
+        }
+
+    def test_finish_is_idempotent(self):
+        ingestor = StreamingIngestor(study_windows=8)
+        ingestor.offer_all(in_window(w, 100.0) for w in range(3))
+        first = ingestor.finish()
+        second = ingestor.finish()
+        assert second.windows_sealed == first.windows_sealed == 3
+        assert second.dataset is first.dataset
+        assert second.samples_sealed == first.samples_sealed
+        with pytest.raises(ValueError, match="finished"):
+            ingestor.offer(in_window(9, 1.0))
+
+    def test_finish_on_empty_stream(self):
+        result = StreamingIngestor(study_windows=4).finish()
+        assert result.windows_sealed == 0
+        assert result.samples_offered == 0
+        assert result.dataset.session_count == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingIngestor(study_windows=4, window_seconds=0.0)
+        with pytest.raises(ValueError):
+            StreamingIngestor(study_windows=4, allowed_lateness_seconds=-1.0)
+
+    def test_gauges_match_batch_convention(self):
+        samples = make_trace_samples(120, seed=21, windows=4)
+        ingestor = StreamingIngestor(study_windows=4)
+        ingestor.offer_all(sorted(samples, key=lambda s: s.end_time))
+        result = ingestor.finish()
+        gauges = result.dataset.metrics.gauges
+        assert gauges["pipeline.rows"] == len(result.dataset.rows)
+        assert gauges["pipeline.aggregations"] == len(result.dataset.store)
+        assert gauges["pipeline.groups"] == len(result.dataset.store.groups())
+
+
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def trace_samples():
+    return make_trace_samples(600, seed=23, windows=8)
+
+
+@pytest.fixture(scope="module")
+def streamed(tmp_path_factory, trace_samples):
+    """One in-order streaming run with a sealed output store."""
+    store = tmp_path_factory.mktemp("ingest") / "sealed.store"
+    ingestor = StreamingIngestor(study_windows=8, out_store=store)
+    ingestor.offer_all(sorted(trace_samples, key=lambda s: s.end_time))
+    return ingestor.finish(), store
+
+
+class TestReplayEquivalence:
+    def test_streamed_equals_batch_over_sealed_store(self, streamed):
+        result, store = streamed
+        batch = build_dataset(store, study_windows=8)
+        assert_same_analysis_state(result.dataset, batch)
+        assert data_counters(result.dataset) == data_counters(batch)
+        assert result.dataset.metrics.gauges == batch.metrics.gauges
+
+    def test_sealed_store_contains_unfiltered_stream(
+        self, streamed, trace_samples
+    ):
+        # Hosting-filtered samples must reach the store too: the batch
+        # replay re-decides filtering itself, so dropping them before the
+        # store would silently change its counters.
+        result, store = streamed
+        from repro.store import TraceStoreReader
+
+        sealed = list(TraceStoreReader(store).scan())
+        assert len(sealed) == len(trace_samples)
+        assert sealed == sorted(
+            trace_samples, key=lambda s: (s.end_time, s.session_id)
+        )
+
+    def test_figures_identical_to_batch(self, streamed):
+        result, store = streamed
+        batch = build_dataset(store, study_windows=8)
+        ours = fig6_global_performance(result.dataset)
+        theirs = fig6_global_performance(batch)
+        assert ours.median_minrtt == theirs.median_minrtt
+        assert ours.hdratio_positive_fraction == theirs.hdratio_positive_fraction
+        assert set(ours.minrtt_by_continent) == set(theirs.minrtt_by_continent)
+        for code in ours.minrtt_by_continent:
+            assert ours.continent_median_minrtt(
+                code
+            ) == theirs.continent_median_minrtt(code)
+
+    def test_shuffled_arrival_is_byte_identical(
+        self, streamed, trace_samples, tmp_path
+    ):
+        result, store = streamed
+        lateness = DEFAULT_ALLOWED_LATENESS_SECONDS
+        shuffled_store = tmp_path / "shuffled.store"
+        ingestor = StreamingIngestor(
+            study_windows=8,
+            out_store=shuffled_store,
+            allowed_lateness_seconds=lateness,
+        )
+        ingestor.offer_all(jittered_order(trace_samples, lateness, seed=5))
+        shuffled = ingestor.finish()
+        assert shuffled.late.count == 0
+        assert_same_analysis_state(shuffled.dataset, result.dataset)
+        assert data_counters(shuffled.dataset) == data_counters(result.dataset)
+        assert (shuffled_store / "data.bin").read_bytes() == (
+            store / "data.bin"
+        ).read_bytes()
+        assert (shuffled_store / "manifest.json").read_bytes() == (
+            store / "manifest.json"
+        ).read_bytes()
+
+    def test_golden_trace_streams_identical_to_batch(self, tmp_path):
+        golden = pathlib.Path(__file__).parent / "data" / "golden_trace.jsonl.gz"
+        from repro.pipeline import read_samples
+
+        samples = list(read_samples(golden))
+        span = max(s.end_time for s in samples) + WINDOW
+        store = tmp_path / "golden_sealed.store"
+        ingestor = StreamingIngestor(
+            study_windows=8, out_store=store, allowed_lateness_seconds=span
+        )
+        # Arrival in file order: with lateness covering the whole span,
+        # nothing is late and nothing seals before finish.
+        ingestor.offer_all(samples)
+        result = ingestor.finish()
+        assert result.late.count == 0
+        batch = build_dataset(store, study_windows=8)
+        assert_same_analysis_state(result.dataset, batch)
+        assert data_counters(result.dataset) == data_counters(batch)
+
+
+# --------------------------------------------------------------------- #
+class TestShuffleProperty:
+    """Hypothesis: ANY admissible arrival order replays byte-identically."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_any_order_within_lateness_bound_is_identical(self, seed):
+        samples = make_trace_samples(150, seed=29, windows=4)
+        lateness = 2 * WINDOW
+
+        baseline = StreamingIngestor(
+            study_windows=4, allowed_lateness_seconds=lateness
+        )
+        baseline.offer_all(sorted(samples, key=lambda s: s.end_time))
+        expected = baseline.finish()
+
+        ingestor = StreamingIngestor(
+            study_windows=4, allowed_lateness_seconds=lateness
+        )
+        ingestor.offer_all(jittered_order(samples, lateness, seed=seed))
+        result = ingestor.finish()
+
+        assert result.late.count == 0
+        assert_same_analysis_state(result.dataset, expected.dataset)
+        assert data_counters(result.dataset) == data_counters(expected.dataset)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_unbounded_lateness_admits_any_permutation(self, seed):
+        samples = make_trace_samples(120, seed=31, windows=4)
+        span = max(s.end_time for s in samples) + WINDOW
+
+        baseline = StreamingIngestor(
+            study_windows=4, allowed_lateness_seconds=span
+        )
+        baseline.offer_all(sorted(samples, key=lambda s: s.end_time))
+        expected = baseline.finish()
+
+        shuffled = list(samples)
+        random.Random(seed).shuffle(shuffled)
+        ingestor = StreamingIngestor(
+            study_windows=4, allowed_lateness_seconds=span
+        )
+        ingestor.offer_all(shuffled)
+        result = ingestor.finish()
+
+        assert result.late.count == 0
+        assert_same_analysis_state(result.dataset, expected.dataset)
+        assert data_counters(result.dataset) == data_counters(expected.dataset)
+
+
+# --------------------------------------------------------------------- #
+def _stable_window(window: int, rtt_ms: float, count: int = 40):
+    rng = random.Random(window)
+    return [
+        in_window(
+            window,
+            offset=(i + 1) * WINDOW / (count + 2),
+            rtt_ms=max(rng.gauss(rtt_ms, 1.0), 1.0),
+        )
+        for i in range(count)
+    ]
+
+
+class TestOnlineAnalyzer:
+    def test_degradation_alert_fires_online(self):
+        metrics = MetricsRegistry()
+        ingestor = StreamingIngestor(
+            study_windows=8,
+            allowed_lateness_seconds=0.0,
+            metrics=metrics,
+        )
+        for window in range(6):
+            ingestor.offer_all(_stable_window(window, rtt_ms=30.0))
+        ingestor.offer_all(_stable_window(6, rtt_ms=60.0))
+        result = ingestor.finish()
+        assert [a.window for a in result.alerts] == [6]
+        alert = result.alerts[0]
+        assert alert.metric == "minrtt"
+        assert alert.group == DEFAULT_GROUP
+        assert alert.difference == pytest.approx(30.0, abs=5.0)
+        assert metrics.counter("stream.alerts") == 1
+
+    def test_uneventful_group_raises_no_alert(self):
+        ingestor = StreamingIngestor(
+            study_windows=8, allowed_lateness_seconds=0.0
+        )
+        for window in range(8):
+            ingestor.offer_all(_stable_window(window, rtt_ms=30.0))
+        result = ingestor.finish()
+        assert result.alerts == []
+        assert result.class_counts() == {"uneventful": 1}
+
+    def test_episodic_classification_online(self):
+        ingestor = StreamingIngestor(
+            study_windows=8, allowed_lateness_seconds=0.0
+        )
+        for window in range(6):
+            ingestor.offer_all(_stable_window(window, rtt_ms=30.0))
+        ingestor.offer_all(_stable_window(6, rtt_ms=60.0))
+        ingestor.offer_all(_stable_window(7, rtt_ms=30.0))
+        result = ingestor.finish()
+        assert result.class_counts() == {"episodic": 1}
+
+    def test_no_alerts_before_min_baseline_history(self):
+        analyzer = OnlineTemporalAnalyzer(min_baseline_windows=4)
+        ingestor = StreamingIngestor(
+            study_windows=8, allowed_lateness_seconds=0.0, analyzer=analyzer
+        )
+        # An immediate degradation with no history must not alert: the
+        # trailing baseline needs min_baseline_windows sealed windows first.
+        for window in range(3):
+            ingestor.offer_all(_stable_window(window, rtt_ms=60.0))
+        result = ingestor.finish()
+        assert result.alerts == []
+
+    def test_trailing_baseline_window_is_bounded(self):
+        analyzer = OnlineTemporalAnalyzer(
+            baseline_windows=3, min_baseline_windows=3
+        )
+        ingestor = StreamingIngestor(
+            study_windows=16, allowed_lateness_seconds=0.0, analyzer=analyzer
+        )
+        # Windows 0–2 fast, 3–8 slow: with a 3-window trailing baseline the
+        # slow level becomes the new normal, so later slow windows stop
+        # alerting — the hallmark of a *trailing* (not global) baseline.
+        for window in range(3):
+            ingestor.offer_all(_stable_window(window, rtt_ms=30.0))
+        for window in range(3, 9):
+            ingestor.offer_all(_stable_window(window, rtt_ms=60.0))
+        result = ingestor.finish()
+        alert_windows = [a.window for a in result.alerts]
+        assert 3 in alert_windows
+        assert 8 not in alert_windows
+
+    def test_analyzer_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            OnlineTemporalAnalyzer(baseline_windows=0)
+        with pytest.raises(ValueError):
+            OnlineTemporalAnalyzer().classifications("neither")

@@ -7,6 +7,8 @@ from repro.pipeline.streaming import StreamingRouteMonitor
 
 from tests.helpers import DEFAULT_GROUP, make_route, make_sample
 
+pytestmark = pytest.mark.streaming
+
 
 def feed_capable_window(monitor, window, rtt_ms, hdratio, rank=0, count=40):
     """Feed a window of sessions whose transactions are HD-capable.
@@ -184,6 +186,119 @@ class TestMonitor:
         streaming_events = [d for d in decisions if d.is_shift_candidate]
         assert bool(batch_events) == bool(streaming_events)
         assert len(streaming_events) == 2
+
+
+class TestLateSamples:
+    """Regression: ``observe()`` used to fold samples from an *earlier*
+    window into the current window's aggregates, corrupting its digests."""
+
+    def test_late_samples_do_not_pollute_current_window(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 1, rtt_ms=52.0, rank=0)
+        # Late fast alternate: window 0 closed the moment window 1 opened.
+        # Before the fix these 40 samples landed in window 1's rank-1
+        # aggregate and produced a bogus shift candidate.
+        feed_window(monitor, 0, rtt_ms=38.0, rank=1)
+        decisions = monitor.finish()
+        assert monitor.late_samples == 40
+        assert [d.window for d in decisions] == [1]
+        assert decisions[0].action == "hold"
+        assert decisions[0].alternate_rank is None
+
+    def test_late_samples_counted_in_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        monitor = StreamingRouteMonitor(metrics=registry)
+        feed_window(monitor, 2, rtt_ms=40.0, rank=0, count=5)
+        feed_window(monitor, 1, rtt_ms=40.0, rank=0, count=3)
+        assert registry.counter("stream.late_samples") == 3
+        assert monitor.late_samples == 3
+
+    def test_observe_reports_late_verdict(self):
+        monitor = StreamingRouteMonitor()
+        on_time = make_sample(
+            AGGREGATION_WINDOW_SECONDS * 1.5, 40.0, route=make_route()
+        )
+        late = make_sample(
+            AGGREGATION_WINDOW_SECONDS * 0.5, 40.0, route=make_route()
+        )
+        assert monitor.observe(on_time) is not False
+        assert monitor.observe(late) is False
+
+    def test_on_time_samples_within_window_still_aggregate(self):
+        """Out-of-order arrivals *within* one window are not late."""
+        monitor = StreamingRouteMonitor()
+        base = 1 * AGGREGATION_WINDOW_SECONDS
+        monitor.observe(make_sample(base + 500.0, 40.0, route=make_route()))
+        monitor.observe(make_sample(base + 100.0, 41.0, route=make_route()))
+        assert monitor.late_samples == 0
+        decisions = monitor.finish()
+        assert decisions[0].preferred_sessions == 2
+
+
+class TestFinishIdempotent:
+    """Regression: a second ``finish()`` re-closed the trailing window and
+    duplicated its decisions."""
+
+    def test_second_finish_does_not_duplicate_decisions(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=40.0, rank=0)
+        first = monitor.finish()
+        assert len(first) == 1
+        second = monitor.finish()
+        assert second is first
+        assert len(second) == 1
+        assert monitor.closed_windows == [0]
+
+    def test_observe_after_finish_rejected(self):
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 0, rtt_ms=40.0, rank=0)
+        monitor.finish()
+        with pytest.raises(ValueError):
+            monitor.observe(make_sample(10.0, 40.0, route=make_route()))
+
+    def test_multi_window_jump_closes_intervening_windows(self):
+        """A sample jumping >1 window forward closes the skipped empty
+        windows too: the closed-window record is gapless and monotone and
+        decision windows stay monotone."""
+        monitor = StreamingRouteMonitor()
+        feed_window(monitor, 3, rtt_ms=40.0, rank=0)
+        feed_window(monitor, 7, rtt_ms=40.0, rank=0)
+        decisions = monitor.finish()
+        assert monitor.closed_windows == [3, 4, 5, 6, 7]
+        assert [d.window for d in decisions] == [3, 7]
+
+    def test_finish_on_empty_monitor_is_clean(self):
+        monitor = StreamingRouteMonitor()
+        assert monitor.finish() == []
+        assert monitor.closed_windows == []
+        assert monitor.finish() == []
+
+
+class TestCloseWindowLabel:
+    """Regression: ``_close_window()`` fell back to labeling decisions with
+    window 0 when ``_current_window`` was ``None`` but state existed."""
+
+    def test_state_without_window_raises(self):
+        from repro.stats.streaming import StreamingAggregate
+
+        monitor = StreamingRouteMonitor()
+        aggregate = StreamingAggregate.empty()
+        for rtt in (40.0, 41.0, 42.0, 43.0, 44.0):
+            aggregate.add(rtt, None, 1000)
+        monitor._state[(DEFAULT_GROUP, 0)] = aggregate
+        assert monitor._current_window is None
+        with pytest.raises(RuntimeError, match="without a current window"):
+            monitor._close_window()
+        # No decision was minted with a fabricated window label.
+        assert monitor.decisions == []
+
+    def test_close_without_state_or_window_is_noop(self):
+        monitor = StreamingRouteMonitor()
+        monitor._close_window()
+        assert monitor.closed_windows == []
+        assert monitor.decisions == []
 
 
 class TestCiWidthBoundary:

@@ -11,10 +11,12 @@ from repro.obs import MetricsRegistry
 from repro.pipeline.io import read_samples, write_samples
 from repro.store import (
     DEFAULT_BAND_WINDOWS,
+    STORE_FORMAT_VERSION,
     ScanFilter,
     StoreChunk,
     TraceStoreReader,
     TraceStoreWriter,
+    append_to_store,
     is_store_path,
     read_store_chunk,
     write_store,
@@ -225,6 +227,124 @@ class TestWriter:
         assert not is_store_path(tmp_path / "t.jsonl")
         write_store(tmp_path / "noext", make_trace_samples(3, seed=12))
         assert is_store_path(tmp_path / "noext")  # manifest detection
+
+
+class TestAppend:
+    def test_append_creates_missing_store(self, tmp_path):
+        samples = make_trace_samples(60, seed=40)
+        store = tmp_path / "t.store"
+        assert append_to_store(store, samples) == 60
+        assert list(TraceStoreReader(store).scan()) == samples
+
+    def test_append_to_empty_sample_stream_creates_valid_store(self, tmp_path):
+        store = tmp_path / "t.store"
+        assert append_to_store(store, []) == 0
+        assert list(TraceStoreReader(store).scan()) == []
+
+    def test_appends_concatenate_in_scan_order(self, tmp_path):
+        samples = make_trace_samples(150, seed=41)
+        store = tmp_path / "t.store"
+        append_to_store(store, samples[:50])
+        append_to_store(store, samples[50:90])
+        append_to_store(store, samples[90:])
+        assert list(TraceStoreReader(store).scan()) == samples
+
+    def test_append_matches_one_shot_write(self, tmp_path):
+        samples = make_trace_samples(120, seed=42)
+        oneshot = tmp_path / "oneshot.store"
+        appended = tmp_path / "appended.store"
+        write_store(oneshot, samples)
+        for start in range(0, 120, 30):
+            append_to_store(appended, samples[start : start + 30])
+        assert list(TraceStoreReader(appended).scan()) == list(
+            TraceStoreReader(oneshot).scan()
+        )
+
+    def test_partitions_tile_data_after_append(self, tmp_path):
+        samples = make_trace_samples(100, seed=43)
+        store = tmp_path / "t.store"
+        append_to_store(store, samples[:70])
+        append_to_store(store, samples[70:])
+        manifest = json.loads((store / MANIFEST_NAME).read_text())
+        assert manifest["row_count"] == 100
+        offset = 0
+        for partition in manifest["partitions"]:
+            assert partition["offset"] == offset
+            offset += partition["length"]
+        assert offset == manifest["data_bytes"]
+        assert (store / manifest["data_file"]).stat().st_size == manifest[
+            "data_bytes"
+        ]
+
+    def test_empty_append_to_existing_store_is_noop(self, tmp_path):
+        store = tmp_path / "t.store"
+        write_store(store, make_trace_samples(20, seed=44))
+        before = (store / MANIFEST_NAME).read_bytes()
+        assert append_to_store(store, []) == 0
+        assert (store / MANIFEST_NAME).read_bytes() == before
+
+    def test_crashed_append_tail_is_invisible_and_reclaimed(self, tmp_path):
+        samples = make_trace_samples(80, seed=45)
+        store = tmp_path / "t.store"
+        append_to_store(store, samples[:40])
+        # Simulate a crash mid-append: payload bytes hit data.bin but the
+        # manifest was never replaced.
+        with open(store / "data.bin", "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 64)
+        assert list(TraceStoreReader(store).scan()) == samples[:40]
+        append_to_store(store, samples[40:])
+        assert list(TraceStoreReader(store).scan()) == samples
+        manifest = json.loads((store / MANIFEST_NAME).read_text())
+        assert (store / "data.bin").stat().st_size == manifest["data_bytes"]
+
+    def test_append_upgrades_v1_store(self, tmp_path):
+        samples = make_trace_samples(60, seed=46)
+        store = tmp_path / "t.store"
+        write_store(store, samples[:30])
+        manifest_path = store / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 1
+        for partition in manifest["partitions"]:
+            for block in partition["blocks"]:
+                block.pop("crc32", None)
+        manifest_path.write_text(json.dumps(manifest))
+        append_to_store(store, samples[30:])
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["version"] == STORE_FORMAT_VERSION
+        # Old blocks carry no checksum, new ones do; both still scan.
+        assert list(TraceStoreReader(store).scan()) == samples
+
+    def test_append_rejects_mismatched_layout(self, tmp_path):
+        store = tmp_path / "t.store"
+        write_store(store, make_trace_samples(10, seed=47))
+        with pytest.raises(ValueError, match="band_windows"):
+            append_to_store(
+                store, make_trace_samples(5, seed=48), band_windows=2
+            )
+        with pytest.raises(ValueError, match="window_seconds"):
+            append_to_store(
+                store, make_trace_samples(5, seed=48), window_seconds=60.0
+            )
+
+    def test_append_rejects_foreign_manifest(self, tmp_path):
+        store = tmp_path / "t.store"
+        write_store(store, make_trace_samples(10, seed=49))
+        manifest_path = store / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = "other"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format"):
+            append_to_store(store, make_trace_samples(5, seed=50))
+
+    def test_append_counters(self, tmp_path):
+        store = tmp_path / "t.store"
+        write_store(store, make_trace_samples(30, seed=51))
+        metrics = MetricsRegistry()
+        append_to_store(store, make_trace_samples(25, seed=52), metrics=metrics)
+        assert metrics.counter("store.rows.written") == 25
+        assert metrics.counter("io.rows_written") == 25
+        assert metrics.counter("store.partitions.written") > 0
+        assert metrics.counter("store.bytes.written") > 0
 
 
 class TestAtomicity:
