@@ -28,6 +28,13 @@
 #                 watermark/replay-equivalence tests. Also part of tier-1.
 #   bench-ingest - the streaming-ingest throughput/seal-latency bench;
 #                 writes benchmarks/results/BENCH_ingest.json.
+#   test-serve  - just the query-serving suite (`serve` marker): endpoint
+#                 contracts vs the batch path, the LRU cache property,
+#                 concurrent-client + live-append semantics, and served
+#                 fault attribution. Also part of tier-1.
+#   bench-serve - the serving load benchmark (concurrent clients, p50/p99
+#                 latency, cache hit-rate floor); writes
+#                 benchmarks/results/BENCH_serve.json.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
@@ -38,15 +45,18 @@ STORE_TESTS = tests/test_store.py tests/test_store_pipeline.py
 FAULT_TESTS = tests/test_fault_tolerance.py
 KERNEL_TESTS = tests/test_batch_equivalence.py tests/test_kernels_property.py
 STREAMING_TESTS = tests/test_pipeline_streaming.py tests/test_pipeline_ingest.py
+SERVE_TESTS = tests/test_serve_api.py tests/test_serve_cache.py \
+              tests/test_serve_concurrency.py
 COV_FLOOR = 85
 
-.PHONY: test test-all test-faults test-kernels test-streaming coverage \
-	bench bench-scaling bench-io bench-analyze bench-ingest
+.PHONY: test test-all test-faults test-kernels test-streaming test-serve \
+	coverage bench bench-scaling bench-io bench-analyze bench-ingest \
+	bench-serve
 
 test:
 	$(PYTEST) -x -q
 
-test-all: coverage test-faults test-kernels test-streaming
+test-all: coverage test-faults test-kernels test-streaming test-serve
 	$(PYTEST) -q -m ""
 
 test-faults:
@@ -58,19 +68,23 @@ test-kernels:
 test-streaming:
 	$(PYTEST) -q -m streaming
 
+test-serve:
+	$(PYTEST) -q -m serve
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
-			$(KERNEL_TESTS) $(STREAMING_TESTS) \
+			$(KERNEL_TESTS) $(STREAMING_TESTS) $(SERVE_TESTS) \
 			--cov=repro.obs --cov=repro.store --cov=repro.faultinject \
 			--cov=repro.kernels --cov=repro.pipeline.ingest \
+			--cov=repro.serve \
 			--cov-report=term-missing \
 			--cov-fail-under=$(COV_FLOOR); \
 	else \
 		echo "pytest-cov not installed; running obs/store/fault/kernel/" \
-		     "streaming tests without the $(COV_FLOOR)% floor"; \
+		     "streaming/serve tests without the $(COV_FLOOR)% floor"; \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
-			$(KERNEL_TESTS) $(STREAMING_TESTS); \
+			$(KERNEL_TESTS) $(STREAMING_TESTS) $(SERVE_TESTS); \
 	fi
 
 bench:
@@ -87,3 +101,6 @@ bench-analyze:
 
 bench-ingest:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_ingest.py
+
+bench-serve:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_serve.py

@@ -1,0 +1,166 @@
+"""Serving load benchmark: concurrent clients, latency, cache hit rate.
+
+Stands up a real ``repro serve`` stack (``ThreadingHTTPServer`` + engine
++ hot-aggregation cache) over a synthetic store and drives it with a
+fleet of concurrent HTTP clients issuing a repeated-key dashboard
+workload — the access pattern the cache is built for (a fleet of
+dashboards polling the same hot (PoP, country, window) panels, like the
+lazy spatial caches the ROADMAP points at, which see 85–99% hits on
+repeated keys).
+
+Reports per-request latency (p50/p99 across all clients), sustained
+requests/sec, and the exact cache hit rate from the ``serve.cache.*``
+counters. Two floors are asserted:
+
+- hit rate >= 80% on the repeated-key workload (the ISSUE's acceptance
+  floor; the workload's distinct-query count makes the expected rate
+  ~97%, so 80% catches any accounting or invalidation regression);
+- every request answered 200 (a served error under clean load is a bug,
+  not noise).
+
+Latency numbers are host-dependent and reported for context, not gated.
+
+Results land in ``benchmarks/results/BENCH_serve.json``.
+
+Scale knobs: ``REPRO_BENCH_SERVE_CLIENTS`` (default 8),
+``REPRO_BENCH_SERVE_REQUESTS`` (default 50 per client).
+
+Run with ``make bench-serve`` or ``pytest -m bench benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.serve import make_server
+from repro.store import write_store
+
+from tests.helpers import make_trace_samples
+
+pytestmark = pytest.mark.bench
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", 8))
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", 50))
+SESSIONS = 4_000
+STUDY_WINDOWS = 8
+HIT_RATE_FLOOR = 0.80
+
+#: The dashboard workload: a handful of hot panels, polled repeatedly.
+#: 7 distinct queries -> 7 cold builds total; everything else is warm.
+QUERY_MIX = [
+    "/v1/quantiles",
+    "/v1/quantiles?pop=ams1",
+    "/v1/quantiles?pop=sjc1&country=US",
+    "/v1/quantiles?window=0-3",
+    "/v1/degradation",
+    "/v1/degradation?metric=hdratio",
+    "/v1/routing",
+]
+
+
+def _percentile(sorted_values, q):
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def test_serving_load(tmp_path):
+    store = tmp_path / "bench.store"
+    write_store(
+        store, make_trace_samples(SESSIONS, seed=11, windows=STUDY_WINDOWS)
+    )
+    server = make_server(store, port=0, cache_capacity=32)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+
+    # Warm nothing: the cold builds are part of the measured workload,
+    # exactly as a freshly restarted server would see it.
+    latencies_by_client = [[] for _ in range(CLIENTS)]
+    failures = []
+
+    def client(index):
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            for step in range(REQUESTS_PER_CLIENT):
+                path = QUERY_MIX[(index + step) % len(QUERY_MIX)]
+                start = time.perf_counter()
+                conn.request("GET", path)
+                response = conn.getresponse()
+                body = response.read()
+                latencies_by_client[index].append(
+                    time.perf_counter() - start
+                )
+                if response.status != 200:
+                    failures.append((path, response.status, body[:200]))
+            conn.close()
+        except Exception as error:  # noqa: BLE001 - surfaced in the assert
+            failures.append((index, repr(error), b""))
+
+    wall_start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(CLIENTS)
+    ]
+    for worker in threads:
+        worker.start()
+    for worker in threads:
+        worker.join()
+    wall = time.perf_counter() - wall_start
+
+    engine = server.engine
+    cache = engine.cache
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+    assert failures == []
+    latencies = sorted(
+        latency for client in latencies_by_client for latency in client
+    )
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(latencies) == total
+    assert engine.metrics.counter("serve.requests") == total
+
+    lookups = cache.hits + cache.misses
+    hit_rate = cache.hits / lookups if lookups else 0.0
+    results = {
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "requests_total": total,
+        "distinct_queries": len(QUERY_MIX),
+        "store_sessions": SESSIONS,
+        "wall_seconds": round(wall, 4),
+        "requests_per_sec": round(total / wall, 1),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000.0, 3),
+            "p90": round(_percentile(latencies, 0.90) * 1000.0, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1000.0, 3),
+            "max": round(latencies[-1] * 1000.0, 3),
+        },
+        "cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "hit_rate": round(hit_rate, 4),
+        },
+        "hit_rate_floor": HIT_RATE_FLOOR,
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+
+    assert hit_rate >= HIT_RATE_FLOOR, (
+        f"cache hit rate {hit_rate:.1%} on the repeated-key workload "
+        f"(floor {HIT_RATE_FLOOR:.0%}): {cache.hits} hits / "
+        f"{cache.misses} misses"
+    )

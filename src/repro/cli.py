@@ -20,7 +20,11 @@ The subcommands mirror the library's main entry points:
   store;
 - ``repro verify-store`` — scan a columnar store for corruption
   (per-block checksums plus a full decode; exit 1 with ``CORRUPT:`` lines
-  naming partition/column/offset when anything fails).
+  naming partition/column/offset when anything fails);
+- ``repro serve`` — serve a columnar store over HTTP (DESIGN.md §12):
+  ``/v1/quantiles``, ``/v1/degradation``, ``/v1/routing``, ``/v1/health``
+  behind a hot-aggregation LRU cache that invalidates when a concurrent
+  ``repro ingest`` appends windows to the same store.
 
 Sharded subcommands (``snapshot``, ``routing``, ``analyze``) take the
 fault policy flags ``--max-retries``, ``--retry-backoff``, and
@@ -241,6 +245,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("store", help="trace-store directory to verify")
     _add_observability_options(verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a columnar store over HTTP with a hot-aggregation cache",
+    )
+    serve.add_argument("store", help="trace-store directory to serve")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 picks a free port; default 8321)",
+    )
+    serve.add_argument(
+        "--engine", choices=("row", "batch"), default="batch",
+        help="dataset engine for unfiltered queries (outputs are "
+        "byte-identical; filtered queries always run the pruned row fold)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=64, dest="cache_capacity",
+        metavar="N",
+        help="hot-aggregation LRU entries kept resident (default 64)",
+    )
+    serve.add_argument(
+        "--windows", type=int, default=None,
+        help="study windows for the analyze profile (default: derived "
+        "from the store manifest's partition bands)",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None, dest="max_requests",
+        metavar="N",
+        help="exit after serving N responses (smoke tests / CI)",
+    )
+    _add_observability_options(serve)
 
     calibrate = sub.add_parser(
         "calibrate",
@@ -577,6 +615,51 @@ def _cmd_verify_store(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import active_metrics
+    from repro.serve import make_server
+
+    server = make_server(
+        args.store,
+        host=args.host,
+        port=args.port,
+        max_requests=args.max_requests,
+        engine=args.engine,
+        cache_capacity=args.cache_capacity,
+        study_windows=args.windows,
+        metrics=active_metrics(),
+    )
+    host, port = server.server_address[:2]
+    engine = server.engine
+    # Flushed eagerly so a wrapping process (tests, scripts) can read the
+    # bound port before the first request arrives.
+    print(
+        f"serving {args.store} on http://{host}:{port} "
+        f"({engine.study_windows} windows × {engine.window_seconds:.0f}s, "
+        f"engine={engine.engine}, cache={engine.cache.capacity})",
+        flush=True,
+    )
+    print(
+        "endpoints: /v1/quantiles /v1/degradation /v1/routing /v1/health",
+        flush=True,
+    )
+    if args.max_requests is not None:
+        print(f"(exiting after {args.max_requests} response(s))", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    cache = engine.cache
+    print(
+        f"served {engine.metrics.counter('serve.requests')} request(s); "
+        f"cache {cache.hits} hit(s) / {cache.misses} miss(es) / "
+        f"{cache.evictions} eviction(s)"
+    )
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.obs import merge_into_active
     from repro.pipeline import StudyDataset
@@ -609,6 +692,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "convert": _cmd_convert,
     "verify-store": _cmd_verify_store,
+    "serve": _cmd_serve,
     "calibrate": _cmd_calibrate,
 }
 

@@ -17,6 +17,10 @@ keeps *data facts* and *execution facts* in separate sections:
   counters, summarized; see DESIGN.md §11): windows sealed/empty, samples
   sealed, late samples ledgered, alerts raised. Empty (``{}``) for batch
   runs, so non-streaming manifests are unchanged.
+- ``serving`` — what a query-serving execution did (the ``serve.*``
+  counters, summarized; see DESIGN.md §12): requests by outcome, cache
+  hits/misses/evictions/invalidations, quarantined store errors. Empty
+  (``{}``) for non-serving runs, so batch manifests are unchanged.
 
 The format is versioned; :meth:`RunManifest.read` rejects manifests from a
 different format version rather than misinterpreting them.
@@ -81,6 +85,32 @@ def _streaming_from_counters(counters: Dict[str, int]) -> Dict[str, object]:
     return summary
 
 
+def _serving_from_counters(counters: Dict[str, int]) -> Dict[str, object]:
+    """Serving summary from the ``serve.*`` execution counters.
+
+    Returns ``{}`` when no request was handled (a non-serving run), so
+    batch manifests stay byte-identical to the prior format.
+    """
+    summary = {
+        "requests": counters.get("serve.requests", 0),
+        "responses_ok": counters.get("serve.responses.ok", 0),
+        "responses_client_error": counters.get(
+            "serve.responses.client_error", 0
+        ),
+        "responses_server_error": counters.get(
+            "serve.responses.server_error", 0
+        ),
+        "cache_hits": counters.get("serve.cache.hits", 0),
+        "cache_misses": counters.get("serve.cache.misses", 0),
+        "cache_evictions": counters.get("serve.cache.evictions", 0),
+        "cache_invalidations": counters.get("serve.cache.invalidations", 0),
+        "quarantined": counters.get("serve.quarantined", 0),
+    }
+    if not any(summary.values()):
+        return {}
+    return summary
+
+
 @dataclass
 class RunManifest:
     """One run's configuration, accounting, and timing record."""
@@ -101,6 +131,9 @@ class RunManifest:
     #: Streaming summary for ingest runs: windows sealed/empty, samples
     #: sealed, late samples, alerts. Empty for batch runs.
     streaming: Dict[str, object] = field(default_factory=dict)
+    #: Serving summary for query-serving runs: requests by outcome, cache
+    #: accounting, quarantined store errors. Empty for non-serving runs.
+    serving: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -113,6 +146,7 @@ class RunManifest:
         exit_code: Optional[int] = None,
         degraded: Optional[Dict[str, object]] = None,
         streaming: Optional[Dict[str, object]] = None,
+        serving: Optional[Dict[str, object]] = None,
     ) -> "RunManifest":
         """Snapshot a registry and tracer into a manifest.
 
@@ -129,6 +163,8 @@ class RunManifest:
             degraded = _degraded_from_counters(counters)
         if streaming is None:
             streaming = _streaming_from_counters(counters)
+        if serving is None:
+            serving = _serving_from_counters(counters)
         return cls(
             command=command,
             config=dict(config or {}),
@@ -140,6 +176,7 @@ class RunManifest:
             exit_code=exit_code,
             degraded=dict(degraded),
             streaming=dict(streaming),
+            serving=dict(serving),
         )
 
     # ------------------------------------------------------------------ #
@@ -173,6 +210,7 @@ class RunManifest:
             "python_version": self.python_version,
             "degraded": dict(self.degraded),
             "streaming": dict(self.streaming),
+            "serving": dict(self.serving),
         }
 
     @classmethod
@@ -192,6 +230,7 @@ class RunManifest:
             python_version=payload.get("python_version", ""),
             degraded=dict(payload.get("degraded", {})),
             streaming=dict(payload.get("streaming", {})),
+            serving=dict(payload.get("serving", {})),
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -24,11 +24,14 @@ the §3.2 classifier counts, ``core.*`` aggregation-store accounting,
 injected faults (:mod:`repro.faultinject`) and the sharded pipeline's
 retry/quarantine ledger, ``stream.*`` streaming ingest — windows
 sealed/empty, samples sealed, late samples, online alerts
-(:mod:`repro.pipeline.ingest`). ``fault.*`` and ``stream.*`` counters are
-**execution facts**: they describe how one run fared, never the data, so
-they go to the run's execution registry only and sit outside the
-counter-equality invariant (and outside the manifest's sample
-accounting). See DESIGN.md §7 for the registry of names.
+(:mod:`repro.pipeline.ingest`), ``serve.*`` the query-serving layer —
+requests by outcome, hot-aggregation cache hits/misses/evictions/
+invalidations, quarantined store errors (:mod:`repro.serve`).
+``fault.*``, ``stream.*``, and ``serve.*`` counters are **execution
+facts**: they describe how one run fared, never the data, so they go to
+the run's execution registry only and sit outside the counter-equality
+invariant (and outside the manifest's sample accounting). See DESIGN.md
+§7 for the registry of names.
 """
 
 from __future__ import annotations

@@ -1,0 +1,119 @@
+"""Hot-aggregation LRU cache for the query-serving layer.
+
+:class:`LruCache` is a deliberately small, exactly-accounted LRU map. The
+serving engine (:mod:`repro.serve.engine`) keys it by the normalized query
+coordinates — (PoPs, countries, window band, engine profile) — and stores
+the built sealed-window aggregation (a
+:class:`~repro.pipeline.dataset.StudyDataset` plus its rendered response
+memo) as the value, the same shape the lazy spatial caches the ROADMAP
+points at use for repeated-key workloads.
+
+Accounting is part of the contract, not a nicety: every ``get`` is exactly
+one hit or one miss, every capacity overflow is exactly one eviction of the
+least-recently-used entry, and every ``invalidate_all`` counts the entries
+it dropped. ``tests/test_serve_cache.py`` holds a Hypothesis model against
+these semantics, and the serving benchmark's hit-rate floor is computed
+from these counters — so they must never drift from the true behaviour.
+
+The cache itself is **not** thread-safe; the engine serializes access
+under its request lock (which is also what makes hit/miss totals exact
+under a concurrent client fleet — see ``tests/test_serve_concurrency.py``).
+
+Counters (mirrored into a :class:`repro.obs.MetricsRegistry` when one is
+supplied): ``serve.cache.hits`` / ``serve.cache.misses`` /
+``serve.cache.evictions`` / ``serve.cache.invalidations``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, List, Optional, Tuple
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """Least-recently-used map with exact hit/miss/eviction accounting.
+
+    ``capacity`` is the maximum number of entries ever held (must be
+    positive); a ``put`` that would exceed it evicts least-recently-used
+    entries first. Both ``get`` hits and ``put`` updates refresh recency.
+    """
+
+    def __init__(self, capacity: int, metrics=None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test without touching recency or accounting."""
+        return key in self._entries
+
+    def keys(self) -> List[Hashable]:
+        """Keys from least- to most-recently used."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or ``None``.
+
+        Exactly one of ``hits``/``misses`` advances per call.
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            if self.metrics is not None:
+                self.metrics.inc("serve.cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if self.metrics is not None:
+            self.metrics.inc("serve.cache.hits")
+        return value
+
+    def put(self, key: Hashable, value: Any) -> List[Tuple[Hashable, Any]]:
+        """Insert/update ``key``; returns the ``(key, value)`` pairs evicted.
+
+        An update refreshes recency without evicting. At most one entry is
+        ever evicted per put (capacity is enforced after every insert).
+        """
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return []
+        self._entries[key] = value
+        evicted: List[Tuple[Hashable, Any]] = []
+        while len(self._entries) > self.capacity:
+            evicted.append(self._entries.popitem(last=False))
+            self.evictions += 1
+            if self.metrics is not None:
+                self.metrics.inc("serve.cache.evictions")
+        return evicted
+
+    def invalidate_all(self) -> int:
+        """Drop every entry; returns how many were dropped.
+
+        The engine calls this when the store's generation changes (an
+        ``append_to_store`` landed new sealed windows): every cached
+        aggregation describes the previous generation and must never be
+        served again. ``invalidations`` counts *entries dropped*, so a
+        no-op flush of an empty cache is free and uncounted.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.invalidations += dropped
+            if self.metrics is not None:
+                self.metrics.inc("serve.cache.invalidations", dropped)
+        return dropped

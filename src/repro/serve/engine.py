@@ -1,0 +1,698 @@
+"""Query engine: the serving layer's store-backed resolver.
+
+:class:`QueryEngine` answers the four ``/v1`` endpoints over a sealed
+columnar store (:mod:`repro.store`). Every query resolves through the same
+code path the batch CLI runs — :class:`~repro.pipeline.dataset.StudyDataset`
+ingestion, :func:`~repro.pipeline.experiments.fig6_global_performance`,
+:func:`~repro.pipeline.routing_analysis.fig9_opportunity`, the §5
+verdict/classification stack — so a served number is *defined* to be the
+batch number (the serving layer inherits the equivalence-to-serial
+contract; ``tests/test_serve_api.py`` pins it byte-for-byte).
+
+Resolution pipeline per query:
+
+1. **Generation check.** The store manifest is re-read on every request;
+   its ``(row_count, data_bytes, partitions)`` triple is the store's
+   *generation*. An ``append_to_store`` (e.g. a live ``repro ingest``
+   feeding the same store) changes the triple, which flushes the whole
+   cache — a cached aggregation can therefore never outlive the data it
+   was built from. The manifest is swapped in atomically (temp+rename),
+   and appends only ever add bytes past the previous manifest's range, so
+   a concurrent reader always observes a consistent snapshot.
+2. **Cache lookup.** Aggregations are cached in an :class:`~repro.serve.cache.LruCache`
+   keyed by the normalized query coordinates — (profile, engine, PoPs,
+   countries, window band) — with exact hit/miss/eviction accounting.
+3. **Build on miss.** A :class:`ScanFilter` prunes non-matching partitions
+   from the manifest before any data byte is read (the ``store.*``
+   pruned/bytes counters land in the serving registry), then the admitted
+   samples fold into a ``StudyDataset`` exactly as the batch path folds
+   them. Window bounds are enforced exactly: the filter's inclusive time
+   range over-admits at most the band boundary, and a row-level
+   ``window_index`` predicate drops the overshoot.
+4. **Render.** Responses are JSON-ready dicts memoized per (endpoint,
+   params) on the cache entry, so a warm response is byte-identical to the
+   cold one by construction.
+
+Failure semantics (§9 failure model, extended to serving): a typed
+:class:`~repro.store.errors.StoreError` raised under a query is mapped to
+a 503 payload naming the damaged partition/column/byte-range, recorded in
+the engine's quarantine ledger, and surfaced by ``/v1/health`` as a
+``degraded`` status. No crash, and never silently-zero numbers.
+
+Thread safety: one re-entrant lock serializes request handling, which is
+what makes ``serve.*`` counters sum exactly to per-client totals under a
+concurrent fleet (``tests/test_serve_concurrency.py``). Cache hits are
+O(1) under the lock; only cold builds pay a scan.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.aggregation import window_index
+from repro.core.classification import classify_group
+from repro.core.constants import (
+    DEFAULT_HDRATIO_THRESHOLD,
+    DEFAULT_MINRTT_THRESHOLD_MS,
+)
+from repro.obs import MetricsRegistry
+from repro.pipeline.dataset import StudyDataset
+from repro.pipeline.experiments import fig6_global_performance
+from repro.pipeline.report import format_metric, format_percent
+from repro.pipeline.routing_analysis import (
+    WeightedDifferenceCdf,
+    fig9_opportunity,
+)
+from repro.store import ScanFilter, TraceStoreReader, verify_store
+from repro.store.errors import StoreError
+from repro.store.writer import MANIFEST_NAME
+from repro.serve.cache import LruCache
+
+__all__ = [
+    "BadRequest",
+    "DEFAULT_CACHE_CAPACITY",
+    "DEFAULT_ROUTING_WINDOWS",
+    "QUANTILE_POINTS",
+    "QueryEngine",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+#: Default LRU capacity: a dashboard fleet's working set is its hot
+#: (PoP, country) pairs; 64 sealed-window aggregations cover that with
+#: room while bounding resident datasets.
+DEFAULT_CACHE_CAPACITY = 64
+
+#: `repro routing` audits a trace at one-hour windows over a default
+#: two-day study (``--days 2`` → 48 windows); ``/v1/routing`` matches that
+#: so served numbers equal the batch CLI's by default.
+DEFAULT_ROUTING_WINDOWS = 48
+
+#: MinRTT quantiles served by ``/v1/quantiles`` (fig6's headline points).
+QUANTILE_POINTS = (0.5, 0.8, 0.9, 0.99)
+
+
+class BadRequest(ValueError):
+    """A malformed query: unknown parameter, bad value, bad combination."""
+
+
+class _CacheEntry:
+    """One cached aggregation: the dataset plus its rendered responses."""
+
+    __slots__ = ("dataset", "responses")
+
+    def __init__(self, dataset: StudyDataset) -> None:
+        self.dataset = dataset
+        #: (endpoint, extra-params) -> JSON-ready payload dict. Memoizing
+        #: the rendered response makes warm responses byte-identical to
+        #: cold ones by construction and O(1) under the request lock.
+        self.responses: Dict[tuple, dict] = {}
+
+
+class QueryEngine:
+    """Resolve serving queries over one sealed columnar store.
+
+    ``study_windows``/``window_seconds`` default to values derived from
+    the store manifest (the partition bands span the study); pass them
+    explicitly to pin equivalence against a specific batch invocation.
+    ``routing_windows`` defaults to the routing CLI's two-day study.
+    ``engine`` selects the dataset build for *unfiltered* queries
+    (``"batch"`` runs the column kernels); filtered queries always run the
+    row fold, whose output is byte-identical by the PR-5 oracle contract.
+    """
+
+    def __init__(
+        self,
+        store_path: PathLike,
+        study_windows: Optional[int] = None,
+        window_seconds: Optional[float] = None,
+        routing_windows: int = DEFAULT_ROUTING_WINDOWS,
+        routing_window_seconds: float = 3600.0,
+        engine: str = "batch",
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if engine not in ("row", "batch"):
+            raise ValueError(f"unknown engine {engine!r} (use 'row' or 'batch')")
+        if routing_windows < 1:
+            raise ValueError("routing_windows must be >= 1")
+        self.path = pathlib.Path(store_path)
+        self.engine = engine
+        self.routing_windows = routing_windows
+        self.routing_window_seconds = routing_window_seconds
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = LruCache(cache_capacity, metrics=self.metrics)
+        self._lock = threading.RLock()
+        self._generation: Optional[dict] = None
+        #: Quarantine ledger: every distinct StoreError a served query hit,
+        #: with partition/column attribution — the serving face of the §9
+        #: degraded-run ledger. Surfaced by /v1/health.
+        self.quarantine: List[dict] = []
+
+        # Derive study shape from the manifest unless pinned by the caller.
+        # (The store must exist to be served; a missing manifest raises the
+        # same typed StoreError a scan would.)
+        reader = TraceStoreReader(self.path)
+        manifest = reader.manifest
+        self.window_seconds = (
+            float(window_seconds)
+            if window_seconds is not None
+            else float(manifest.get("window_seconds", 900.0))
+        )
+        if study_windows is not None:
+            if study_windows < 1:
+                raise ValueError("study_windows must be >= 1")
+            self.study_windows = study_windows
+        else:
+            band_windows = int(manifest.get("band_windows", 1))
+            bands = [p["band"] for p in manifest.get("partitions", [])]
+            self.study_windows = max(
+                (max(bands) + 1) * band_windows if bands else 1, 1
+            )
+
+    # ------------------------------------------------------------------ #
+    # Request entry point
+    # ------------------------------------------------------------------ #
+    def handle(self, path: str, params: Dict[str, List[str]]) -> Tuple[int, dict]:
+        """Resolve one request; returns ``(http_status, payload_dict)``.
+
+        Never raises for store or parameter problems — they map to typed
+        400/404/503 payloads — so the HTTP layer stays a thin renderer.
+        Runs entirely under the engine lock: counters advance atomically
+        with the work they count.
+        """
+        routes = {
+            "/v1/quantiles": self._quantiles,
+            "/v1/degradation": self._degradation,
+            "/v1/routing": self._routing,
+            "/v1/health": self._health,
+        }
+        with self._lock:
+            self.metrics.inc("serve.requests")
+            handler = routes.get(path)
+            if handler is None:
+                self.metrics.inc("serve.responses.client_error")
+                return 404, {
+                    "error": "not_found",
+                    "detail": f"unknown path {path!r}",
+                    "paths": sorted(routes),
+                }
+            try:
+                payload = handler(params)
+            except BadRequest as error:
+                self.metrics.inc("serve.responses.client_error")
+                return 400, {"error": "bad_request", "detail": str(error)}
+            except StoreError as error:
+                self._record_quarantine(error)
+                self.metrics.inc("serve.responses.server_error")
+                return 503, {
+                    "error": type(error).__name__,
+                    "partition": getattr(error, "partition_id", None),
+                    "column": getattr(error, "column", None),
+                    "offset": getattr(error, "offset", None),
+                    "detail": str(error),
+                }
+            self.metrics.inc("serve.responses.ok")
+            return 200, payload
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _quantiles(self, params: Dict[str, List[str]]) -> dict:
+        pops, countries, window = self._common_filters(
+            params, allowed=("pop", "country", "window")
+        )
+        entry, generation = self._entry("analyze", pops, countries, window)
+        memo_key = ("quantiles",)
+        cached = entry.responses.get(memo_key)
+        if cached is not None:
+            return cached
+        result = fig6_global_performance(entry.dataset)
+        minrtt = {
+            f"p{int(q * 100)}": result.minrtt_all.quantile(q)
+            for q in QUANTILE_POINTS
+        }
+        hdratio = {
+            f"p{int(q * 100)}": result.hdratio_all.quantile(q)
+            for q in (0.25, 0.5, 0.75)
+        }
+        hdratio["positive_fraction"] = result.hdratio_positive_fraction
+        hdratio["full_fraction"] = result.hdratio_full_fraction
+        payload = {
+            "endpoint": "quantiles",
+            "engine": self.engine,
+            "generation": generation,
+            "filters": self._echo_filters(pops, countries, window),
+            "window_seconds": self.window_seconds,
+            "study_windows": entry.dataset.study_windows,
+            "sessions": entry.dataset.session_count,
+            "hd_sessions": len(entry.dataset.hd_rows()),
+            "minrtt_ms": minrtt,
+            "hdratio": hdratio,
+            # The exact strings `repro analyze` prints — the contract that
+            # served numbers ARE the batch report's numbers.
+            "formatted": {
+                "minrtt_p50": format_metric(result.median_minrtt, ".1f", " ms"),
+                "minrtt_p80": format_metric(result.p80_minrtt, ".1f", " ms"),
+                "hdratio_positive": format_percent(
+                    result.hdratio_positive_fraction
+                ),
+            },
+        }
+        entry.responses[memo_key] = payload
+        return payload
+
+    def _degradation(self, params: Dict[str, List[str]]) -> dict:
+        pops, countries, window = self._common_filters(
+            params,
+            allowed=("pop", "country", "window", "metric", "threshold", "limit"),
+        )
+        metric = self._one(params, "metric", "minrtt")
+        if metric not in ("minrtt", "hdratio"):
+            raise BadRequest("metric must be 'minrtt' or 'hdratio'")
+        default_threshold = (
+            DEFAULT_MINRTT_THRESHOLD_MS
+            if metric == "minrtt"
+            else DEFAULT_HDRATIO_THRESHOLD
+        )
+        threshold = self._float(params, "threshold", default_threshold)
+        limit = self._int(params, "limit", 100, minimum=1)
+        entry, generation = self._entry("analyze", pops, countries, window)
+        memo_key = ("degradation", metric, threshold, limit)
+        cached = entry.responses.get(memo_key)
+        if cached is not None:
+            return cached
+
+        dataset = entry.dataset
+        verdict_map = dataset.verdicts(metric, "degradation")
+        acc = WeightedDifferenceCdf()
+        groups = []
+        class_counts: Dict[str, int] = {}
+        for group in sorted(
+            verdict_map, key=lambda g: (g.pop, g.prefix, g.country)
+        ):
+            verdicts = verdict_map[group]
+            for verdict in verdicts:
+                acc.add(verdict)
+            classification = classify_group(
+                verdicts,
+                threshold,
+                dataset.study_windows,
+                windows_per_day=dataset.windows_per_day,
+            )
+            label = (
+                classification.temporal_class.value
+                if classification.temporal_class is not None
+                else "unclassified"
+            )
+            class_counts[label] = class_counts.get(label, 0) + 1
+            groups.append(
+                {
+                    "pop": group.pop,
+                    "prefix": group.prefix,
+                    "country": group.country,
+                    "temporal_class": label,
+                    "coverage": classification.coverage,
+                    "valid_windows": classification.valid_windows,
+                    "event_windows": classification.event_windows,
+                    "total_traffic_bytes": classification.total_traffic_bytes,
+                    "event_traffic_bytes": classification.event_traffic_bytes,
+                }
+            )
+        payload = {
+            "endpoint": "degradation",
+            "engine": self.engine,
+            "generation": generation,
+            "filters": self._echo_filters(pops, countries, window),
+            "metric": metric,
+            "threshold": threshold,
+            "study_windows": dataset.study_windows,
+            "groups_total": len(groups),
+            "groups": groups[:limit],
+            "class_counts": dict(sorted(class_counts.items())),
+            # Fig-8-style aggregate: traffic degraded >= threshold with
+            # CI-lower-bound confidence, over all matching groups.
+            "degraded_traffic_fraction_ci": acc.traffic_fraction_at_least(
+                threshold, use_ci_low=True
+            ),
+            "valid_traffic_fraction": acc.valid_traffic_fraction,
+        }
+        entry.responses[memo_key] = payload
+        return payload
+
+    def _routing(self, params: Dict[str, List[str]]) -> dict:
+        pops, countries, window = self._common_filters(
+            params,
+            allowed=(
+                "pop",
+                "country",
+                "window",
+                "slack_ms",
+                "minrtt_threshold",
+                "hdratio_threshold",
+            ),
+        )
+        slack_ms = self._float(params, "slack_ms", 3.0)
+        minrtt_threshold = self._float(params, "minrtt_threshold", 5.0)
+        hdratio_threshold = self._float(params, "hdratio_threshold", 0.05)
+        entry, generation = self._entry("routing", pops, countries, window)
+        memo_key = ("routing", slack_ms, minrtt_threshold, hdratio_threshold)
+        cached = entry.responses.get(memo_key)
+        if cached is not None:
+            return cached
+        result = fig9_opportunity(entry.dataset)
+        minrtt_within = result.minrtt_within_of_optimal(slack_ms)
+        minrtt_improvable = result.minrtt.traffic_fraction_at_least(
+            minrtt_threshold, use_ci_low=True
+        )
+        hd_improvable = result.hdratio.traffic_fraction_at_least(
+            hdratio_threshold, use_ci_low=True
+        )
+        payload = {
+            "endpoint": "routing",
+            "engine": self.engine,
+            "generation": generation,
+            "filters": self._echo_filters(pops, countries, window),
+            "window_seconds": self.routing_window_seconds,
+            "study_windows": entry.dataset.study_windows,
+            "sessions": entry.dataset.session_count,
+            "slack_ms": slack_ms,
+            "minrtt_threshold": minrtt_threshold,
+            "hdratio_threshold": hdratio_threshold,
+            "minrtt": {
+                "within_slack_fraction": minrtt_within,
+                "improvable_fraction_ci": minrtt_improvable,
+                "valid_traffic_fraction": result.minrtt.valid_traffic_fraction,
+            },
+            "hdratio": {
+                "improvable_fraction_ci": hd_improvable,
+                "valid_traffic_fraction": result.hdratio.valid_traffic_fraction,
+            },
+            # The exact strings `repro routing --trace` prints.
+            "formatted": {
+                "minrtt_within_slack": format_percent(minrtt_within),
+                "minrtt_improvable": format_percent(minrtt_improvable),
+                "hdratio_improvable": format_percent(hd_improvable),
+            },
+        }
+        entry.responses[memo_key] = payload
+        return payload
+
+    def _health(self, params: Dict[str, List[str]]) -> dict:
+        self._reject_unknown(params, allowed=("verify",))
+        verify = self._one(params, "verify", "") in ("1", "true", "yes")
+        payload: dict = {
+            "endpoint": "health",
+            "store": str(self.path),
+            "engine": self.engine,
+            "cache": {
+                "size": len(self.cache),
+                "capacity": self.cache.capacity,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "invalidations": self.cache.invalidations,
+            },
+            "requests": self.metrics.counter("serve.requests"),
+            "quarantine": {
+                "count": len(self.quarantine),
+                "partitions": sorted(
+                    {
+                        entry["partition"]
+                        for entry in self.quarantine
+                        if entry["partition"] is not None
+                    }
+                ),
+                "entries": list(self.quarantine),
+            },
+        }
+        try:
+            generation = self._refresh_generation()
+        except StoreError as error:
+            payload["status"] = "degraded"
+            payload["generation"] = None
+            payload["store_error"] = str(error)
+            return payload
+        payload["generation"] = generation
+        if verify:
+            report = verify_store(self.path, metrics=self.metrics)
+            payload["verify"] = {
+                "ok": report.ok,
+                "partitions_total": report.partitions_total,
+                "partitions_corrupt": report.partitions_corrupt,
+                "findings": [f.describe() for f in report.findings],
+            }
+            if not report.ok:
+                for finding in report.findings:
+                    self._record_quarantine_entry(
+                        finding.partition_id, finding.column, finding.error
+                    )
+                payload["quarantine"]["count"] = len(self.quarantine)
+                payload["quarantine"]["entries"] = list(self.quarantine)
+                payload["quarantine"]["partitions"] = sorted(
+                    {
+                        entry["partition"]
+                        for entry in self.quarantine
+                        if entry["partition"] is not None
+                    }
+                )
+        payload["status"] = "degraded" if self.quarantine else "ok"
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Cache + dataset plumbing
+    # ------------------------------------------------------------------ #
+    def _entry(
+        self,
+        profile: str,
+        pops: Optional[frozenset],
+        countries: Optional[frozenset],
+        window: Optional[Tuple[int, int]],
+    ) -> Tuple[_CacheEntry, dict]:
+        """Cached aggregation for the normalized query coordinates.
+
+        Checks the store generation first: a changed manifest flushes the
+        cache *before* the lookup, so a pre-append aggregation is
+        unreachable the moment an append lands.
+        """
+        generation = self._refresh_generation()
+        key = (
+            profile,
+            self.engine,
+            tuple(sorted(pops)) if pops is not None else None,
+            tuple(sorted(countries)) if countries is not None else None,
+            window,
+        )
+        entry = self.cache.get(key)
+        if entry is None:
+            entry = _CacheEntry(
+                self._build_dataset(profile, pops, countries, window)
+            )
+            self.cache.put(key, entry)
+        return entry, generation
+
+    def _refresh_generation(self) -> dict:
+        """Read the manifest's generation triple; flush the cache on change."""
+        manifest_path = self.path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreError(
+                f"{self.path}: not a trace store (missing {MANIFEST_NAME})"
+            ) from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            from repro.store.errors import CorruptManifestError
+
+            raise CorruptManifestError(manifest_path, str(error)) from error
+        generation = {
+            "row_count": manifest.get("row_count"),
+            "data_bytes": manifest.get("data_bytes"),
+            "partitions": len(manifest.get("partitions", ())),
+        }
+        if generation != self._generation:
+            if self._generation is not None:
+                self.cache.invalidate_all()
+            self._generation = generation
+        return generation
+
+    def _build_dataset(
+        self,
+        profile: str,
+        pops: Optional[frozenset],
+        countries: Optional[frozenset],
+        window: Optional[Tuple[int, int]],
+    ) -> StudyDataset:
+        """Build the aggregation the batch path would build for this query."""
+        if profile == "analyze":
+            window_seconds = self.window_seconds
+            study_windows = self.study_windows
+            keep_response_sizes = True
+        else:  # routing: the §6 audit's dataset shape (hourly windows)
+            window_seconds = self.routing_window_seconds
+            study_windows = self.routing_windows
+            keep_response_sizes = False
+
+        unfiltered = pops is None and countries is None and window is None
+        if unfiltered and self.engine == "batch":
+            from repro.pipeline.parallel import build_dataset
+
+            dataset = build_dataset(
+                str(self.path),
+                study_windows=study_windows,
+                keep_response_sizes=keep_response_sizes,
+                window_seconds=window_seconds,
+                engine="batch",
+            )
+            self.metrics.merge(dataset.metrics)
+            return dataset
+
+        dataset = StudyDataset(
+            study_windows=study_windows,
+            keep_response_sizes=keep_response_sizes,
+            window_seconds=window_seconds,
+        )
+        scan_filter = None
+        if not unfiltered:
+            scan_filter = ScanFilter(
+                pops=pops,
+                countries=countries,
+                min_end_time=(
+                    window[0] * window_seconds if window is not None else None
+                ),
+                max_end_time=(
+                    (window[1] + 1) * window_seconds
+                    if window is not None
+                    else None
+                ),
+            )
+        reader = TraceStoreReader(self.path)
+        samples = reader.scan(scan_filter, metrics=dataset.metrics)
+        if window is not None:
+            # The filter's inclusive time bounds over-admit only a sample
+            # ending exactly on the range's right edge; this exact
+            # predicate restores window semantics (floor(end/W) in range).
+            lo, hi = window
+            samples = (
+                s
+                for s in samples
+                if lo <= window_index(s.end_time, window_seconds) <= hi
+            )
+        dataset.ingest(samples)
+        self.metrics.merge(dataset.metrics)
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    # Parameter parsing
+    # ------------------------------------------------------------------ #
+    def _common_filters(
+        self, params: Dict[str, List[str]], allowed: Tuple[str, ...]
+    ) -> Tuple[Optional[frozenset], Optional[frozenset], Optional[Tuple[int, int]]]:
+        self._reject_unknown(params, allowed)
+        pops = frozenset(params["pop"]) if params.get("pop") else None
+        countries = (
+            frozenset(params["country"]) if params.get("country") else None
+        )
+        window = self._window_range(params)
+        return pops, countries, window
+
+    @staticmethod
+    def _reject_unknown(
+        params: Dict[str, List[str]], allowed: Tuple[str, ...]
+    ) -> None:
+        unknown = sorted(set(params) - set(allowed))
+        if unknown:
+            raise BadRequest(
+                f"unknown parameter(s) {', '.join(unknown)} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+
+    @staticmethod
+    def _one(params: Dict[str, List[str]], name: str, default: str) -> str:
+        values = params.get(name)
+        if not values:
+            return default
+        if len(values) > 1:
+            raise BadRequest(f"parameter {name} given more than once")
+        return values[0]
+
+    def _float(
+        self, params: Dict[str, List[str]], name: str, default: float
+    ) -> float:
+        raw = self._one(params, name, "")
+        if raw == "":
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise BadRequest(f"parameter {name} must be a number, got {raw!r}")
+
+    def _int(
+        self,
+        params: Dict[str, List[str]],
+        name: str,
+        default: int,
+        minimum: int,
+    ) -> int:
+        raw = self._one(params, name, "")
+        if raw == "":
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise BadRequest(f"parameter {name} must be an integer, got {raw!r}")
+        if value < minimum:
+            raise BadRequest(f"parameter {name} must be >= {minimum}")
+        return value
+
+    def _window_range(
+        self, params: Dict[str, List[str]]
+    ) -> Optional[Tuple[int, int]]:
+        raw = self._one(params, "window", "")
+        if raw == "":
+            return None
+        lo, _, hi = raw.partition("-")
+        try:
+            start = int(lo)
+            end = int(hi) if hi else start
+        except ValueError:
+            raise BadRequest(
+                f"parameter window must be N or A-B, got {raw!r}"
+            )
+        if start < 0 or end < start:
+            raise BadRequest(
+                f"parameter window range is empty or negative: {raw!r}"
+            )
+        return (start, end)
+
+    @staticmethod
+    def _echo_filters(
+        pops: Optional[frozenset],
+        countries: Optional[frozenset],
+        window: Optional[Tuple[int, int]],
+    ) -> dict:
+        return {
+            "pops": sorted(pops) if pops is not None else None,
+            "countries": sorted(countries) if countries is not None else None,
+            "window": list(window) if window is not None else None,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Quarantine ledger
+    # ------------------------------------------------------------------ #
+    def _record_quarantine(self, error: StoreError) -> None:
+        self._record_quarantine_entry(
+            getattr(error, "partition_id", None),
+            getattr(error, "column", None),
+            str(error),
+        )
+
+    def _record_quarantine_entry(
+        self, partition: Optional[int], column: Optional[str], detail: str
+    ) -> None:
+        entry = {"partition": partition, "column": column, "error": detail}
+        if entry not in self.quarantine:
+            self.quarantine.append(entry)
+            self.metrics.inc("serve.quarantined")

@@ -634,3 +634,129 @@ class TestDurableWrites:
         write_store(tmp_path / "t.store", samples[:5])
         # data.bin + manifest.json, each: temp-file fsync + dir fsync.
         assert len(fsyncs) >= 4
+
+
+# --------------------------------------------------------------------- #
+# 7. Served queries over a damaged store (DESIGN §12 failure semantics)
+# --------------------------------------------------------------------- #
+@pytest.mark.serve
+class TestServeFaults:
+    """A corrupt store under a served query: typed 503 with partition
+    attribution, never a crash, never silent zeros — and /v1/health flips
+    to degraded with the damage in its quarantine ledger."""
+
+    def test_corrupt_block_returns_typed_503_with_attribution(self, store_path):
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(store_path)
+        partition, block = _flip_block_byte(store_path)
+        status, payload = engine.handle("/v1/quantiles", {})
+        assert status == 503
+        assert payload["error"] == "CorruptBlockError"
+        assert payload["partition"] == partition["id"]
+        assert payload["column"] == block["column"]
+        assert "crc32 mismatch" in payload["detail"]
+        assert engine.metrics.counter("serve.responses.server_error") == 1
+        # Silent zeros are the failure mode this forbids: the error body
+        # must not look like an empty-but-valid aggregate.
+        assert "sessions" not in payload
+        assert "minrtt_ms" not in payload
+
+    def test_corruption_flips_health_to_degraded(self, store_path):
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(store_path)
+        _, healthy = engine.handle("/v1/health", {})
+        assert healthy["status"] == "ok"
+        partition, _ = _flip_block_byte(store_path)
+        engine.handle("/v1/quantiles", {})  # quarantines the 503
+        _, degraded = engine.handle("/v1/health", {})
+        assert degraded["status"] == "degraded"
+        assert degraded["quarantine"]["count"] == 1
+        assert degraded["quarantine"]["partitions"] == [partition["id"]]
+
+    def test_health_verify_audits_damage_without_a_query(self, store_path):
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(store_path)
+        partition, _ = _flip_block_byte(store_path)
+        status, payload = engine.handle("/v1/health", {"verify": ["1"]})
+        assert status == 200  # health itself must answer, degraded or not
+        assert payload["verify"]["ok"] is False
+        assert payload["verify"]["partitions_corrupt"] == 1
+        assert payload["status"] == "degraded"
+        assert partition["id"] in payload["quarantine"]["partitions"]
+
+    def test_injected_fault_indistinguishable_from_disk_damage(self, store_path):
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(store_path)
+        partition = TraceStoreReader(store_path).partitions[0]
+        column = partition["blocks"][0]["column"]
+        plan = FaultPlan(
+            flip_byte={
+                "partition": partition["id"],
+                "column": column,
+                "offset": 0,
+            }
+        )
+        with faultinject.inject(plan):
+            status, payload = engine.handle("/v1/quantiles", {})
+        assert status == 503
+        assert payload["error"] == "CorruptBlockError"
+        assert payload["partition"] == partition["id"]
+        # The fault context is gone; the same engine must recover without
+        # a restart (the failed build was never cached).
+        status, payload = engine.handle("/v1/quantiles", {})
+        assert status == 200
+        assert payload["sessions"] > 0
+
+    def test_truncated_store_returns_typed_503(self, store_path):
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(store_path)
+        data_path = store_path / "data.bin"
+        data_path.write_bytes(data_path.read_bytes()[:-20])
+        status, payload = engine.handle("/v1/quantiles", {})
+        assert status == 503
+        assert payload["error"] == "TruncatedPartitionError"
+        assert payload["partition"] is not None
+
+    def test_lost_manifest_degrades_health_and_queries(self, store_path):
+        from repro.serve import QueryEngine
+
+        engine = QueryEngine(store_path)
+        engine.handle("/v1/quantiles", {})
+        (store_path / "manifest.json").unlink()
+        status, payload = engine.handle("/v1/quantiles", {})
+        assert status == 503
+        assert payload["error"] == "StoreError"
+        _, health = engine.handle("/v1/health", {})
+        assert health["status"] == "degraded"
+        assert health["generation"] is None
+        assert "store_error" in health
+
+    def test_http_layer_serves_the_503_body(self, store_path):
+        import http.client
+        import threading
+
+        from repro.serve import make_server
+
+        server = make_server(store_path, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            partition, _ = _flip_block_byte(store_path)
+            host, port = server.server_address[:2]
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request("GET", "/v1/degradation")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            conn.close()
+            assert response.status == 503
+            assert body["error"] == "CorruptBlockError"
+            assert body["partition"] == partition["id"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)

@@ -99,7 +99,7 @@ class TestRoundTrip:
         assert set(payload) == {
             "format_version", "command", "config", "shard_plan", "stages",
             "counters", "gauges", "timers", "exit_code", "python_version",
-            "degraded", "streaming",
+            "degraded", "streaming", "serving",
         }
 
     def test_counters_serialize_sorted(self, tmp_path):
@@ -121,3 +121,39 @@ class TestRoundTrip:
     def test_missing_format_version_rejected(self):
         with pytest.raises(ValueError, match="format version"):
             RunManifest.from_dict({"command": "sweep"})
+
+
+class TestServingSection:
+    def test_serve_counters_summarize_into_serving(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 5)
+        registry.inc("serve.responses.ok", 4)
+        registry.inc("serve.responses.client_error", 1)
+        registry.inc("serve.cache.hits", 3)
+        registry.inc("serve.cache.misses", 1)
+        manifest = RunManifest.collect(command="serve", registry=registry)
+        assert manifest.serving == {
+            "requests": 5,
+            "responses_ok": 4,
+            "responses_client_error": 1,
+            "responses_server_error": 0,
+            "cache_hits": 3,
+            "cache_misses": 1,
+            "cache_evictions": 0,
+            "cache_invalidations": 0,
+            "quarantined": 0,
+        }
+
+    def test_non_serving_run_has_empty_serving_section(self):
+        registry = MetricsRegistry()
+        registry.inc("pipeline.samples.read", 10)
+        manifest = RunManifest.collect(command="analyze", registry=registry)
+        assert manifest.serving == {}
+
+    def test_serving_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests")
+        registry.inc("serve.responses.ok")
+        manifest = RunManifest.collect(command="serve", registry=registry)
+        path = manifest.write(tmp_path / "m.json")
+        assert RunManifest.read(path).serving == manifest.serving

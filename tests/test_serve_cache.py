@@ -1,0 +1,201 @@
+"""LRU cache semantics, pinned by a Hypothesis model + invalidation tests.
+
+The hot-aggregation cache's accounting is load-bearing: the serving
+benchmark's hit-rate floor and the concurrency suite's counter-exactness
+assertions are computed from ``hits``/``misses``/``evictions``, so this
+file holds a stateful model against arbitrary operation sequences —
+a plain dict-plus-recency-list executes every sequence alongside the real
+cache and the two must agree on contents, order, accounting, and evicted
+pairs at every step.
+
+The second half pins the generation-invalidation contract end to end:
+after ``append_to_store`` lands new windows in a served store, the next
+query must rebuild from the appended store (never serve the pre-append
+aggregate) and the flush must be visible in the invalidation counters.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.serve import LruCache, QueryEngine
+from repro.store import write_store
+from repro.store.writer import append_to_store
+
+from tests.helpers import make_trace_samples
+
+pytestmark = pytest.mark.serve
+
+
+class ModelLru:
+    """Reference LRU: dict + explicit recency list, no cleverness."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.data = {}
+        self.order = []  # least- to most-recently used
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+    def get(self, key):
+        if key in self.data:
+            self.hits += 1
+            self.order.remove(key)
+            self.order.append(key)
+            return self.data[key]
+        self.misses += 1
+        return None
+
+    def put(self, key, value):
+        evicted = []
+        if key in self.data:
+            self.data[key] = value
+            self.order.remove(key)
+            self.order.append(key)
+            return evicted
+        self.data[key] = value
+        self.order.append(key)
+        while len(self.data) > self.capacity:
+            victim = self.order.pop(0)
+            evicted.append((victim, self.data.pop(victim)))
+            self.evictions += 1
+        return evicted
+
+    def invalidate_all(self):
+        dropped = len(self.data)
+        self.data.clear()
+        self.order.clear()
+        if dropped:
+            self.invalidations += dropped
+        return dropped
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), st.integers(0, 9)),
+        st.tuples(st.just("put"), st.integers(0, 9)),
+        st.tuples(st.just("invalidate"), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+class TestLruModel:
+    @settings(max_examples=200, deadline=None)
+    @given(capacity=st.integers(1, 6), ops=OPS)
+    def test_matches_reference_model(self, capacity, ops):
+        cache = LruCache(capacity)
+        model = ModelLru(capacity)
+        for step, (op, key) in enumerate(ops):
+            if op == "get":
+                assert cache.get(key) == model.get(key)
+            elif op == "put":
+                assert cache.put(key, step) == model.put(key, step)
+            else:
+                assert cache.invalidate_all() == model.invalidate_all()
+            # Invariants after *every* step, not just at the end.
+            assert len(cache) <= capacity
+            assert len(cache) == len(model.data)
+            assert cache.keys() == model.order
+            assert (cache.hits, cache.misses) == (model.hits, model.misses)
+            assert cache.evictions == model.evictions
+            assert cache.invalidations == model.invalidations
+        assert cache.hits + cache.misses == sum(
+            1 for op, _ in ops if op == "get"
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(capacity=st.integers(1, 6), ops=OPS)
+    def test_metrics_mirror_counters_exactly(self, capacity, ops):
+        registry = MetricsRegistry()
+        cache = LruCache(capacity, metrics=registry)
+        for step, (op, key) in enumerate(ops):
+            if op == "get":
+                cache.get(key)
+            elif op == "put":
+                cache.put(key, step)
+            else:
+                cache.invalidate_all()
+        assert registry.counter("serve.cache.hits") == cache.hits
+        assert registry.counter("serve.cache.misses") == cache.misses
+        assert registry.counter("serve.cache.evictions") == cache.evictions
+        assert (
+            registry.counter("serve.cache.invalidations")
+            == cache.invalidations
+        )
+
+
+class TestLruEdges:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+
+    def test_update_refreshes_recency_without_eviction(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 3)  # update: "b" is now LRU
+        assert cache.put("c", 4) == [("b", 2)]
+        assert cache.get("a") == 3
+        assert cache.evictions == 1
+
+    def test_contains_does_not_touch_accounting(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert (cache.hits, cache.misses) == (0, 0)
+        cache.put("b", 2)
+        # Membership tests must not have refreshed "a"'s recency either.
+        assert cache.put("c", 3) == [("a", 1)]
+
+
+class TestAppendInvalidation:
+    """An append_to_store generation change must flush served aggregates."""
+
+    @pytest.fixture()
+    def store(self, tmp_path):
+        path = tmp_path / "live.store"
+        samples = make_trace_samples(400, seed=3, windows=8)
+        write_store(path, samples)
+        return path
+
+    def test_append_never_serves_pre_append_aggregate(self, store):
+        engine = QueryEngine(store)
+        _, before = engine.handle("/v1/quantiles", {})
+        _, warm = engine.handle("/v1/quantiles", {})
+        assert warm == before
+        assert engine.cache.hits == 1
+
+        extra = make_trace_samples(300, seed=17, windows=8)
+        append_to_store(store, extra)
+
+        _, after = engine.handle("/v1/quantiles", {})
+        assert engine.cache.invalidations >= 1
+        assert after["generation"] != before["generation"]
+        assert after["sessions"] > before["sessions"]
+        # The rebuilt aggregate equals a cold engine over the appended
+        # store — i.e. the served numbers really are post-append numbers.
+        _, cold = QueryEngine(store).handle("/v1/quantiles", {})
+        assert after == cold
+
+    def test_append_invalidates_every_profile(self, store):
+        engine = QueryEngine(store)
+        engine.handle("/v1/quantiles", {})
+        engine.handle("/v1/routing", {})
+        assert len(engine.cache) == 2
+        append_to_store(store, make_trace_samples(50, seed=23, windows=8))
+        engine.handle("/v1/quantiles", {})
+        # The flush dropped both cached aggregations, not just the one
+        # whose key was re-requested.
+        assert engine.cache.invalidations == 2
+        assert len(engine.cache) == 1
+
+    def test_generation_stable_without_append(self, store):
+        engine = QueryEngine(store)
+        _, first = engine.handle("/v1/health", {})
+        for _ in range(3):
+            engine.handle("/v1/quantiles", {})
+        _, again = engine.handle("/v1/health", {})
+        assert first["generation"] == again["generation"]
+        assert engine.cache.invalidations == 0
