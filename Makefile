@@ -35,28 +35,38 @@
 #   bench-serve - the serving load benchmark (concurrent clients, p50/p99
 #                 latency, cache hit-rate floor); writes
 #                 benchmarks/results/BENCH_serve.json.
+#   test-dist   - just the dispatch suite (`dist` marker): the wire
+#                 protocol, the worker daemon, dispatch-vs-serial
+#                 equivalence (golden trace, both engines), worker-death
+#                 reassignment, and the executor-conformance contract
+#                 across all four backends. Also part of tier-1.
+#   bench-dist  - dispatch over two local daemons vs the process pool on
+#                 the same workload; writes benchmarks/results/BENCH_dist.json.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
 OBS_TESTS = tests/test_obs_registry.py tests/test_obs_tracing.py \
             tests/test_obs_manifest.py tests/test_obs_pipeline.py
-STORE_TESTS = tests/test_store.py tests/test_store_pipeline.py
+STORE_TESTS = tests/test_store.py tests/test_store_pipeline.py \
+              tests/test_store_compact.py
 FAULT_TESTS = tests/test_fault_tolerance.py
 KERNEL_TESTS = tests/test_batch_equivalence.py tests/test_kernels_property.py
 STREAMING_TESTS = tests/test_pipeline_streaming.py tests/test_pipeline_ingest.py
 SERVE_TESTS = tests/test_serve_api.py tests/test_serve_cache.py \
               tests/test_serve_concurrency.py
+DIST_TESTS = tests/test_dist.py tests/test_executor_contract.py
 COV_FLOOR = 85
 
 .PHONY: test test-all test-faults test-kernels test-streaming test-serve \
-	coverage bench bench-scaling bench-io bench-analyze bench-ingest \
-	bench-serve
+	test-dist coverage bench bench-scaling bench-io bench-analyze \
+	bench-ingest bench-serve bench-dist
 
 test:
 	$(PYTEST) -x -q
 
-test-all: coverage test-faults test-kernels test-streaming test-serve
+test-all: coverage test-faults test-kernels test-streaming test-serve \
+		test-dist
 	$(PYTEST) -q -m ""
 
 test-faults:
@@ -71,20 +81,25 @@ test-streaming:
 test-serve:
 	$(PYTEST) -q -m serve
 
+test-dist:
+	$(PYTEST) -q -m dist
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
 			$(KERNEL_TESTS) $(STREAMING_TESTS) $(SERVE_TESTS) \
+			$(DIST_TESTS) \
 			--cov=repro.obs --cov=repro.store --cov=repro.faultinject \
 			--cov=repro.kernels --cov=repro.pipeline.ingest \
-			--cov=repro.serve \
+			--cov=repro.serve --cov=repro.dist \
 			--cov-report=term-missing \
 			--cov-fail-under=$(COV_FLOOR); \
 	else \
 		echo "pytest-cov not installed; running obs/store/fault/kernel/" \
-		     "streaming/serve tests without the $(COV_FLOOR)% floor"; \
+		     "streaming/serve/dist tests without the $(COV_FLOOR)% floor"; \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
-			$(KERNEL_TESTS) $(STREAMING_TESTS) $(SERVE_TESTS); \
+			$(KERNEL_TESTS) $(STREAMING_TESTS) $(SERVE_TESTS) \
+			$(DIST_TESTS); \
 	fi
 
 bench:
@@ -104,3 +119,6 @@ bench-ingest:
 
 bench-serve:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_serve.py
+
+bench-dist:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_dist.py

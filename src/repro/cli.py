@@ -24,7 +24,14 @@ The subcommands mirror the library's main entry points:
 - ``repro serve`` — serve a columnar store over HTTP (DESIGN.md §12):
   ``/v1/quantiles``, ``/v1/degradation``, ``/v1/routing``, ``/v1/health``
   behind a hot-aggregation LRU cache that invalidates when a concurrent
-  ``repro ingest`` appends windows to the same store.
+  ``repro ingest`` appends windows to the same store;
+- ``repro worker`` — run a shard-executing worker daemon
+  (:mod:`repro.dist`); point a sharded subcommand at a fleet of these
+  with ``--executor dispatch --workers-addr host:port,...`` to fan the
+  analysis out across hosts (DESIGN.md §13);
+- ``repro compact-store`` — merge a store's many small streamed
+  partitions into few large ones (CRC re-verified, crash-safe
+  manifest-last swap), keeping long-running ingest stores prunable.
 
 Sharded subcommands (``snapshot``, ``routing``, ``analyze``) take the
 fault policy flags ``--max-retries``, ``--retry-backoff``, and
@@ -83,9 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="number of partitions (defaults to --workers)",
         )
         command.add_argument(
-            "--executor", choices=("process", "thread", "serial"),
+            "--executor",
+            choices=("process", "thread", "serial", "dispatch"),
             default="process",
-            help="worker pool kind for --workers > 1",
+            help="worker pool kind for --workers > 1, or 'dispatch' to fan "
+            "shards out over `repro worker` daemons (--workers-addr)",
+        )
+        command.add_argument(
+            "--workers-addr", default=None, metavar="HOST:PORT,...",
+            dest="workers_addr",
+            help="comma-separated worker-daemon addresses for "
+            "--executor dispatch",
         )
         command.add_argument(
             "--max-retries", type=int, default=2, dest="max_retries",
@@ -280,6 +295,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_options(serve)
 
+    worker = sub.add_parser(
+        "worker",
+        help="run a shard-executing worker daemon for --executor dispatch",
+    )
+    worker.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (port 0 picks a free port; default loopback)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, dest="max_tasks", metavar="N",
+        help="exit after executing N shard tasks (smoke tests / CI)",
+    )
+    _add_observability_options(worker)
+
+    compact = sub.add_parser(
+        "compact-store",
+        help="merge a store's many small partitions into few large ones",
+    )
+    compact.add_argument("store", help="trace-store directory to compact")
+    compact.add_argument(
+        "--band-windows", type=int, default=None, dest="band_windows",
+        metavar="N",
+        help="aggregation windows per compacted partition band (default: "
+        "the store's current banding)",
+    )
+    compact.add_argument(
+        "--no-compress", action="store_true", dest="no_compress",
+        help="skip per-block deflate in the rewritten partitions",
+    )
+    _add_observability_options(compact)
+
     calibrate = sub.add_parser(
         "calibrate",
         help="check the synthetic universe against the paper's anchors",
@@ -294,6 +340,14 @@ def _print_degraded(dataset) -> None:
     """One-line degradation header for runs that quarantined shards."""
     if getattr(dataset, "degraded", None):
         print(f"WARNING: degraded run — {dataset.degraded.summary()}")
+
+
+def _worker_addrs(args: argparse.Namespace) -> tuple:
+    """The --workers-addr list as a tuple of host:port strings."""
+    raw = getattr(args, "workers_addr", None)
+    if not raw:
+        return ()
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
@@ -382,6 +436,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         retry_backoff=args.retry_backoff,
         strict=args.strict,
         engine=args.engine,
+        worker_addrs=_worker_addrs(args),
     )
     print(f"{dataset.session_count:,} sampled sessions")
     _print_degraded(dataset)
@@ -437,6 +492,7 @@ def _cmd_routing(args: argparse.Namespace) -> int:
         retry_backoff=args.retry_backoff,
         strict=args.strict,
         engine=args.engine,
+        worker_addrs=_worker_addrs(args),
     )
     print(f"{dataset.session_count:,} sampled sessions")
     _print_degraded(dataset)
@@ -526,6 +582,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         retry_backoff=args.retry_backoff,
         strict=args.strict,
         engine=args.engine,
+        worker_addrs=_worker_addrs(args),
     )
     print(f"{dataset.session_count:,} sessions loaded from {args.trace}")
     _print_degraded(dataset)
@@ -660,6 +717,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist import WorkerDaemon
+
+    # Unlike client addresses, a listen address may use port 0 (bind to
+    # any free port), so this is parsed locally rather than via parse_addr.
+    host, sep, port_text = args.listen.rpartition(":")
+    if not sep:
+        host, port_text = args.listen, "0"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(f"--listen {args.listen!r} has a non-numeric port")
+    daemon = WorkerDaemon(host=host, port=port, max_tasks=args.max_tasks)
+    daemon.start()
+    # Flushed eagerly so a wrapping process (tests, scripts) can read the
+    # bound port before the first task arrives.
+    print(f"worker daemon listening on {daemon.address}", flush=True)
+    if args.max_tasks is not None:
+        print(f"(exiting after {args.max_tasks} task(s))", flush=True)
+    daemon.serve_forever()
+    print(f"worker daemon served {daemon.tasks_served} task(s)")
+    return 0
+
+
+def _cmd_compact_store(args: argparse.Namespace) -> int:
+    from repro.obs import active_metrics
+    from repro.store import compact_store
+
+    report = compact_store(
+        args.store,
+        band_windows=args.band_windows,
+        compress=not args.no_compress,
+        metrics=active_metrics(),
+    )
+    if report.skipped:
+        print(
+            f"{args.store}: already compact "
+            f"({report.partitions_before} partition(s)); nothing to do"
+        )
+        return 0
+    print(
+        f"compacted {args.store}: {report.partitions_before} -> "
+        f"{report.partitions_after} partition(s), "
+        f"{report.bytes_before:,} -> {report.bytes_after:,} data bytes "
+        f"({report.rows:,} rows re-verified)"
+    )
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.obs import merge_into_active
     from repro.pipeline import StudyDataset
@@ -693,6 +799,8 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "verify-store": _cmd_verify_store,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "compact-store": _cmd_compact_store,
     "calibrate": _cmd_calibrate,
 }
 
@@ -701,10 +809,24 @@ def _validate_args(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
     """Reject option combinations that would otherwise be silently ignored."""
     workers = getattr(args, "workers", None)
     shards = getattr(args, "shards", None)
-    if shards is not None and (workers is None or workers <= 1):
+    executor = getattr(args, "executor", None)
+    addrs = getattr(args, "workers_addr", None)
+    if (
+        shards is not None
+        and executor != "dispatch"
+        and (workers is None or workers <= 1)
+    ):
         parser.error(
             f"--shards {shards} has no effect without --workers > 1; "
             "pass --workers N (or drop --shards) to run sharded"
+        )
+    if executor == "dispatch" and not addrs:
+        parser.error(
+            "--executor dispatch requires --workers-addr HOST:PORT,..."
+        )
+    if addrs and executor != "dispatch":
+        parser.error(
+            "--workers-addr is only meaningful with --executor dispatch"
         )
     fmt = getattr(args, "trace_format", None)
     if fmt is not None:
@@ -728,14 +850,24 @@ def _shard_plan(args: argparse.Namespace) -> dict:
     """Describe the partitioning this invocation asked for (execution facts)."""
     if not hasattr(args, "workers"):
         return {}
-    return {
+    addrs = _worker_addrs(args)
+    if args.shards is not None:
+        shards = args.shards
+    elif args.executor == "dispatch":
+        shards = max(args.workers, len(addrs))
+    else:
+        shards = args.workers
+    plan = {
         "workers": args.workers,
-        "shards": args.shards if args.shards is not None else args.workers,
+        "shards": shards,
         "executor": args.executor,
         "max_retries": args.max_retries,
         "retry_backoff": args.retry_backoff,
         "strict": args.strict,
     }
+    if addrs:
+        plan["worker_addrs"] = list(addrs)
+    return plan
 
 
 def _manifest_config(args: argparse.Namespace) -> dict:

@@ -37,6 +37,17 @@ so the JSON form is the API):
 - ``io_error`` — ``{"times": k, "path_substr": sub|null}``: raise a
   transient ``OSError`` at a matching read boundary for the first ``k``
   opens.
+- ``kill_worker`` — ``{"ordinal": n, "times": k|null}``: raise
+  :class:`WorkerKilled` inside a dispatch worker daemon
+  (:mod:`repro.dist.daemon`) when it receives the shard task with that
+  ordinal. The daemon treats it as its own death: the connection is
+  severed without a reply and the daemon stops, so the client must
+  reassign the task to a surviving worker (or quarantine it when none
+  remain). ``times: k`` limits how many workers die this way.
+- ``drop_connection`` — ``{"addr_substr": sub|null, "times": k}``: raise
+  ``ConnectionResetError`` in the dispatch *client* just before a task is
+  sent to a matching worker address, simulating a network partition. The
+  client treats it exactly like a worker death.
 
 Every fired fault increments a ``fault.injected.*`` counter in the
 *active* registry (:func:`repro.obs.active_metrics`). These are execution
@@ -59,8 +70,11 @@ from repro.obs import active_metrics
 __all__ = [
     "ENV_VAR",
     "FaultPlan",
+    "WorkerKilled",
+    "check_connection",
     "check_io",
     "check_shard",
+    "check_worker",
     "corrupt_block_payload",
     "current_plan",
     "inject",
@@ -72,6 +86,10 @@ ENV_VAR = "REPRO_FAULTS"
 _ERROR_KINDS = ("runtime", "os")
 
 
+class WorkerKilled(RuntimeError):
+    """A ``kill_worker`` fault fired: the daemon must die, not reply."""
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A deterministic set of faults to inject (see module docstring)."""
@@ -80,6 +98,8 @@ class FaultPlan:
     kill_shard: Optional[dict] = None
     io_delay: Optional[dict] = None
     io_error: Optional[dict] = None
+    kill_worker: Optional[dict] = None
+    drop_connection: Optional[dict] = None
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
@@ -224,6 +244,45 @@ def check_shard(ordinal: int) -> None:
     if kind == "os":
         raise OSError(message)
     raise RuntimeError(message)
+
+
+def check_worker(ordinal: int) -> None:
+    """Raise the plan's ``kill_worker`` fault at daemon task receipt.
+
+    Called by :class:`repro.dist.daemon.WorkerDaemon` after decoding a
+    shard task; a raised :class:`WorkerKilled` makes the daemon sever the
+    connection and stop — from the client's side, indistinguishable from
+    the worker host dying mid-task.
+    """
+    plan = current_plan()
+    if plan is None or plan.kill_worker is None:
+        return
+    spec = plan.kill_worker
+    if spec.get("ordinal") != ordinal:
+        return
+    if not _consume(("kill_worker", ordinal), spec.get("times")):
+        return
+    _count("fault.injected.worker_kills")
+    raise WorkerKilled(
+        f"injected fault: worker killed while handling shard {ordinal}"
+    )
+
+
+def check_connection(addr: str) -> None:
+    """Raise the plan's ``drop_connection`` fault before a task send."""
+    plan = current_plan()
+    if plan is None or plan.drop_connection is None:
+        return
+    spec = plan.drop_connection
+    substr = spec.get("addr_substr")
+    if substr is not None and substr not in str(addr):
+        return
+    if not _consume(("drop_connection",), spec.get("times", 1)):
+        return
+    _count("fault.injected.connection_drops")
+    raise ConnectionResetError(
+        f"injected fault: connection to worker {addr} dropped"
+    )
 
 
 def check_io(path) -> None:

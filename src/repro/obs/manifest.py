@@ -21,6 +21,10 @@ keeps *data facts* and *execution facts* in separate sections:
   counters, summarized; see DESIGN.md §12): requests by outcome, cache
   hits/misses/evictions/invalidations, quarantined store errors. Empty
   (``{}``) for non-serving runs, so batch manifests are unchanged.
+- ``dist`` — what a dispatch execution did (the ``dist.*`` counters,
+  summarized; see DESIGN.md §13): workers connected/lost, tasks
+  dispatched/completed/reassigned/stranded, remote failures, wire bytes.
+  Empty (``{}``) for single-host runs, so local manifests are unchanged.
 
 The format is versioned; :meth:`RunManifest.read` rejects manifests from a
 different format version rather than misinterpreting them.
@@ -111,6 +115,29 @@ def _serving_from_counters(counters: Dict[str, int]) -> Dict[str, object]:
     return summary
 
 
+def _dist_from_counters(counters: Dict[str, int]) -> Dict[str, object]:
+    """Dispatch summary from the ``dist.*`` execution counters.
+
+    Returns ``{}`` when no worker was involved (a single-host run), so
+    local manifests stay byte-identical to the prior format.
+    """
+    summary = {
+        "workers_connected": counters.get("dist.workers.connected", 0),
+        "workers_unreachable": counters.get("dist.workers.unreachable", 0),
+        "workers_lost": counters.get("dist.workers.lost", 0),
+        "tasks_dispatched": counters.get("dist.tasks.dispatched", 0),
+        "tasks_completed": counters.get("dist.tasks.completed", 0),
+        "tasks_reassigned": counters.get("dist.tasks.reassigned", 0),
+        "tasks_stranded": counters.get("dist.tasks.stranded", 0),
+        "remote_failures": counters.get("dist.remote_failures", 0),
+        "bytes_sent": counters.get("dist.bytes.sent", 0),
+        "bytes_received": counters.get("dist.bytes.received", 0),
+    }
+    if not any(summary.values()):
+        return {}
+    return summary
+
+
 @dataclass
 class RunManifest:
     """One run's configuration, accounting, and timing record."""
@@ -134,6 +161,9 @@ class RunManifest:
     #: Serving summary for query-serving runs: requests by outcome, cache
     #: accounting, quarantined store errors. Empty for non-serving runs.
     serving: Dict[str, object] = field(default_factory=dict)
+    #: Dispatch summary for distributed runs: worker and task accounting
+    #: plus wire bytes. Empty for single-host runs.
+    dist: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def collect(
@@ -147,6 +177,7 @@ class RunManifest:
         degraded: Optional[Dict[str, object]] = None,
         streaming: Optional[Dict[str, object]] = None,
         serving: Optional[Dict[str, object]] = None,
+        dist: Optional[Dict[str, object]] = None,
     ) -> "RunManifest":
         """Snapshot a registry and tracer into a manifest.
 
@@ -165,6 +196,8 @@ class RunManifest:
             streaming = _streaming_from_counters(counters)
         if serving is None:
             serving = _serving_from_counters(counters)
+        if dist is None:
+            dist = _dist_from_counters(counters)
         return cls(
             command=command,
             config=dict(config or {}),
@@ -177,6 +210,7 @@ class RunManifest:
             degraded=dict(degraded),
             streaming=dict(streaming),
             serving=dict(serving),
+            dist=dict(dist),
         )
 
     # ------------------------------------------------------------------ #
@@ -211,6 +245,7 @@ class RunManifest:
             "degraded": dict(self.degraded),
             "streaming": dict(self.streaming),
             "serving": dict(self.serving),
+            "dist": dict(self.dist),
         }
 
     @classmethod
@@ -231,6 +266,7 @@ class RunManifest:
             degraded=dict(payload.get("degraded", {})),
             streaming=dict(payload.get("streaming", {})),
             serving=dict(payload.get("serving", {})),
+            dist=dict(payload.get("dist", {})),
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -48,6 +48,7 @@ def dataset_from_source(
     retry_backoff: float = 0.05,
     strict: bool = False,
     engine: str = "row",
+    worker_addrs: Sequence[str] = (),
 ) -> StudyDataset:
     """Build the :class:`StudyDataset` every figure driver consumes.
 
@@ -64,10 +65,19 @@ def dataset_from_source(
     ``engine`` selects the row fold (``"row"``, the oracle) or the
     column-batch kernels (``"batch"``, :mod:`repro.kernels`); outputs are
     byte-identical either way (``tests/test_batch_equivalence.py``).
+
+    ``executor="dispatch"`` fans shards out over :mod:`repro.dist` worker
+    daemons named by ``worker_addrs`` (``host:port`` strings); the
+    dispatch path always goes through the sharded pipeline, whatever
+    ``workers`` says, because its point is *where* the work runs.
     """
     from repro.pipeline.parallel import ParallelOptions, build_dataset
 
-    if workers == 1 and (shards is None or shards == 1):
+    if (
+        executor != "dispatch"
+        and workers == 1
+        and (shards is None or shards == 1)
+    ):
         options = None
     else:
         options = ParallelOptions(
@@ -77,6 +87,7 @@ def dataset_from_source(
             max_retries=max_retries,
             retry_backoff=retry_backoff,
             strict=strict,
+            worker_addrs=tuple(worker_addrs),
         )
     with span("pipeline.dataset_from_source"):
         return build_dataset(

@@ -393,12 +393,20 @@ def plan_chunks(path: PathLike, num_chunks: int) -> list:
     (serial ingestion never plans chunks). Convert the trace with
     ``repro convert`` (plain JSONL or a columnar store) for seekable
     chunking.
+
+    Chunks carry the **resolved** path: a shard task may execute in a
+    worker daemon whose working directory is not the caller's (DESIGN.md
+    §13), so a relative path must be pinned here, client-side, before it
+    ships. (Cross-host dispatch still requires the trace to be reachable
+    at the same absolute path on every worker — shared storage.)
     """
     if num_chunks <= 0:
         raise ValueError("num_chunks must be positive")
     if detect_format(path) == "store":
-        return TraceStoreReader(path).plan_chunks(num_chunks)
-    path = pathlib.Path(path)
+        return TraceStoreReader(pathlib.Path(path).resolve()).plan_chunks(
+            num_chunks
+        )
+    path = pathlib.Path(path).resolve()
     if _is_gzip(path):
         if num_chunks > 1:
             registry = active_metrics()

@@ -47,12 +47,24 @@ estimate of samples and store partitions lost with it. ``strict=True``
 restores fail-fast: the first exhausted shard raises a typed
 :class:`ShardError` naming the shard. Fault-free runs take the exact same
 code path and stay bit-identical to the pre-retry pipeline.
+
+Executor backends (DESIGN.md §13): execution is pluggable behind
+:class:`ShardExecutor` — ``submit shard task → ShardResult`` with
+order-independent, picklable partial states, so *where* shards run is
+orthogonal to *what* they compute. Built in: ``serial`` (the determinism
+baseline), ``thread`` / ``process`` (single-host pools), and ``dispatch``
+(fan-out over :mod:`repro.dist` worker daemons reached by socket;
+``worker_addrs`` names them). Third parties can plug in more via
+:func:`register_executor`. Every backend is held to the same contract by
+``tests/test_executor_contract.py``: byte-identical datasets and data
+counters versus serial, and identical retry/quarantine accounting.
 """
 
 from __future__ import annotations
 
 import logging
 import pathlib
+import pickle
 import time
 import zlib
 from concurrent.futures import (
@@ -62,7 +74,7 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro import faultinject
 from repro.core.aggregation import Aggregation
@@ -86,18 +98,27 @@ from repro.pipeline.io import (
 
 __all__ = [
     "EXECUTORS",
+    "LOCAL_EXECUTORS",
     "DegradedLedger",
     "ParallelOptions",
+    "RemoteCause",
+    "SerialExecutor",
     "ShardError",
+    "ShardExecutor",
     "ShardResult",
     "build_dataset",
+    "executor_for",
+    "register_executor",
     "shard_of",
     "shard_samples",
 ]
 
 _LOG = logging.getLogger("repro.pipeline.parallel")
 
-EXECUTORS = ("process", "thread", "serial")
+#: Backends that run wholly inside this host (no daemons required).
+LOCAL_EXECUTORS = ("process", "thread", "serial")
+#: Every built-in backend ``ParallelOptions.executor`` accepts.
+EXECUTORS = LOCAL_EXECUTORS + ("dispatch",)
 
 AggregationKey = Tuple[UserGroupKey, int, int]
 Source = Union[PathLike, Iterable[SessionSample]]
@@ -132,10 +153,42 @@ def shard_samples(
     return shards
 
 
+class RemoteCause(RuntimeError):
+    """Stringified stand-in for an exception that cannot cross a pickle.
+
+    Keeps the original type name and message so ledger entries and
+    ``ShardError`` text stay as informative as the live exception was.
+    """
+
+    def __init__(self, type_name: str, message: str) -> None:
+        super().__init__(f"{type_name}: {message}")
+        self.type_name = type_name
+        self.message = message
+
+    def __reduce__(self):
+        # Default exception pickling would call cls(formatted_message) —
+        # wrong arity. Rebuild from the real constructor.
+        return (type(self), (self.type_name, self.message))
+
+
+def _transportable_cause(cause: BaseException) -> BaseException:
+    """``cause`` if it survives a pickle round trip, else a RemoteCause.
+
+    A full ``loads(dumps(...))`` round trip, not just ``dumps``: some
+    third-party exceptions serialize fine but blow up on load (custom
+    ``__init__`` arity, unimportable modules on the other side).
+    """
+    try:
+        pickle.loads(pickle.dumps(cause))
+        return cause
+    except Exception:  # noqa: BLE001 — any failure means "not transportable"
+        return RemoteCause(type(cause).__name__, str(cause))
+
+
 class ShardError(RuntimeError):
     """A shard worker failed for good; names the shard and keeps the cause.
 
-    Raised by :func:`_execute` when a shard exhausts its retries under
+    Raised by the executor when a shard exhausts its retries under
     ``strict`` mode (and available on the :class:`DegradedLedger` entries
     otherwise). ``shard_id`` is the task ordinal, ``cause`` the original
     worker exception, ``attempts`` how many times the shard ran.
@@ -154,8 +207,13 @@ class ShardError(RuntimeError):
 
     def __reduce__(self):
         # Default exception pickling re-invokes cls(*args) with the
-        # formatted message; rebuild from the real constructor instead.
-        return (type(self), (self.shard_id, self.cause, self.attempts))
+        # formatted message; rebuild from the real constructor instead —
+        # stringifying a cause that would poison the pickle (third-party
+        # exceptions with custom arity travel as RemoteCause).
+        return (
+            type(self),
+            (self.shard_id, _transportable_cause(self.cause), self.attempts),
+        )
 
 
 @dataclass
@@ -235,14 +293,18 @@ class ParallelOptions:
     (defaults to ``workers`` — more shards than workers is fine and can
     smooth load imbalance); ``executor`` selects ``process`` (true
     parallelism, samples/chunks are pickled to children), ``thread``
-    (GIL-bound; useful when ingestion is I/O-dominated), or ``serial``
+    (GIL-bound; useful when ingestion is I/O-dominated), ``serial``
     (same sharded code path, one task at a time — the determinism
-    baseline).
+    baseline), or ``dispatch`` (fan-out over :mod:`repro.dist` worker
+    daemons; ``worker_addrs`` names them as ``host:port`` strings and is
+    required for — and exclusive to — this backend).
 
     Fault handling: a failing shard is re-run up to ``max_retries`` times
     with exponential backoff (``retry_backoff * 2**(attempt-1)`` seconds
     between attempts) before being quarantined; ``strict=True`` raises
-    :class:`ShardError` instead of quarantining.
+    :class:`ShardError` instead of quarantining. Under ``dispatch`` a
+    dead worker's in-flight task counts one attempt and is reassigned to
+    a surviving daemon through the same policy.
     """
 
     workers: int = 1
@@ -251,6 +313,7 @@ class ParallelOptions:
     max_retries: int = 2
     retry_backoff: float = 0.05
     strict: bool = False
+    worker_addrs: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -263,10 +326,24 @@ class ParallelOptions:
             raise ValueError("max_retries must be >= 0")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        object.__setattr__(self, "worker_addrs", tuple(self.worker_addrs))
+        if self.executor == "dispatch" and not self.worker_addrs:
+            raise ValueError(
+                "executor 'dispatch' requires worker_addrs (host:port, ...)"
+            )
+        if self.worker_addrs and self.executor != "dispatch":
+            raise ValueError(
+                "worker_addrs is only meaningful with executor 'dispatch'"
+            )
 
     @property
     def effective_shards(self) -> int:
-        return self.shards if self.shards is not None else self.workers
+        if self.shards is not None:
+            return self.shards
+        if self.executor == "dispatch":
+            # One shard per daemon at minimum, more if workers asks for it.
+            return max(self.workers, len(self.worker_addrs))
+        return self.workers
 
 
 @dataclass
@@ -427,6 +504,149 @@ def _run_shard_with_retry(
             attempt += 1
 
 
+# --------------------------------------------------------------------- #
+# Executor interface (DESIGN.md §13)
+# --------------------------------------------------------------------- #
+class ShardExecutor:
+    """Where shards run: takes a shard plan, returns surviving results.
+
+    The contract every backend must honor (enforced for all built-ins by
+    ``tests/test_executor_contract.py``):
+
+    - ``run`` returns the surviving :class:`ShardResult`s sorted by task
+      ordinal; quarantined shards are simply absent — ``ledger`` records
+      them.
+    - Every failed attempt is routed through :func:`_on_shard_failure`, so
+      retry counting, quarantine accounting, and ``strict`` fail-fast are
+      byte-identical across backends.
+    - Shard execution itself is :func:`_run_shard` (or an exact remote
+      proxy for it), so the data math cannot drift per backend.
+
+    Because results are merged by order key, any backend satisfying this
+    contract yields datasets bit-identical to the serial pass.
+    """
+
+    def __init__(self, options: ParallelOptions) -> None:
+        self.options = options
+
+    def run(
+        self, tasks: Sequence[_ShardTask], ledger: DegradedLedger
+    ) -> List[ShardResult]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; default no-op)."""
+
+
+class SerialExecutor(ShardExecutor):
+    """One task at a time, in plan order — the determinism baseline."""
+
+    def run(
+        self, tasks: Sequence[_ShardTask], ledger: DegradedLedger
+    ) -> List[ShardResult]:
+        results = [
+            _run_shard_with_retry(task, self.options, ledger)
+            for task in tasks
+        ]
+        return [result for result in results if result is not None]
+
+
+class _PoolExecutor(ShardExecutor):
+    """Single-host pool backend over ``concurrent.futures``.
+
+    Failed attempts are resubmitted to the pool (FIRST_COMPLETED wait loop)
+    so a retry never blocks other shards' progress.
+    """
+
+    pool_cls = None  # type: ignore[assignment]
+
+    def run(
+        self, tasks: Sequence[_ShardTask], ledger: DegradedLedger
+    ) -> List[ShardResult]:
+        options = self.options
+        results: List[ShardResult] = []
+        with self.pool_cls(max_workers=min(options.workers, len(tasks))) as pool:
+            pending = {
+                pool.submit(_run_shard, task): (task, 1) for task in tasks
+            }
+            try:
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task, attempt = pending.pop(future)
+                        error = future.exception()
+                        if error is None:
+                            results.append(future.result())
+                            continue
+                        if not isinstance(error, Exception):
+                            raise error  # KeyboardInterrupt and kin: not ours
+                        delay = _on_shard_failure(
+                            task, attempt, error, options, ledger
+                        )
+                        if delay is None:
+                            continue
+                        if delay > 0:
+                            time.sleep(delay)
+                        pending[pool.submit(_run_shard, task)] = (
+                            task,
+                            attempt + 1,
+                        )
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise
+        results.sort(key=lambda result: result.ordinal)
+        return results
+
+
+class _ThreadExecutor(_PoolExecutor):
+    pool_cls = ThreadPoolExecutor
+
+
+class _ProcessExecutor(_PoolExecutor):
+    pool_cls = ProcessPoolExecutor
+
+
+def _dispatch_executor(options: ParallelOptions) -> ShardExecutor:
+    # Imported lazily: repro.dist imports this module for the task/result
+    # types, so a top-level import would be circular.
+    from repro.dist.client import DispatchExecutor
+
+    return DispatchExecutor(options)
+
+
+_EXECUTOR_FACTORIES: Dict[str, Callable[[ParallelOptions], ShardExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": _ThreadExecutor,
+    "process": _ProcessExecutor,
+    "dispatch": _dispatch_executor,
+}
+
+
+def register_executor(
+    name: str, factory: Callable[[ParallelOptions], ShardExecutor]
+) -> None:
+    """Register (or replace) an executor backend under ``name``.
+
+    ``factory`` takes the run's :class:`ParallelOptions` and returns a
+    :class:`ShardExecutor`. Registered names are accepted by
+    ``ParallelOptions(executor=...)`` only if also present in
+    :data:`EXECUTORS`; test doubles usually replace a built-in instead.
+    """
+    _EXECUTOR_FACTORIES[name] = factory
+
+
+def executor_for(options: ParallelOptions) -> ShardExecutor:
+    """Build the executor backend the options name."""
+    try:
+        factory = _EXECUTOR_FACTORIES[options.executor]
+    except KeyError:
+        raise ValueError(
+            f"no executor backend registered as {options.executor!r}"
+        ) from None
+    return factory(options)
+
+
 def _execute(
     tasks: Sequence[_ShardTask],
     options: ParallelOptions,
@@ -439,45 +659,17 @@ def _execute(
     """
     if not tasks:
         return []
-    if options.executor == "serial" or len(tasks) == 1:
-        results = [
-            _run_shard_with_retry(task, options, ledger) for task in tasks
-        ]
-        return [result for result in results if result is not None]
-    pool_cls = (
-        ThreadPoolExecutor if options.executor == "thread" else ProcessPoolExecutor
-    )
-    results: List[ShardResult] = []
-    with pool_cls(max_workers=min(options.workers, len(tasks))) as pool:
-        pending = {pool.submit(_run_shard, task): (task, 1) for task in tasks}
-        try:
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task, attempt = pending.pop(future)
-                    error = future.exception()
-                    if error is None:
-                        results.append(future.result())
-                        continue
-                    if not isinstance(error, Exception):
-                        raise error  # KeyboardInterrupt and kin: not ours
-                    delay = _on_shard_failure(
-                        task, attempt, error, options, ledger
-                    )
-                    if delay is None:
-                        continue
-                    if delay > 0:
-                        time.sleep(delay)
-                    pending[pool.submit(_run_shard, task)] = (
-                        task,
-                        attempt + 1,
-                    )
-        except BaseException:
-            for future in pending:
-                future.cancel()
-            raise
-    results.sort(key=lambda result: result.ordinal)
-    return results
+    # A one-task plan gains nothing from a pool — run it inline. Dispatch
+    # is exempt: its point is *where* the task runs, not concurrency.
+    if options.executor == "serial" or (
+        len(tasks) == 1 and options.executor != "dispatch"
+    ):
+        return SerialExecutor(options).run(tasks, ledger)
+    executor = executor_for(options)
+    try:
+        return executor.run(tasks, ledger)
+    finally:
+        executor.close()
 
 
 def _merge_results(dataset: StudyDataset, results: Iterable[ShardResult]) -> StudyDataset:

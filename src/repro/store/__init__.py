@@ -16,7 +16,11 @@ versioned binary **columnar** layout:
   statistics, written atomically;
 - :mod:`repro.store.reader` — :class:`TraceStoreReader`:
   ``scan(filter)`` with manifest-level partition pruning, and
-  partition-aligned :class:`StoreChunk` planning for the sharded pipeline.
+  partition-aligned :class:`StoreChunk` planning for the sharded pipeline;
+- :mod:`repro.store.compact` — :func:`compact_store`: merge the many
+  small partitions a long-running stream seals into one partition per
+  (PoP, band), CRC re-verified and swapped in crash-safely, with scans
+  (and thus analyses) byte-identical before and after.
 
 Format and analysis-equivalence guarantees are specified in DESIGN.md §8,
 the failure model (per-block CRC32, typed errors, ``verify_store``) in
@@ -24,6 +28,7 @@ DESIGN.md §9; ``repro convert`` (CLI) and :func:`repro.pipeline.io.convert`
 move traces between the two formats losslessly.
 """
 
+from repro.store.compact import CompactionReport, compact_store
 from repro.store.errors import (
     ColumnDecodeError,
     CorruptBlockError,
@@ -59,6 +64,7 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "SUPPORTED_STORE_VERSIONS",
     "ColumnDecodeError",
+    "CompactionReport",
     "CorruptBlockError",
     "CorruptManifestError",
     "ScanFilter",
@@ -70,6 +76,7 @@ __all__ = [
     "TraceStoreWriter",
     "TruncatedPartitionError",
     "append_to_store",
+    "compact_store",
     "is_store_path",
     "read_store_chunk",
     "verify_store",

@@ -1,0 +1,660 @@
+"""The multi-node dispatch subsystem (``repro.dist``, DESIGN.md §13).
+
+Four layers, each tested against its own contract:
+
+1. **Wire protocol** — length-prefixed frames with magic and type
+   validation; truncation and malformation always surface as
+   :class:`ProtocolError`, never as a hang or a mis-framed read.
+2. **Serialization** — tasks/results pickle round-trip with type-checked
+   decode; failures are JSON and can *never* fail to decode.
+3. **Worker daemon** — PING/PONG health checks, task execution through
+   the same ``_run_shard`` the local pools use, failure replies, budgeted
+   lifetime, and the injected-death path (connection severed, no reply).
+4. **Dispatch executor** — the ISSUE's acceptance bar: dispatch over two
+   daemons is byte-identical to serial on the golden trace for both
+   engines; a worker killed mid-run degrades into reassignment (or the
+   quarantine ledger when no worker survives) instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+
+import pytest
+
+from repro import faultinject
+from repro.dist import (
+    DispatchError,
+    ProtocolError,
+    RemoteShardFailure,
+    WorkerDaemon,
+)
+from repro.dist import protocol
+from repro.dist.client import parse_addr, request_shutdown
+from repro.dist.serialization import (
+    decode_failure,
+    decode_result,
+    decode_task,
+    encode_failure,
+    encode_result,
+    encode_task,
+)
+from repro.faultinject import FaultPlan
+from repro.obs import MetricsRegistry, RunManifest, activate_metrics
+from repro.pipeline import (
+    ParallelOptions,
+    ShardError,
+    StudyDataset,
+    build_dataset,
+)
+from repro.pipeline.io import write_samples
+from repro.pipeline.parallel import ShardResult, _run_shard, _ShardTask
+
+from tests.helpers import make_trace_samples
+from tests.test_pipeline_parallel import assert_datasets_equal
+
+pytestmark = pytest.mark.dist
+
+STUDY_WINDOWS = 8
+DATA = pathlib.Path(__file__).parent / "data"
+GOLDEN_TRACE = DATA / "golden_trace.jsonl.gz"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    faultinject.reset()
+    yield
+    faultinject.reset()
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return make_trace_samples(600, seed=31, windows=STUDY_WINDOWS)
+
+
+@pytest.fixture(scope="module")
+def serial_dataset(samples):
+    return StudyDataset(study_windows=STUDY_WINDOWS).ingest(iter(samples))
+
+
+@pytest.fixture()
+def two_daemons():
+    with WorkerDaemon() as first, WorkerDaemon() as second:
+        yield (first.address, second.address)
+
+
+def _dispatch_options(addrs, **kwargs) -> ParallelOptions:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("shards", 4)
+    kwargs.setdefault("retry_backoff", 0.0)
+    return ParallelOptions(
+        executor="dispatch", worker_addrs=tuple(addrs), **kwargs
+    )
+
+
+def _make_task(samples, ordinal=0) -> _ShardTask:
+    return _ShardTask(
+        dataset_kwargs=dict(study_windows=STUDY_WINDOWS),
+        indexed_samples=list(enumerate(samples)),
+        ordinal=ordinal,
+        expected_rows=len(samples),
+    )
+
+
+# --------------------------------------------------------------------- #
+# 1. Wire protocol
+# --------------------------------------------------------------------- #
+class TestProtocol:
+    @pytest.fixture()
+    def pair(self):
+        left, right = socket.socketpair()
+        yield left, right
+        left.close()
+        right.close()
+
+    def test_frame_round_trip(self, pair):
+        left, right = pair
+        sent = protocol.send_frame(left, protocol.MSG_TASK, b"payload")
+        assert sent == protocol.HEADER_BYTES + len(b"payload")
+        assert protocol.recv_frame(right) == (protocol.MSG_TASK, b"payload")
+
+    def test_empty_payload(self, pair):
+        left, right = pair
+        protocol.send_frame(left, protocol.MSG_PING)
+        assert protocol.recv_frame(right) == (protocol.MSG_PING, b"")
+
+    def test_bad_magic_rejected(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">4sBI", b"XXXX", protocol.MSG_PING, 0))
+        with pytest.raises(ProtocolError, match="magic"):
+            protocol.recv_frame(right)
+
+    def test_unknown_type_rejected_on_receive(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">4sBI", protocol.MAGIC, 99, 0))
+        with pytest.raises(ProtocolError, match="unknown message type 99"):
+            protocol.recv_frame(right)
+
+    def test_unknown_type_refused_on_send(self, pair):
+        left, _ = pair
+        with pytest.raises(ProtocolError, match="refusing to send"):
+            protocol.send_frame(left, 99, b"")
+
+    def test_oversized_length_rejected_without_allocating(self, pair):
+        left, right = pair
+        left.sendall(
+            struct.pack(
+                ">4sBI",
+                protocol.MAGIC,
+                protocol.MSG_TASK,
+                protocol.MAX_FRAME_BYTES + 1,
+            )
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.recv_frame(right)
+
+    def test_clean_eof_between_frames(self, pair):
+        left, right = pair
+        left.close()
+        assert protocol.recv_frame(right, allow_eof=True) is None
+        # Without allow_eof, a close is a protocol error.
+        other_left, other_right = socket.socketpair()
+        other_left.close()
+        with pytest.raises(ProtocolError):
+            protocol.recv_frame(other_right)
+        other_right.close()
+
+    def test_eof_mid_frame_is_never_clean(self, pair):
+        left, right = pair
+        header = struct.pack(">4sBI", protocol.MAGIC, protocol.MSG_TASK, 100)
+        left.sendall(header + b"only-part")
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.recv_frame(right, allow_eof=True)
+
+    def test_protocol_error_is_a_connection_error(self):
+        # The client treats a malformed peer exactly like a dead one; a
+        # single `except (OSError, ProtocolError)` must catch both.
+        assert issubclass(ProtocolError, ConnectionError)
+
+
+# --------------------------------------------------------------------- #
+# 2. Serialization
+# --------------------------------------------------------------------- #
+class TestSerialization:
+    def test_task_round_trip(self, samples):
+        task = _make_task(samples[:20], ordinal=3)
+        decoded = decode_task(encode_task(task))
+        assert decoded.ordinal == 3
+        assert decoded.expected_rows == 20
+        assert decoded.indexed_samples == task.indexed_samples
+
+    def test_task_decode_type_checked(self):
+        with pytest.raises(TypeError, match="not a shard task"):
+            decode_task(pickle.dumps(["not", "a", "task"]))
+
+    def test_result_round_trip(self, samples):
+        result = _run_shard(_make_task(samples[:50], ordinal=1))
+        decoded = decode_result(encode_result(result))
+        assert isinstance(decoded, ShardResult)
+        assert decoded.ordinal == 1
+        assert decoded.rows == result.rows
+        assert decoded.filter_stats == result.filter_stats
+
+    def test_result_decode_type_checked(self):
+        with pytest.raises(TypeError, match="not a shard result"):
+            decode_result(pickle.dumps({"ordinal": 0}))
+
+    def test_failure_round_trip_preserves_type_and_message(self):
+        failure = decode_failure(encode_failure(ValueError("bad route")))
+        assert isinstance(failure, RemoteShardFailure)
+        assert failure.type_name == "ValueError"
+        assert failure.message == "bad route"
+        assert str(failure) == "ValueError: bad route"
+
+    def test_mangled_failure_payload_still_decodes(self):
+        # The whole point of JSON failures: a failure reply can never
+        # itself fail to decode, whatever bytes arrive.
+        failure = decode_failure(b"\xff\xfenot json at all")
+        assert isinstance(failure, RemoteShardFailure)
+        assert failure.type_name == "UnknownRemoteError"
+
+    def test_remote_failure_pickles(self):
+        original = RemoteShardFailure("TypeError", "arity mismatch")
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.type_name == "TypeError"
+        assert clone.message == "arity mismatch"
+        assert str(clone) == str(original)
+
+
+# --------------------------------------------------------------------- #
+# 3. Worker daemon
+# --------------------------------------------------------------------- #
+class TestWorkerDaemon:
+    def test_ping_pong(self):
+        with WorkerDaemon() as daemon:
+            with socket.create_connection(parse_addr(daemon.address)) as sock:
+                protocol.send_frame(sock, protocol.MSG_PING)
+                assert protocol.recv_frame(sock) == (protocol.MSG_PONG, b"")
+
+    def test_executes_task_like_local_run(self, samples):
+        task = _make_task(samples[:100])
+        expected = _run_shard(task)
+        with WorkerDaemon() as daemon:
+            with socket.create_connection(parse_addr(daemon.address)) as sock:
+                protocol.send_frame(sock, protocol.MSG_TASK, encode_task(task))
+                msg_type, payload = protocol.recv_frame(sock)
+        assert msg_type == protocol.MSG_RESULT
+        result = decode_result(payload)
+        assert result.rows == expected.rows
+        assert result.aggregations == expected.aggregations
+        assert result.metrics.counters == expected.metrics.counters
+
+    def test_shard_failure_becomes_failure_reply(self, samples):
+        # A failing shard is the client's retry problem: the daemon
+        # replies MSG_FAILURE and stays alive for the next task.
+        task = _make_task(samples[:50], ordinal=2)
+        plan = FaultPlan(kill_shard={"ordinal": 2, "times": 1})
+        with WorkerDaemon() as daemon:
+            with faultinject.inject(plan):
+                with socket.create_connection(
+                    parse_addr(daemon.address)
+                ) as sock:
+                    protocol.send_frame(
+                        sock, protocol.MSG_TASK, encode_task(task)
+                    )
+                    msg_type, payload = protocol.recv_frame(sock)
+                    assert msg_type == protocol.MSG_FAILURE
+                    failure = decode_failure(payload)
+                    assert failure.type_name == "RuntimeError"
+                    assert "injected fault" in failure.message
+                    # Same connection, same task: the fault budget is
+                    # spent, so the retry succeeds on this daemon.
+                    protocol.send_frame(
+                        sock, protocol.MSG_TASK, encode_task(task)
+                    )
+                    msg_type, _ = protocol.recv_frame(sock)
+                    assert msg_type == protocol.MSG_RESULT
+
+    def test_request_shutdown(self):
+        daemon = WorkerDaemon().start()
+        try:
+            assert request_shutdown(daemon.address) is True
+        finally:
+            daemon.shutdown()
+        assert request_shutdown(daemon.address) is False  # already gone
+
+    def test_max_tasks_bounds_lifetime(self, samples):
+        task = _make_task(samples[:20])
+        with WorkerDaemon(max_tasks=1) as daemon:
+            with socket.create_connection(parse_addr(daemon.address)) as sock:
+                protocol.send_frame(sock, protocol.MSG_TASK, encode_task(task))
+                msg_type, _ = protocol.recv_frame(sock)
+                assert msg_type == protocol.MSG_RESULT
+            assert daemon.tasks_served == 1
+
+    def test_max_tasks_validation(self):
+        with pytest.raises(ValueError, match="max_tasks"):
+            WorkerDaemon(max_tasks=0)
+
+    def test_double_start_rejected(self):
+        with WorkerDaemon() as daemon:
+            with pytest.raises(RuntimeError, match="already started"):
+                daemon.start()
+
+    def test_port_requires_start(self):
+        with pytest.raises(RuntimeError, match="not started"):
+            WorkerDaemon().port
+
+
+# --------------------------------------------------------------------- #
+# 4a. Dispatch equivalence (the acceptance bar)
+# --------------------------------------------------------------------- #
+class TestDispatchEquivalence:
+    def test_dispatch_matches_serial_exactly(
+        self, samples, serial_dataset, two_daemons
+    ):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=_dispatch_options(two_daemons),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+        assert dataset.degraded is None
+
+    def test_data_counters_and_gauges_match_serial(self, samples, two_daemons):
+        serial = build_dataset(iter(samples), study_windows=STUDY_WINDOWS)
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=_dispatch_options(two_daemons),
+        )
+        assert dataset.metrics.counters == serial.metrics.counters
+        assert dataset.metrics.gauges == serial.metrics.gauges
+
+    @pytest.mark.parametrize("engine", ["row", "batch"])
+    def test_golden_trace_byte_identical_vs_serial(self, two_daemons, engine):
+        snapshot = json.loads((DATA / "golden_report.json").read_text())
+        serial = build_dataset(
+            GOLDEN_TRACE, study_windows=snapshot["study_windows"], engine=engine
+        )
+        dispatched = build_dataset(
+            GOLDEN_TRACE,
+            study_windows=snapshot["study_windows"],
+            options=_dispatch_options(two_daemons),
+            engine=engine,
+        )
+        assert dispatched.rows == serial.rows
+        assert [k for k, _ in dispatched.store.items()] == [
+            k for k, _ in serial.store.items()
+        ]
+        assert dispatched.metrics.counters == serial.metrics.counters
+        assert dispatched.metrics.gauges == serial.metrics.gauges
+
+    def test_manifest_dist_section(self, samples, two_daemons):
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options(two_daemons),
+            )
+        manifest = RunManifest.collect(command="analyze", registry=registry)
+        assert manifest.dist["workers_connected"] == 2
+        assert manifest.dist["tasks_dispatched"] == 4
+        assert manifest.dist["tasks_completed"] == 4
+        assert manifest.dist["tasks_reassigned"] == 0
+        assert manifest.dist["bytes_sent"] > 0
+        assert manifest.dist["bytes_received"] > 0
+        # dist.* counters are execution facts, never sample accounting.
+        assert not [
+            name
+            for name in manifest.sample_accounting()
+            if name.startswith("dist.")
+        ]
+
+    def test_unreachable_worker_skipped_not_fatal(
+        self, samples, serial_dataset, two_daemons
+    ):
+        registry = MetricsRegistry()
+        addrs = (two_daemons[0], "127.0.0.1:1")  # port 1: nothing listens
+        with activate_metrics(registry):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options(addrs),
+            )
+        assert_datasets_equal(dataset, serial_dataset)
+        assert registry.counter("dist.workers.unreachable") == 1
+        assert registry.counter("dist.workers.connected") == 1
+
+    def test_no_reachable_workers_raises(self, samples):
+        with pytest.raises(DispatchError, match="no dispatch workers"):
+            build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options(("127.0.0.1:1", "127.0.0.1:2")),
+            )
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="requires worker_addrs"):
+            ParallelOptions(executor="dispatch")
+        with pytest.raises(ValueError, match="only meaningful"):
+            ParallelOptions(executor="thread", worker_addrs=("h:1",))
+        options = _dispatch_options(("a:1", "b:2", "c:3"), shards=None, workers=1)
+        assert options.effective_shards == 3  # one shard per daemon minimum
+
+    @pytest.mark.parametrize(
+        "bad", ["nohost", "host:", ":123", "host:abc", "host:0", "host:70000"]
+    )
+    def test_malformed_addresses_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_addr(bad)
+
+    def test_parse_addr_accepts_host_port(self):
+        assert parse_addr("127.0.0.1:8421") == ("127.0.0.1", 8421)
+
+
+# --------------------------------------------------------------------- #
+# 4b. Worker death mid-run (the graceful-degradation acceptance bar)
+# --------------------------------------------------------------------- #
+class TestDispatchFaults:
+    def test_killed_worker_reassigns_to_survivor(
+        self, samples, serial_dataset, two_daemons
+    ):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_worker={"ordinal": 1, "times": 1})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options(two_daemons),
+            )
+        # The run is clean, not degraded: the survivor absorbed the shard.
+        assert dataset.degraded is None
+        assert_datasets_equal(dataset, serial_dataset)
+        assert registry.counter("fault.injected.worker_kills") == 1
+        assert registry.counter("dist.workers.lost") == 1
+        assert registry.counter("dist.tasks.reassigned") == 1
+        assert registry.counter("fault.shard_retries") == 1
+
+    def test_dropped_connection_reassigns(
+        self, samples, serial_dataset, two_daemons
+    ):
+        registry = MetricsRegistry()
+        first_port = two_daemons[0].rpartition(":")[2]
+        plan = FaultPlan(
+            drop_connection={"addr_substr": f":{first_port}", "times": 1}
+        )
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options(two_daemons),
+            )
+        assert dataset.degraded is None
+        assert_datasets_equal(dataset, serial_dataset)
+        assert registry.counter("fault.injected.connection_drops") == 1
+        assert registry.counter("dist.tasks.reassigned") == 1
+
+    def test_sole_worker_death_quarantines_instead_of_crashing(self, samples):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_worker={"ordinal": 0, "times": 1})
+        with WorkerDaemon() as daemon:
+            with activate_metrics(registry), faultinject.inject(plan):
+                dataset = build_dataset(
+                    iter(samples),
+                    study_windows=STUDY_WINDOWS,
+                    options=_dispatch_options((daemon.address,)),
+                )
+        # Every shard lands in the ledger with a DispatchError naming the
+        # situation; the run itself completes.
+        ledger = dataset.degraded
+        assert ledger is not None
+        assert ledger.shards_lost == 4
+        assert all(
+            "DispatchError" in entry["error"] for entry in ledger.shards
+        )
+        assert registry.counter("dist.tasks.stranded") == 4
+        assert registry.counter("fault.shards_quarantined") == 4
+        assert dataset.session_count == 0
+
+    def test_sole_worker_death_under_strict_raises(self, samples):
+        plan = FaultPlan(kill_worker={"ordinal": 0, "times": 1})
+        with WorkerDaemon() as daemon:
+            with faultinject.inject(plan):
+                with pytest.raises(ShardError) as excinfo:
+                    build_dataset(
+                        iter(samples),
+                        study_windows=STUDY_WINDOWS,
+                        options=_dispatch_options(
+                            (daemon.address,), strict=True
+                        ),
+                    )
+        assert isinstance(excinfo.value.cause, DispatchError)
+
+    def test_remote_transient_failure_retried_to_clean_result(
+        self, samples, serial_dataset, two_daemons
+    ):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": 2})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options(two_daemons),
+            )
+        assert dataset.degraded is None
+        assert_datasets_equal(dataset, serial_dataset)
+        assert registry.counter("dist.remote_failures") == 2
+        assert registry.counter("fault.shard_retries") == 2
+        # The workers stayed up throughout: failures were replies.
+        assert registry.counter("dist.workers.lost") == 0
+
+    def test_remote_permanent_failure_quarantines_with_remote_type(
+        self, samples, two_daemons
+    ):
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": None})
+        with faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options(two_daemons),
+            )
+        ledger = dataset.degraded
+        assert ledger is not None and ledger.shards_lost == 1
+        entry = ledger.shards[0]
+        assert entry["ordinal"] == 1
+        assert entry["attempts"] == 3  # 1 try + 2 retries (default)
+        # The remote failure keeps the original worker-side type name.
+        assert "RemoteShardFailure" in entry["error"]
+        assert "RuntimeError" in entry["error"]
+        assert "injected fault" in entry["error"]
+
+
+# --------------------------------------------------------------------- #
+# 5. CLI integration
+# --------------------------------------------------------------------- #
+class TestDistCLI:
+    def test_analyze_dispatch_end_to_end(
+        self, samples, tmp_path, capsys, two_daemons
+    ):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.jsonl"
+        write_samples(trace, samples)
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "analyze",
+                str(trace),
+                "--workers", "2",
+                "--executor", "dispatch",
+                "--workers-addr", ",".join(two_daemons),
+                "--metrics-out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(manifest_path.read_text())
+        assert payload["shard_plan"]["executor"] == "dispatch"
+        assert payload["shard_plan"]["worker_addrs"] == list(two_daemons)
+        assert payload["dist"]["workers_connected"] == 2
+        assert payload["dist"]["tasks_completed"] == payload["dist"][
+            "tasks_dispatched"
+        ]
+
+    def test_dispatch_requires_workers_addr(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["analyze", str(tmp_path / "t.jsonl"),
+                  "--executor", "dispatch"])
+
+    def test_workers_addr_requires_dispatch(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["analyze", str(tmp_path / "t.jsonl"),
+                  "--workers-addr", "127.0.0.1:9"])
+
+    def test_worker_rejects_non_numeric_port(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="non-numeric"):
+            main(["worker", "--listen", "127.0.0.1:abc"])
+
+    def test_worker_subprocess_serves_dispatch_run(
+        self, samples, serial_dataset
+    ):
+        # The real deployment shape: `repro worker` in its own process,
+        # the dispatch client in this one.
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "127.0.0.1:0"],
+            cwd=str(pathlib.Path(__file__).parent.parent),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            addr = banner.strip().rpartition(" ")[2]
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options((addr,), shards=2),
+            )
+            assert_datasets_equal(dataset, serial_dataset)
+            assert request_shutdown(addr) is True
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+            assert "served 2 task(s)" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_relative_trace_path_survives_worker_cwd(
+        self, samples, serial_dataset, tmp_path, monkeypatch
+    ):
+        # Regression: file-backed shard tasks used to carry the trace
+        # path as given. A relative path resolves against the *worker's*
+        # working directory — here a daemon subprocess rooted somewhere
+        # else entirely — so every shard failed with FileNotFoundError
+        # and the run silently degraded to zero rows. plan_chunks now
+        # pins the resolved path client-side.
+        write_samples(tmp_path / "trace.jsonl", samples)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker",
+             "--listen", "127.0.0.1:0"],
+            cwd=str(pathlib.Path(__file__).parent.parent),
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            addr = banner.strip().rpartition(" ")[2]
+            monkeypatch.chdir(tmp_path)
+            dataset = build_dataset(
+                "trace.jsonl",
+                study_windows=STUDY_WINDOWS,
+                options=_dispatch_options((addr,), shards=2),
+            )
+            assert dataset.degraded is None
+            assert_datasets_equal(dataset, serial_dataset)
+            request_shutdown(addr)
+            proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

@@ -1,0 +1,257 @@
+"""Executor-conformance suite: every backend honors one contract.
+
+The :class:`~repro.pipeline.parallel.ShardExecutor` contract (DESIGN.md
+§13) is what makes *where* shards run orthogonal to *what* they compute:
+any backend — serial, thread pool, process pool, or dispatch over socket
+daemons — must produce datasets and data counters byte-identical to the
+serial pass, and must route every failed attempt through the same
+retry/quarantine/strict policy so accounting is indistinguishable across
+backends.
+
+This suite runs the same assertions over all four built-ins. Adding a
+fifth backend via :func:`register_executor` means adding one line to
+``BACKENDS`` here and inheriting the whole bar.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faultinject
+from repro.dist import WorkerDaemon
+from repro.faultinject import FaultPlan
+from repro.obs import MetricsRegistry, activate_metrics
+from repro.pipeline import (
+    ParallelOptions,
+    ShardError,
+    StudyDataset,
+    build_dataset,
+)
+from repro.pipeline.parallel import (
+    SerialExecutor,
+    ShardExecutor,
+    _EXECUTOR_FACTORIES,
+    executor_for,
+    register_executor,
+)
+
+from tests.helpers import make_trace_samples
+from tests.test_pipeline_parallel import assert_datasets_equal
+
+pytestmark = pytest.mark.dist
+
+STUDY_WINDOWS = 8
+
+BACKENDS = ("serial", "thread", "process", "dispatch")
+#: Backends whose shards run in this process (or its threads), where a
+#: programmatic ``faultinject.inject`` plan is visible. The process pool
+#: picks plans up from the environment instead, with per-child budgets —
+#: so count-limited (transient) faults are exercised on these only.
+IN_PROCESS_BACKENDS = ("serial", "thread", "dispatch")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_state():
+    faultinject.reset()
+    yield
+    faultinject.reset()
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return make_trace_samples(500, seed=47, windows=STUDY_WINDOWS)
+
+
+@pytest.fixture(scope="module")
+def serial_dataset(samples):
+    return StudyDataset(study_windows=STUDY_WINDOWS).ingest(iter(samples))
+
+
+@pytest.fixture(scope="module")
+def daemons():
+    with WorkerDaemon() as first, WorkerDaemon() as second:
+        yield (first.address, second.address)
+
+
+def _options(backend, daemons, **kwargs) -> ParallelOptions:
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("shards", 4)
+    kwargs.setdefault("retry_backoff", 0.0)
+    if backend == "dispatch":
+        kwargs.setdefault("worker_addrs", daemons)
+    return ParallelOptions(executor=backend, **kwargs)
+
+
+def _ledger_accounting(ledger) -> tuple:
+    """The backend-invariant shape of a degraded ledger.
+
+    Error *text* legitimately differs across backends (a dispatch run
+    reports ``RemoteShardFailure: RuntimeError: ...`` where a local one
+    reports ``RuntimeError: ...``), so it is excluded here and asserted
+    separately.
+    """
+    payload = ledger.to_dict()
+    return (
+        payload["shards_lost"],
+        payload["samples_lost"],
+        payload["partitions_skipped"],
+        payload["retries"],
+        [
+            (e["ordinal"], e["attempts"], e["samples_lost"],
+             e["partitions_skipped"])
+            for e in payload["shards"]
+        ],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: dataset and data-counter identity vs serial
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEquivalence:
+    def test_dataset_identical_to_serial(
+        self, samples, serial_dataset, daemons, backend
+    ):
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=_options(backend, daemons),
+        )
+        assert_datasets_equal(dataset, serial_dataset)
+        assert dataset.degraded is None
+
+    def test_counters_and_gauges_identical_to_serial(
+        self, samples, daemons, backend
+    ):
+        serial = build_dataset(iter(samples), study_windows=STUDY_WINDOWS)
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=_options(backend, daemons),
+        )
+        assert dataset.metrics.counters == serial.metrics.counters
+        assert dataset.metrics.gauges == serial.metrics.gauges
+
+
+# --------------------------------------------------------------------- #
+# Failure policy: retry, quarantine, strict — identical accounting
+# --------------------------------------------------------------------- #
+class TestFailurePolicy:
+    @pytest.mark.parametrize("backend", IN_PROCESS_BACKENDS)
+    def test_transient_failure_retried_to_clean_result(
+        self, samples, serial_dataset, daemons, backend
+    ):
+        registry = MetricsRegistry()
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": 2})
+        with activate_metrics(registry), faultinject.inject(plan):
+            dataset = build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_options(backend, daemons),
+            )
+        assert dataset.degraded is None
+        assert_datasets_equal(dataset, serial_dataset)
+        assert registry.counter("fault.shard_retries") == 2
+        assert registry.counter("fault.shards_quarantined") == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_quarantine_accounting_identical(
+        self, samples, daemons, backend, monkeypatch
+    ):
+        # Permanent kill of shard 1, activated via the environment so the
+        # process pool's children see it too (budget per process, but a
+        # permanent fault has no budget to diverge on).
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": None})
+        monkeypatch.setenv(faultinject.ENV_VAR, plan.to_json())
+        faultinject.reset()
+        serial = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=_options("serial", daemons),
+        )
+        faultinject.reset()
+        dataset = build_dataset(
+            iter(samples),
+            study_windows=STUDY_WINDOWS,
+            options=_options(backend, daemons),
+        )
+        assert dataset.degraded is not None
+        assert _ledger_accounting(dataset.degraded) == _ledger_accounting(
+            serial.degraded
+        )
+        # The worker-side error is named in every backend's ledger entry.
+        assert "injected fault" in dataset.degraded.shards[0]["error"]
+        # The surviving shards are identical to serial's survivors.
+        assert dataset.rows == serial.rows
+        assert [k for k, _ in dataset.store.items()] == [
+            k for k, _ in serial.store.items()
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_strict_raises_shard_error_naming_the_shard(
+        self, samples, daemons, backend, monkeypatch
+    ):
+        plan = FaultPlan(kill_shard={"ordinal": 1, "times": None})
+        monkeypatch.setenv(faultinject.ENV_VAR, plan.to_json())
+        faultinject.reset()
+        with pytest.raises(ShardError) as excinfo:
+            build_dataset(
+                iter(samples),
+                study_windows=STUDY_WINDOWS,
+                options=_options(backend, daemons, strict=True, max_retries=0),
+            )
+        assert excinfo.value.shard_id == 1
+        assert excinfo.value.attempts == 1
+        assert "injected fault" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------- #
+# The registry: lookup, replacement, and the base-class contract
+# --------------------------------------------------------------------- #
+class TestExecutorRegistry:
+    def test_every_builtin_resolves(self, daemons):
+        for backend in BACKENDS:
+            executor = executor_for(_options(backend, daemons))
+            assert isinstance(executor, ShardExecutor)
+            executor.close()  # idempotent, resourceless here
+
+    def test_unregistered_name_is_a_value_error(self, daemons):
+        options = _options("thread", daemons)
+        factory = _EXECUTOR_FACTORIES.pop("thread")
+        try:
+            with pytest.raises(ValueError, match="no executor backend"):
+                executor_for(options)
+        finally:
+            _EXECUTOR_FACTORIES["thread"] = factory
+
+    def test_register_replaces_a_builtin(self, samples, daemons):
+        # The documented test-double path: swap a built-in for a custom
+        # backend and get the whole pipeline (plan, merge, faults) free.
+        calls = []
+
+        class RecordingExecutor(SerialExecutor):
+            def run(self, tasks, ledger):
+                calls.append(len(tasks))
+                return super().run(tasks, ledger)
+
+        original = _EXECUTOR_FACTORIES["thread"]
+        register_executor("thread", RecordingExecutor)
+        try:
+            serial = StudyDataset(study_windows=STUDY_WINDOWS).ingest(
+                iter(samples[:100])
+            )
+            dataset = build_dataset(
+                iter(samples[:100]),
+                study_windows=STUDY_WINDOWS,
+                options=_options("thread", daemons),
+            )
+        finally:
+            register_executor("thread", original)
+        assert calls == [4]
+        assert dataset.rows == serial.rows
+
+    def test_base_run_is_abstract(self, daemons):
+        executor = ShardExecutor(_options("serial", daemons))
+        with pytest.raises(NotImplementedError):
+            executor.run([], None)
+        executor.close()  # the default close is a safe no-op

@@ -99,7 +99,7 @@ class TestRoundTrip:
         assert set(payload) == {
             "format_version", "command", "config", "shard_plan", "stages",
             "counters", "gauges", "timers", "exit_code", "python_version",
-            "degraded", "streaming", "serving",
+            "degraded", "streaming", "serving", "dist",
         }
 
     def test_counters_serialize_sorted(self, tmp_path):
@@ -157,3 +157,43 @@ class TestServingSection:
         manifest = RunManifest.collect(command="serve", registry=registry)
         path = manifest.write(tmp_path / "m.json")
         assert RunManifest.read(path).serving == manifest.serving
+
+
+class TestDistSection:
+    def test_dist_counters_summarize_into_dist(self):
+        registry = MetricsRegistry()
+        registry.inc("dist.workers.connected", 2)
+        registry.inc("dist.workers.lost", 1)
+        registry.inc("dist.tasks.dispatched", 5)
+        registry.inc("dist.tasks.completed", 4)
+        registry.inc("dist.tasks.reassigned", 1)
+        registry.inc("dist.remote_failures", 1)
+        registry.inc("dist.bytes.sent", 1000)
+        registry.inc("dist.bytes.received", 2000)
+        manifest = RunManifest.collect(command="analyze", registry=registry)
+        assert manifest.dist == {
+            "workers_connected": 2,
+            "workers_unreachable": 0,
+            "workers_lost": 1,
+            "tasks_dispatched": 5,
+            "tasks_completed": 4,
+            "tasks_reassigned": 1,
+            "tasks_stranded": 0,
+            "remote_failures": 1,
+            "bytes_sent": 1000,
+            "bytes_received": 2000,
+        }
+
+    def test_single_host_run_has_empty_dist_section(self):
+        registry = MetricsRegistry()
+        registry.inc("pipeline.samples.read", 10)
+        manifest = RunManifest.collect(command="analyze", registry=registry)
+        assert manifest.dist == {}
+
+    def test_dist_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("dist.workers.connected", 2)
+        registry.inc("dist.tasks.completed", 2)
+        manifest = RunManifest.collect(command="analyze", registry=registry)
+        path = manifest.write(tmp_path / "m.json")
+        assert RunManifest.read(path).dist == manifest.dist

@@ -16,7 +16,7 @@ from repro.core.hdratio import session_goodput
 from repro.obs import MetricsRegistry, activate_metrics, active_metrics
 from repro.pipeline import ParallelOptions, StudyDataset, build_dataset
 from repro.pipeline.io import read_samples, write_samples
-from repro.pipeline.parallel import EXECUTORS
+from repro.pipeline.parallel import LOCAL_EXECUTORS
 
 from tests.helpers import make_trace_samples
 
@@ -86,7 +86,7 @@ class TestInMemoryCounterEquality:
         assert_counters_equal(dataset, serial_dataset)
 
     @pytest.mark.slow
-    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("executor", LOCAL_EXECUTORS)
     @pytest.mark.parametrize("shards", [1, 2, 4, 8])
     def test_full_matrix(self, samples, serial_dataset, executor, shards):
         dataset = build_dataset(

@@ -1,5 +1,6 @@
 """Tests for JSONL trace serialization and chunked parallel reading."""
 
+import pathlib
 import json
 
 import pytest
@@ -267,6 +268,21 @@ class TestChunkPlanning:
         write_samples(path, [sample_with_txns()])
         with pytest.raises(ValueError):
             plan_chunks(path, 0)
+
+    def test_chunk_paths_are_resolved(self, tmp_path, monkeypatch):
+        # Chunks ship to worker daemons whose CWD is not the planner's
+        # (DESIGN.md §13): a relative path must be pinned at plan time.
+        write_samples(tmp_path / "trace.jsonl", [sample_with_txns()])
+        monkeypatch.chdir(tmp_path)
+        for chunk in plan_chunks("trace.jsonl", 2):
+            assert pathlib.Path(chunk.path).is_absolute()
+
+    def test_store_chunk_paths_are_resolved(self, tmp_path, monkeypatch):
+        write_samples(tmp_path / "t.jsonl", [sample_with_txns()])
+        convert(tmp_path / "t.jsonl", tmp_path / "t.store")
+        monkeypatch.chdir(tmp_path)
+        for chunk in plan_chunks("t.store", 2):
+            assert pathlib.Path(chunk.path).is_absolute()
 
     def test_chunks_cover_file_without_overlap(self, tmp_path):
         path = tmp_path / "trace.jsonl"

@@ -9,6 +9,7 @@ McKean–Schrader CIs, window tables, figure results) is exactly equal too.
 """
 
 import math
+import pickle
 
 import pytest
 
@@ -23,7 +24,12 @@ from repro.pipeline import (
     fig9_opportunity,
 )
 from repro.pipeline.io import write_samples
-from repro.pipeline.parallel import EXECUTORS, shard_of, shard_samples
+from repro.pipeline.parallel import (
+    LOCAL_EXECUTORS,
+    RemoteCause,
+    shard_of,
+    shard_samples,
+)
 
 from tests.helpers import make_trace_samples
 
@@ -119,7 +125,7 @@ class TestInMemoryEquivalence:
         assert_datasets_equal(dataset, serial_dataset)
 
     @pytest.mark.slow
-    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("executor", LOCAL_EXECUTORS)
     @pytest.mark.parametrize("shards", [1, 2, 4, 8])
     def test_full_matrix(self, samples, serial_dataset, executor, shards):
         dataset = build_dataset(
@@ -134,7 +140,7 @@ class TestInMemoryEquivalence:
     def test_randomized_traces(self, seed):
         randomized = make_trace_samples(400, seed=seed, windows=STUDY_WINDOWS)
         serial = StudyDataset(study_windows=STUDY_WINDOWS).ingest(iter(randomized))
-        for executor in EXECUTORS:
+        for executor in LOCAL_EXECUTORS:
             for shards in (1, 2, 4, 8):
                 dataset = build_dataset(
                     iter(randomized),
@@ -169,7 +175,7 @@ class TestFileEquivalence:
 
     @pytest.mark.slow
     @pytest.mark.parametrize("kind", ["plain", "gz"])
-    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("executor", LOCAL_EXECUTORS)
     @pytest.mark.parametrize("shards", [1, 2, 5, 8])
     def test_full_matrix(self, trace_paths, serial_dataset, kind, executor, shards):
         dataset = build_dataset(
@@ -273,3 +279,69 @@ class TestSharding:
             k for k, _ in serial.store.items()
         ]
         assert dataset.window_seconds == 3600.0
+
+
+# --------------------------------------------------------------------- #
+# ShardError transport: the error must survive any pickle boundary
+# --------------------------------------------------------------------- #
+class _ArityBomb(Exception):
+    """Pickles fine, explodes on load: default exception reduction calls
+    ``cls(formatted_message)``, the wrong arity for this constructor —
+    the classic third-party-exception transport failure."""
+
+    def __init__(self, code, detail):
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+
+
+class TestShardErrorTransport:
+    def test_picklable_cause_rides_along_unchanged(self):
+        error = ShardError(3, ValueError("bad route"), attempts=2)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.shard_id == 3
+        assert clone.attempts == 2
+        assert isinstance(clone.cause, ValueError)
+        assert str(clone.cause) == "bad route"
+        assert "shard 3 failed after 2 attempt(s)" in str(clone)
+
+    def test_load_poisoning_cause_is_stringified(self):
+        # The regression: ShardError wrapping an exception that pickles
+        # but cannot un-pickle used to poison the whole error in transit
+        # (a process-pool future would raise on result pickup). The cause
+        # must travel as a stringified RemoteCause instead.
+        error = ShardError(1, _ArityBomb("E42", "detail text"), attempts=3)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.shard_id == 1
+        assert clone.attempts == 3
+        assert isinstance(clone.cause, RemoteCause)
+        assert clone.cause.type_name == "_ArityBomb"
+        assert "E42: detail text" in clone.cause.message
+        # The original type stays visible in the rendered error text.
+        assert "_ArityBomb" in str(clone)
+
+    def test_dump_failing_cause_is_stringified(self):
+        class Local(Exception):  # unpicklable: not importable by qualname
+            pass
+
+        error = ShardError(0, Local("nested"), attempts=1)
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone.cause, RemoteCause)
+        assert clone.cause.type_name == "Local"
+        assert clone.cause.message == "nested"
+
+    def test_remote_cause_round_trips_exactly(self):
+        cause = RemoteCause("TimeoutError", "socket timed out")
+        clone = pickle.loads(pickle.dumps(cause))
+        assert clone.type_name == "TimeoutError"
+        assert clone.message == "socket timed out"
+        assert str(clone) == "TimeoutError: socket timed out"
+
+    def test_double_pickle_is_stable(self):
+        # Ledger entries can cross more than one boundary (worker ->
+        # client -> manifest collector); a second trip must not re-wrap.
+        error = ShardError(2, _ArityBomb("E1", "x"), attempts=1)
+        once = pickle.loads(pickle.dumps(error))
+        twice = pickle.loads(pickle.dumps(once))
+        assert isinstance(twice.cause, RemoteCause)
+        assert twice.cause.type_name == once.cause.type_name
+        assert twice.cause.message == once.cause.message
