@@ -42,6 +42,14 @@
 #                 across all four backends. Also part of tier-1.
 #   bench-dist  - dispatch over two local daemons vs the process pool on
 #                 the same workload; writes benchmarks/results/BENCH_dist.json.
+#   test-netsim - just the simulator suite (`netsim` marker): the packet
+#                 simulator (engine, link, TCP), the CC-conformance contract
+#                 across all registered congestion controls, the validation
+#                 sweep, and the scenario bugfix regressions. Also part of
+#                 tier-1.
+#   bench-cc-matrix - the CC/protocol scenario-matrix ablation (validation
+#                 sweep per CC + mobile HDratio/MinRTT distributions);
+#                 writes benchmarks/results/ablation_cc_matrix.txt.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
@@ -56,17 +64,21 @@ STREAMING_TESTS = tests/test_pipeline_streaming.py tests/test_pipeline_ingest.py
 SERVE_TESTS = tests/test_serve_api.py tests/test_serve_cache.py \
               tests/test_serve_concurrency.py
 DIST_TESTS = tests/test_dist.py tests/test_executor_contract.py
+NETSIM_TESTS = tests/test_netsim_engine.py tests/test_netsim_link.py \
+               tests/test_netsim_tcp.py tests/test_netsim_congestion.py \
+               tests/test_netsim_scenarios.py tests/test_netsim_pep.py \
+               tests/test_netsim_trace.py tests/test_cc_contract.py
 COV_FLOOR = 85
 
 .PHONY: test test-all test-faults test-kernels test-streaming test-serve \
-	test-dist coverage bench bench-scaling bench-io bench-analyze \
-	bench-ingest bench-serve bench-dist
+	test-dist test-netsim coverage bench bench-scaling bench-io \
+	bench-analyze bench-ingest bench-serve bench-dist bench-cc-matrix
 
 test:
 	$(PYTEST) -x -q
 
 test-all: coverage test-faults test-kernels test-streaming test-serve \
-		test-dist
+		test-dist test-netsim
 	$(PYTEST) -q -m ""
 
 test-faults:
@@ -84,22 +96,26 @@ test-serve:
 test-dist:
 	$(PYTEST) -q -m dist
 
+test-netsim:
+	$(PYTEST) -q -m netsim
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
 			$(KERNEL_TESTS) $(STREAMING_TESTS) $(SERVE_TESTS) \
-			$(DIST_TESTS) \
+			$(DIST_TESTS) $(NETSIM_TESTS) \
 			--cov=repro.obs --cov=repro.store --cov=repro.faultinject \
 			--cov=repro.kernels --cov=repro.pipeline.ingest \
 			--cov=repro.serve --cov=repro.dist \
+			--cov=repro.netsim.congestion \
 			--cov-report=term-missing \
 			--cov-fail-under=$(COV_FLOOR); \
 	else \
 		echo "pytest-cov not installed; running obs/store/fault/kernel/" \
-		     "streaming/serve/dist tests without the $(COV_FLOOR)% floor"; \
+		     "streaming/serve/dist/netsim tests without the $(COV_FLOOR)% floor"; \
 		$(PYTEST) -q -m "" $(OBS_TESTS) $(STORE_TESTS) $(FAULT_TESTS) \
 			$(KERNEL_TESTS) $(STREAMING_TESTS) $(SERVE_TESTS) \
-			$(DIST_TESTS); \
+			$(DIST_TESTS) $(NETSIM_TESTS); \
 	fi
 
 bench:
@@ -122,3 +138,6 @@ bench-serve:
 
 bench-dist:
 	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m bench benchmarks/test_bench_dist.py
+
+bench-cc-matrix:
+	PYTHONPATH=src:. $(PYTHON) -m pytest -q -m "" benchmarks/test_ablation_cc_matrix.py

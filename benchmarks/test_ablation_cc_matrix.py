@@ -1,0 +1,172 @@
+"""Ablation — the CC/protocol scenario matrix (§3.2.3, §4.1).
+
+The paper's estimator is derived from an idealized Reno sender, but the
+fleet it measures runs CUBIC and (increasingly) BBR/QUIC. This bench runs
+the full matrix the registry makes possible:
+
+- **Part A** — the validation sweep per congestion control: the
+  never-overestimate invariant (§3.2.3) must hold for every registered
+  controller, and we report how the relative-error tail moves as the sender
+  departs from the model's Reno assumptions.
+- **Part B** — HDratio/MinRTT distributions per CC regime over mobile
+  access classes (LTE and high-mobility/rail), with the scenario's loss and
+  jitter mirrored onto the ACK return path. The QUIC-ish regime is BBR plus
+  a 0-RTT handshake and independent streams. This is the "does the metric's
+  shape survive the transport?" question behind §4.1's population
+  comparisons.
+
+Writes ``benchmarks/results/ablation_cc_matrix.txt``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.hdratio import session_goodput
+from repro.netsim.scenarios import run_transfer
+from repro.netsim.validation import SweepConfig, run_validation_sweep
+from repro.pipeline.report import format_table
+from repro.stats.weighted import percentile
+from repro.workload.profiles import mobile_profiles
+
+MSS = 1500
+
+CONTROLLERS = ("reno", "cubic", "bbr")
+
+#: regime name -> (congestion control, run_transfer extras)
+REGIMES = {
+    "reno": ("reno", {}),
+    "cubic": ("cubic", {}),
+    "bbr": ("bbr", {}),
+    "quic-ish": (
+        "bbr",
+        {
+            "handshake_bytes": 500,
+            "zero_rtt_handshake": True,
+            "independent_streams": True,
+        },
+    ),
+}
+
+SESSIONS_PER_CLASS = 25
+SESSION_SIZES = [60 * MSS, 60 * MSS]
+
+SWEEP = SweepConfig(
+    bottleneck_mbps=(1.0, 2.5, 5.0),
+    rtt_ms=(40.0, 100.0),
+    initial_cwnd_packets=(10, 25),
+    transfer_packets=(50, 200),
+)
+
+
+def _sweep_rows():
+    rows = []
+    for cc in CONTROLLERS:
+        result = run_validation_sweep(SWEEP, congestion_control=cc)
+        errors = [
+            p.relative_error
+            for p in result.testing_points
+            if p.relative_error is not None
+        ]
+        rows.append(
+            (
+                cc,
+                len(result.testing_points),
+                len(result.overestimates),
+                f"{result.relative_error_percentile(50.0):.3f}",
+                f"{result.relative_error_percentile(99.0):.3f}",
+            )
+        )
+        assert errors
+        # The acceptance bar: no CC regime may make the estimator optimistic.
+        assert not result.overestimates, f"{cc} overestimated the bottleneck"
+    return rows
+
+
+def _session_metrics(profile, cc, extras, seed):
+    transfer = run_transfer(
+        SESSION_SIZES,
+        bottleneck_mbps=profile.downlink_mbps,
+        rtt_ms=profile.last_mile_rtt_ms,
+        loss_probability=profile.loss_probability,
+        jitter_ms=profile.jitter_ms,
+        burst_loss_probability=profile.burst_loss_probability,
+        ack_loss_probability=profile.loss_probability,
+        ack_jitter_ms=profile.jitter_ms,
+        congestion_control=cc,
+        seed=seed,
+        max_duration=600.0,
+        **extras,
+    )
+    summary = session_goodput(transfer.records, transfer.min_rtt_seconds)
+    min_rtt_ms = (
+        transfer.min_rtt_seconds * 1000.0
+        if transfer.min_rtt_seconds is not None
+        else None
+    )
+    return summary.hdratio, min_rtt_ms
+
+
+def _matrix_rows():
+    classes = mobile_profiles()
+    rows = []
+    for class_name, access_class in sorted(classes.items()):
+        # One profile draw per session, shared across regimes so the matrix
+        # compares transports over identical paths.
+        rng = random.Random(42)
+        profiles = [access_class.sample(rng) for _ in range(SESSIONS_PER_CLASS)]
+        for regime, (cc, extras) in REGIMES.items():
+            hdratios = []
+            min_rtts = []
+            for seed, profile in enumerate(profiles):
+                hdratio, min_rtt_ms = _session_metrics(
+                    profile, cc, extras, seed=1000 + seed
+                )
+                if hdratio is not None:
+                    hdratios.append(hdratio)
+                if min_rtt_ms is not None:
+                    min_rtts.append(min_rtt_ms)
+            assert min_rtts, f"{class_name}/{regime}: no MinRTT samples"
+            rows.append(
+                (
+                    class_name,
+                    regime,
+                    len(hdratios),
+                    f"{sum(hdratios) / len(hdratios):.2f}" if hdratios else "n/a",
+                    f"{percentile(min_rtts, 50.0):.0f}",
+                    f"{percentile(min_rtts, 95.0):.0f}",
+                )
+            )
+    return rows
+
+
+def test_ablation_cc_matrix(benchmark, record_result):
+    sweep_rows = _sweep_rows()
+    matrix_rows = benchmark.pedantic(_matrix_rows, rounds=1, iterations=1)
+
+    record_result(
+        "ablation_cc_matrix",
+        format_table(
+            ("cc", "testing configs", "overestimates", "err p50", "err p99"),
+            sweep_rows,
+            title="validation sweep per congestion control (§3.2.3):",
+        )
+        + "\n\n"
+        + format_table(
+            (
+                "class",
+                "regime",
+                "tested sessions",
+                "HDratio mean",
+                "MinRTT p50 ms",
+                "MinRTT p95 ms",
+            ),
+            matrix_rows,
+            title="mobile CC/protocol matrix — HDratio & MinRTT (§4.1):",
+        ),
+    )
+
+    # Every (class, regime) cell produced sessions; the sweeps covered all
+    # registered controllers without a single overestimate.
+    assert len(sweep_rows) == len(CONTROLLERS)
+    assert len(matrix_rows) == 2 * len(REGIMES)

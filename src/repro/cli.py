@@ -134,11 +134,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="print the packet-level sequence diagram",
     )
+    fig4.add_argument(
+        "--cc", dest="congestion_control", default="reno", metavar="NAME",
+        help="congestion control: reno (default), cubic, bbr, or any "
+        "registered name",
+    )
     _add_observability_options(fig4)
 
     sweep = sub.add_parser("sweep", help="run the §3.2.3 validation sweep")
     sweep.add_argument(
         "--dense", action="store_true", help="use the dense, paper-shaped grid"
+    )
+    sweep.add_argument(
+        "--cc", dest="congestion_control", default="reno", metavar="NAME",
+        help="congestion control: reno (default), cubic, bbr, or any "
+        "registered name",
     )
     _add_observability_options(sweep)
 
@@ -363,12 +373,17 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
             [2 * mss, 24 * mss, 14 * mss],
             rtt_ms=60.0,
             delayed_ack=args.delayed_ack,
+            congestion_control=args.congestion_control,
             trace_sink=sink,
         )
         print(sink[0].render(max_events=120))
         print()
 
-    result = run_figure4_scenario(delayed_ack=args.delayed_ack)
+    result = run_figure4_scenario(
+        delayed_ack=args.delayed_ack,
+        congestion_control=args.congestion_control,
+    )
+    print(f"congestion control: {args.congestion_control}")
     print(f"MinRTT: {result.min_rtt_ms:.1f} ms")
     for index, (observed, testable) in enumerate(
         zip(result.observed_goodputs_mbps, result.testable_goodputs_mbps), 1
@@ -397,8 +412,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     else:
         config = SweepConfig()
-    print(f"Sweeping {config.count} configurations…")
-    result = run_validation_sweep(config)
+    print(
+        f"Sweeping {config.count} configurations "
+        f"({args.congestion_control})…"
+    )
+    result = run_validation_sweep(
+        config, congestion_control=args.congestion_control
+    )
     testing = result.testing_points
     print(f"configurations able to test the bottleneck: {len(testing)}")
     print(f"overestimates: {len(result.overestimates)} (paper: 0)")

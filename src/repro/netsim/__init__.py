@@ -18,7 +18,15 @@ whose state the load balancer instruments. It is written from scratch:
 - :mod:`repro.netsim.validation` — the §3.2.3 parameter sweep.
 """
 
-from repro.netsim.congestion import CubicControl, RenoControl
+from repro.netsim.congestion import (
+    BbrLikeControl,
+    CongestionControl,
+    CubicControl,
+    RenoControl,
+    cc_for,
+    register_congestion_control,
+    registered_congestion_controls,
+)
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link, LinkStats
 from repro.netsim.pep import (
@@ -37,6 +45,8 @@ from repro.netsim.scenarios import (
 from repro.netsim.validation import SweepConfig, SweepResult, run_validation_sweep
 
 __all__ = [
+    "BbrLikeControl",
+    "CongestionControl",
     "CubicControl",
     "Figure4Result",
     "InstrumentedServer",
@@ -52,6 +62,9 @@ __all__ = [
     "TcpConnection",
     "TcpParams",
     "TransferResult",
+    "cc_for",
+    "register_congestion_control",
+    "registered_congestion_controls",
     "run_end_to_end_transfer",
     "run_figure4_scenario",
     "run_split_transfer",

@@ -66,7 +66,9 @@ class TransferResult:
 
     records: List[TransactionRecord]
     spans: List[tuple]
-    min_rtt_seconds: float
+    #: ``None`` when the connection produced no RTT sample at all — distinct
+    #: from a genuine 0.0 measurement on a zero-propagation path.
+    min_rtt_seconds: Optional[float]
     total_bytes: int
     completion_time: float
     retransmits: int
@@ -193,7 +195,11 @@ class InstrumentedServer:
                     last_byte_write_time=last_write,
                 )
             )
-        min_rtt = self.connection.min_rtt.at_termination(self.sim.now) or 0.0
+        # Preserve "no sample" (None) as-is: consumers that need a number
+        # must decide their own fallback, and 0.0 is a legitimate
+        # measurement on zero-propagation paths (see validation's
+        # effective_min_rtt).
+        min_rtt = self.connection.min_rtt.at_termination(self.sim.now)
         completion = max((t.final_ack_time or 0.0 for t in finished), default=0.0)
         spans = [
             (txn.first_byte_time, txn.final_ack_time, txn.response_bytes)

@@ -140,12 +140,14 @@ def run_split_transfer(
     )
     hdratio = (
         session_goodput(view.records, view.min_rtt_seconds).hdratio
-        if view.records and view.min_rtt_seconds > 0
+        if view.records
+        and view.min_rtt_seconds is not None
+        and view.min_rtt_seconds > 0
         else None
     )
     return SplitPathResult(
         server_view=view,
-        server_min_rtt_ms=view.min_rtt_seconds * 1000.0,
+        server_min_rtt_ms=(view.min_rtt_seconds or 0.0) * 1000.0,
         end_to_end_completion=completion[0],
         end_to_end_goodput_bps=e2e_goodput,
         client_received_bytes=client_received[0],

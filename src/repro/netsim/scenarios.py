@@ -17,6 +17,7 @@ from repro.netsim.endpoints import InstrumentedServer, TransferResult
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
 from repro.netsim.tcp import TcpConnection, TcpParams
+from repro.obs.registry import active_metrics
 
 __all__ = ["Figure4Result", "run_figure4_scenario", "run_transfer"]
 
@@ -35,6 +36,12 @@ def run_transfer(
     max_duration: float = 600.0,
     handshake_bytes: int = 120,
     congestion_control: str = "reno",
+    ack_loss_probability: float = 0.0,
+    ack_jitter_ms: float = 0.0,
+    burst_loss_probability: float = 0.0,
+    burst_length_packets: float = 4.0,
+    zero_rtt_handshake: bool = False,
+    independent_streams: bool = False,
     trace_sink: Optional[list] = None,
 ) -> TransferResult:
     """Simulate one connection serving ``response_sizes`` back to back.
@@ -48,6 +55,20 @@ def run_transfer(
     small packets carry negligible serialization delay, which is what lets
     production MinRTT approximate the propagation delay (paper footnote 5).
     Set to 0 to start cold.
+
+    The reverse (ACK) path is ideal by default, matching the historical
+    behaviour that kept the golden numbers stable; ``ack_loss_probability``
+    and ``ack_jitter_ms`` impair it explicitly so lossy/mobile profiles can
+    model ACK compression and dupack dynamics instead of silently getting a
+    perfect return path. ``burst_loss_probability``/``burst_length_packets``
+    enable Gilbert–Elliott burst loss on the forward path (LTE-like fades).
+
+    The QUIC-ish toggles model protocol, not transport: with
+    ``zero_rtt_handshake`` the first response rides with the handshake
+    instead of waiting one RTT for its ACK (0-RTT resumption); with
+    ``independent_streams`` every response is written immediately — streams
+    coalesce on the wire rather than alternating request/response (and the
+    handshake wait is moot, so it implies 0-RTT semantics).
 
     Pass a list as ``trace_sink`` to receive a
     :class:`~repro.netsim.trace.PacketTrace` capturing every wire event.
@@ -64,9 +85,18 @@ def run_transfer(
         queue_packets=queue_packets,
         loss_probability=loss_probability,
         jitter_seconds=jitter_ms / 1000.0,
+        burst_loss_probability=burst_loss_probability,
+        burst_length_packets=burst_length_packets,
         rng=rng,
     )
-    ack_link = Link(sim, rate_bps=None, propagation_delay=one_way, rng=rng)
+    ack_link = Link(
+        sim,
+        rate_bps=None,
+        propagation_delay=one_way,
+        loss_probability=ack_loss_probability,
+        jitter_seconds=ack_jitter_ms / 1000.0,
+        rng=rng,
+    )
     if trace_sink is not None:
         from repro.netsim.trace import PacketTrace
 
@@ -84,6 +114,10 @@ def run_transfer(
         # Unregistered write: grows no transaction record, but seeds MinRTT
         # with a small-packet sample like a real handshake would.
         connection.write(handshake_bytes)
+    if independent_streams:
+        for size in response_sizes:
+            server.send_response(size)
+    elif handshake_bytes > 0 and not zero_rtt_handshake:
         for size in response_sizes:
             server.send_after_ack(size)
     else:
@@ -91,7 +125,24 @@ def run_transfer(
         for size in response_sizes[1:]:
             server.send_after_ack(size)
     sim.run(until=max_duration)
-    return server.result()
+    result = server.result()
+    metrics = active_metrics()
+    if metrics is not None:
+        prefix = f"netsim.cc.{congestion_control}"
+        metrics.inc(f"{prefix}.transfers")
+        metrics.inc(f"{prefix}.retransmits", result.retransmits)
+        metrics.inc(f"{prefix}.timeouts", result.timeouts)
+        cc = connection.cc
+        for counter in (
+            "hystart_exits",
+            "hystart_rounds",
+            "probe_rtt_entries",
+            "loss_events",
+        ):
+            value = getattr(cc, counter, 0)
+            if value:
+                metrics.inc(f"{prefix}.{counter}", value)
+    return result
 
 
 @dataclass(frozen=True)
@@ -104,7 +155,9 @@ class Figure4Result:
     result: TransferResult
 
 
-def run_figure4_scenario(delayed_ack: bool = False) -> Figure4Result:
+def run_figure4_scenario(
+    delayed_ack: bool = False, congestion_control: str = "reno"
+) -> Figure4Result:
     """Reproduce the paper's Figure-4 sequence end to end in the simulator.
 
     Three transactions of 2, 24, and 14 MSS over a 60 ms path with no
@@ -121,6 +174,7 @@ def run_figure4_scenario(delayed_ack: bool = False) -> Figure4Result:
         rtt_ms=60.0,
         initial_cwnd_packets=10,
         delayed_ack=delayed_ack,
+        congestion_control=congestion_control,
     )
     observed = [
         result.observed_goodput(i) * 8 / 1e6 for i in range(len(result.spans))
@@ -136,6 +190,6 @@ def run_figure4_scenario(delayed_ack: bool = False) -> Figure4Result:
     return Figure4Result(
         observed_goodputs_mbps=observed,
         testable_goodputs_mbps=[g * 8 / 1e6 for g in (g1, g2, g3)],
-        min_rtt_ms=result.min_rtt_seconds * 1000.0,
+        min_rtt_ms=(result.min_rtt_seconds or 0.0) * 1000.0,
         result=result,
     )

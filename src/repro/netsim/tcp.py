@@ -39,10 +39,12 @@ __all__ = ["TcpConnection", "TcpParams", "TcpState"]
 class TcpParams:
     """Tunables for one connection.
 
-    ``congestion_control`` selects the algorithm: ``"reno"`` (byte-counted
-    NewReno, the default and the behaviour the paper's footnote 3 describes)
-    or ``"cubic"`` (CUBIC with HyStart — the paper notes hybrid slow start
-    as a real-world cause of early slow-start exit, §3.2.3).
+    ``congestion_control`` names any algorithm registered with
+    :func:`repro.netsim.congestion.register_congestion_control`. Built-ins:
+    ``"reno"`` (byte-counted NewReno, the default and the behaviour the
+    paper's footnote 3 describes), ``"cubic"`` (CUBIC with HyStart — the
+    paper notes hybrid slow start as a real-world cause of early slow-start
+    exit, §3.2.3), and ``"bbr"`` (a rate-based BBR-like model).
     """
 
     mss_bytes: int = 1500
@@ -173,20 +175,17 @@ class TcpConnection:
         ack_link: Link,
         params: TcpParams = TcpParams(),
     ) -> None:
-        from repro.netsim.congestion import CubicControl, RenoControl
+        from repro.netsim.congestion import cc_for
 
         self.sim = sim
         self.params = params
         self.data_link = data_link
         self.ack_link = ack_link
-        if params.congestion_control == "reno":
-            self.cc = RenoControl(params.mss_bytes, params.initial_cwnd_bytes)
-        elif params.congestion_control == "cubic":
-            self.cc = CubicControl(params.mss_bytes, params.initial_cwnd_bytes)
-        else:
-            raise ValueError(
-                f"unknown congestion control {params.congestion_control!r}"
-            )
+        self.cc = cc_for(
+            params.congestion_control,
+            params.mss_bytes,
+            params.initial_cwnd_bytes,
+        )
         self.cc.ssthresh_bytes = params.initial_ssthresh_bytes
         self.state = TcpState(
             cwnd_bytes=params.initial_cwnd_bytes,
@@ -289,17 +288,29 @@ class TcpConnection:
         self._dupacks = 0
 
         # Retire covered segments; sample RTT from the newest fully-acked,
-        # never-retransmitted segment (Karn's algorithm).
+        # never-retransmitted segment (Karn's algorithm). The ambiguity rule
+        # covers the whole cumulative jump: an ACK that also retires a
+        # retransmitted segment was plausibly *triggered by* the
+        # retransmission, so the never-retransmitted segments it covers
+        # were only waiting behind the hole — their send-to-ack intervals
+        # measure the stall, not the path, and must not be sampled (they
+        # would inflate sRTT, and thus the RTO, by orders of magnitude
+        # after a loss burst).
         rtt_sample: Optional[float] = None
+        retired_retransmit = False
         remaining: List[_Segment] = []
         for segment in self._segments:
             if segment.seq + segment.size <= ack:
                 self.state.bytes_in_flight -= segment.size
-                if not segment.retransmitted:
+                if segment.retransmitted:
+                    retired_retransmit = True
+                else:
                     rtt_sample = now - segment.sent_at
             else:
                 remaining.append(segment)
         self._segments = remaining
+        if retired_retransmit:
+            rtt_sample = None
         if rtt_sample is not None:
             self.min_rtt.update(now, rtt_sample)
             self.srtt.update(rtt_sample)
@@ -342,7 +353,15 @@ class TcpConnection:
         ) * 2 >= self.state.cwnd_bytes or self.bytes_unsent > 0
         if not limited:
             return
-        self.cc.on_ack(acked_bytes, self.sim.now, rtt_sample)
+        # Sequence bounds let sequence-aware controllers (HyStart rounds,
+        # delivery-rate rounds) delimit real round trips.
+        self.cc.on_ack(
+            acked_bytes,
+            self.sim.now,
+            rtt_sample,
+            snd_una=self.state.snd_una,
+            snd_nxt=self.state.snd_nxt,
+        )
         self._sync_cc()
 
     def _on_duplicate_ack(self) -> None:
@@ -394,7 +413,13 @@ class TcpConnection:
         self.state.timeouts += 1
         self.cc.on_timeout(self.state.bytes_in_flight)
         self._sync_cc()
-        self._recovery_point = None
+        # RTO recovery: everything outstanding is suspect. Keeping the
+        # recovery point at snd_nxt makes each partial ACK retransmit the
+        # next hole immediately (ACK-clocked go-back-N repair, as real RTO
+        # slow start effectively does), instead of paying one full — and
+        # backed-off — RTO per hole, which turns a loss burst into a
+        # minutes-long serial stall.
+        self._recovery_point = self.state.snd_nxt
         self._dupacks = 0
         self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
         self._retransmit_first_unacked()

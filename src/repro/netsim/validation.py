@@ -29,9 +29,32 @@ from repro.core.goodput import (
 from repro.netsim.scenarios import run_transfer
 from repro.stats.weighted import percentile
 
-__all__ = ["SweepConfig", "SweepPoint", "SweepResult", "run_validation_sweep"]
+__all__ = [
+    "SweepConfig",
+    "SweepPoint",
+    "SweepResult",
+    "effective_min_rtt",
+    "run_validation_sweep",
+]
 
 MSS = 1500
+
+
+def effective_min_rtt(
+    measured_seconds: Optional[float], configured_rtt_ms: float
+) -> float:
+    """MinRTT to feed the model: measured if any, else the configured delay.
+
+    The fallback must trigger only when *no* RTT sample exists
+    (``measured_seconds is None``) — a measured value of ``0.0`` is a real
+    observation on a zero-propagation grid point and must be preserved. A
+    truthiness test (``measured or fallback``) silently replaces that 0.0
+    with the configured propagation delay and corrupts the relative-error
+    accounting on zero-RTT points.
+    """
+    if measured_seconds is None:
+        return configured_rtt_ms / 1000.0
+    return measured_seconds
 
 
 @dataclass(frozen=True)
@@ -85,6 +108,7 @@ class SweepPoint:
 @dataclass
 class SweepResult:
     points: List[SweepPoint] = field(default_factory=list)
+    congestion_control: str = "reno"
 
     @property
     def testing_points(self) -> List[SweepPoint]:
@@ -109,9 +133,17 @@ class SweepResult:
         return percentile(errors, q)
 
 
-def run_validation_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
-    """Run the sweep and evaluate the estimator at every grid point."""
-    result = SweepResult()
+def run_validation_sweep(
+    config: SweepConfig = SweepConfig(),
+    congestion_control: str = "reno",
+) -> SweepResult:
+    """Run the sweep and evaluate the estimator at every grid point.
+
+    ``congestion_control`` names any registered controller — the estimator
+    is Reno-modelled (footnote 3), so sweeping other controllers maps where
+    the never-overestimate invariant holds beyond its home assumptions.
+    """
+    result = SweepResult(congestion_control=congestion_control)
     for bw, rtt_ms, icw, size_packets in config.points():
         total_bytes = size_packets * MSS
         transfer = run_transfer(
@@ -121,12 +153,13 @@ def run_validation_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
             initial_cwnd_packets=icw,
             delayed_ack=False,
             queue_packets=10_000,  # no drop-tail losses: ideal conditions
+            congestion_control=congestion_control,
         )
         # Use the *measured* MinRTT exactly as production does: it already
         # includes one packet's serialization at the bottleneck, which is
         # what lets the model's per-round accounting match reality
         # (paper footnote 5).
-        rtt = transfer.min_rtt_seconds or (rtt_ms / 1000.0)
+        rtt = effective_min_rtt(transfer.min_rtt_seconds, rtt_ms)
         bottleneck_bytes_per_sec = bw * 1e6 / 8.0
         record = transfer.records[0] if transfer.records else None
 
@@ -139,7 +172,7 @@ def run_validation_sweep(config: SweepConfig = SweepConfig()) -> SweepResult:
         # the transfer time dominates. Such micro-transfers are treated as
         # unable to test — in production they would coalesce with adjacent
         # responses (§3.2.5) rather than stand alone.
-        if record is not None and record.measured_bytes > MSS:
+        if record is not None and record.measured_bytes > MSS and rtt > 0:
             wstart = record.cwnd_bytes_at_first_byte
             testable = max_testable_goodput(record.measured_bytes, wstart, rtt)
             estimated = estimate_delivery_rate(

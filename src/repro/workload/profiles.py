@@ -16,35 +16,78 @@ Each access class gives the *client-side* contribution: downlink rate,
 last-mile RTT added on top of the backbone propagation RTT, and a loss
 floor. Class mixes differ per continent (mobile-heavy in AF/AS/SA,
 fibre/cable-heavy in EU/NA/OC).
+
+The LTE/high-mobility classes (:func:`lte_class`, :func:`rail_class`)
+additionally carry jitter and *burst* loss — the correlated fades measured
+on high-speed rails — for the congestion-control scenario matrix; they are
+exposed through :func:`mobile_profiles` rather than mixed into
+:func:`default_profiles`, whose sampled populations are golden-pinned.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.edge.geo import Continent
 from repro.stats.sampling import Distribution, LogNormal, Mixture, Uniform
 
-__all__ = ["AccessClass", "AccessProfile", "ContinentProfile", "default_profiles"]
+__all__ = [
+    "AccessClass",
+    "AccessProfile",
+    "ContinentProfile",
+    "default_profiles",
+    "lte_class",
+    "mobile_profiles",
+    "rail_class",
+]
 
 
 @dataclass(frozen=True)
 class AccessClass:
-    """One access technology's parameters."""
+    """One access technology's parameters.
+
+    ``jitter_ms`` and ``burst_loss`` default to ``None`` (not "a
+    distribution of zero"): sampling draws from the RNG only for classes
+    that define them, so adding these fields did not shift the random
+    stream — and therefore the golden populations — of the pre-existing
+    classes.
+    """
 
     name: str
     downlink_mbps: Distribution
     last_mile_rtt_ms: Distribution
     loss_probability: Distribution
+    jitter_ms: Optional[Distribution] = None
+    burst_loss: Optional[Distribution] = None
 
     def sample(self, rng: random.Random) -> "AccessProfile":
-        return AccessProfile(
+        profile = AccessProfile(
             technology=self.name,
             downlink_mbps=max(self.downlink_mbps.sample(rng), 0.05),
             last_mile_rtt_ms=max(self.last_mile_rtt_ms.sample(rng), 0.2),
             loss_probability=min(max(self.loss_probability.sample(rng), 0.0), 0.3),
+        )
+        if self.jitter_ms is None and self.burst_loss is None:
+            return profile
+        jitter = (
+            max(self.jitter_ms.sample(rng), 0.0)
+            if self.jitter_ms is not None
+            else 0.0
+        )
+        burst = (
+            min(max(self.burst_loss.sample(rng), 0.0), 0.3)
+            if self.burst_loss is not None
+            else 0.0
+        )
+        return AccessProfile(
+            technology=profile.technology,
+            downlink_mbps=profile.downlink_mbps,
+            last_mile_rtt_ms=profile.last_mile_rtt_ms,
+            loss_probability=profile.loss_probability,
+            jitter_ms=jitter,
+            burst_loss_probability=burst,
         )
 
 
@@ -56,6 +99,8 @@ class AccessProfile:
     downlink_mbps: float
     last_mile_rtt_ms: float
     loss_probability: float
+    jitter_ms: float = 0.0
+    burst_loss_probability: float = 0.0
 
     @property
     def downlink_bytes_per_sec(self) -> float:
@@ -105,6 +150,8 @@ class ContinentProfile:
             downlink_mbps=profile.downlink_mbps,
             last_mile_rtt_ms=profile.last_mile_rtt_ms * self.last_mile_scale,
             loss_probability=min(profile.loss_probability * self.loss_scale, 0.3),
+            jitter_ms=profile.jitter_ms,
+            burst_loss_probability=profile.burst_loss_probability,
         )
 
     def sample(self, rng: random.Random) -> AccessProfile:
@@ -165,6 +212,54 @@ def _satellite() -> AccessClass:
         last_mile_rtt_ms=Uniform(450.0, 650.0),
         loss_probability=Uniform(0.001, 0.02),
     )
+
+
+def lte_class() -> AccessClass:
+    """LTE in decent coverage, with the radio's jitter and burst fades.
+
+    The active-passive LTE studies show last-mile RTT variance (handover
+    and scheduler-induced jitter in the tens of milliseconds) and loss that
+    arrives in bursts rather than i.i.d. — the regime where loss-based
+    congestion control collapses and rate-based control holds goodput.
+    """
+    return AccessClass(
+        name="mobile-lte",
+        downlink_mbps=LogNormal(mu=2.8, sigma=0.7, low=2.0, high=200.0),
+        last_mile_rtt_ms=LogNormal(mu=3.2, sigma=0.5, low=15.0, high=200.0),
+        loss_probability=Uniform(0.0, 0.005),
+        jitter_ms=Uniform(5.0, 40.0),
+        burst_loss=Uniform(0.001, 0.01),
+    )
+
+
+def rail_class() -> AccessClass:
+    """High-mobility LTE (high-speed rail): deep correlated fades.
+
+    Frequent handovers at speed produce loss trains and seconds-scale RTT
+    spikes; the mean burst is longer and the entry probability higher than
+    stationary LTE.
+    """
+    return AccessClass(
+        name="mobile-rail",
+        downlink_mbps=LogNormal(mu=1.8, sigma=0.9, low=0.5, high=100.0),
+        last_mile_rtt_ms=LogNormal(mu=3.8, sigma=0.7, low=25.0, high=800.0),
+        loss_probability=Uniform(0.001, 0.01),
+        jitter_ms=Uniform(15.0, 80.0),
+        burst_loss=Uniform(0.005, 0.03),
+    )
+
+
+def mobile_profiles() -> Dict[str, AccessClass]:
+    """The mobile/high-loss classes of the CC scenario matrix, by name.
+
+    Kept separate from :func:`default_profiles` so the golden-pinned
+    continent populations are untouched; the CC-matrix ablation samples
+    these directly.
+    """
+    return {
+        "lte": lte_class(),
+        "rail": rail_class(),
+    }
 
 
 def default_profiles() -> Dict[Continent, ContinentProfile]:

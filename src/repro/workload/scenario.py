@@ -368,7 +368,11 @@ class EdgeScenario:
             bottleneck_mbps=max(bottleneck, 0.05),
             loss_probability=loss,
             queue_delay_ms=0.0,  # standing queue already folded into rtt
-            jitter_ms=modifier.extra_jitter_ms + rng.uniform(0.0, 3.0),
+            # profile.jitter_ms is 0.0 for every default class; only the
+            # LTE/high-mobility classes of the CC matrix contribute here.
+            jitter_ms=profile.jitter_ms
+            + modifier.extra_jitter_ms
+            + rng.uniform(0.0, 3.0),
         )
 
     def sessions_in_window(self, state: NetworkState, window: int) -> int:

@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["teleport"])
 
+    def test_cc_flag(self):
+        args = build_parser().parse_args(["figure4", "--cc", "bbr"])
+        assert args.congestion_control == "bbr"
+        args = build_parser().parse_args(["sweep", "--cc", "cubic"])
+        assert args.congestion_control == "cubic"
+
+    def test_cc_defaults_to_reno(self):
+        for command in ("figure4", "sweep"):
+            args = build_parser().parse_args([command])
+            assert args.congestion_control == "reno"
+
 
 class TestCommands:
     def test_figure4_runs(self, capsys):
@@ -42,6 +53,16 @@ class TestCommands:
         assert main(["sweep"]) == 0
         out = capsys.readouterr().out
         assert "overestimates: 0" in out
+
+    def test_figure4_with_cc_runs(self, capsys):
+        assert main(["figure4", "--cc", "bbr"]) == 0
+        out = capsys.readouterr().out
+        assert "congestion control: bbr" in out
+        assert "session HDratio" in out
+
+    def test_sweep_rejects_unknown_cc(self, capsys):
+        with pytest.raises(ValueError, match="unknown congestion control"):
+            main(["sweep", "--cc", "vegas"])
 
     def test_snapshot_runs_small(self, capsys):
         code = main(

@@ -4,6 +4,8 @@ import pytest
 
 from repro.netsim.engine import Simulator
 
+pytestmark = pytest.mark.netsim
+
 
 class TestScheduling:
     def test_events_run_in_time_order(self):

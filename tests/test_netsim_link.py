@@ -7,6 +7,8 @@ import pytest
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link, Packet
 
+pytestmark = pytest.mark.netsim
+
 
 def collect(link):
     received = []

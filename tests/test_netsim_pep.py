@@ -4,6 +4,8 @@ import pytest
 
 from repro.netsim.pep import run_end_to_end_transfer, run_split_transfer
 
+pytestmark = pytest.mark.netsim
+
 MSS = 1500
 
 

@@ -5,7 +5,13 @@ import pytest
 from repro.core.goodput import estimate_delivery_rate, max_testable_goodput
 from repro.core.hdratio import session_goodput
 from repro.netsim.scenarios import run_figure4_scenario, run_transfer
-from repro.netsim.validation import SweepConfig, run_validation_sweep
+from repro.netsim.validation import (
+    SweepConfig,
+    effective_min_rtt,
+    run_validation_sweep,
+)
+
+pytestmark = pytest.mark.netsim
 
 MSS = 1500
 
@@ -160,6 +166,105 @@ class TestGoodputAgainstSimulator:
         assert summary.hdratio == 0.0
 
 
+class TestAckPathImpairments:
+    """Regression tests: the ACK return path used to be built loss- and
+    jitter-free regardless of the scenario's impairments, so reverse-path
+    damage was silently unmodellable."""
+
+    def test_defaults_leave_ack_path_clean(self):
+        # Explicit zeros must be byte-identical to the historical behavior.
+        baseline = run_transfer([100 * MSS], rtt_ms=60.0, seed=5)
+        explicit = run_transfer(
+            [100 * MSS],
+            rtt_ms=60.0,
+            seed=5,
+            ack_loss_probability=0.0,
+            ack_jitter_ms=0.0,
+        )
+        assert explicit.completion_time == baseline.completion_time
+        assert explicit.retransmits == baseline.retransmits
+
+    def test_ack_loss_slows_the_transfer(self):
+        clean = run_transfer(
+            [200 * MSS], bottleneck_mbps=5.0, rtt_ms=60.0, seed=9
+        )
+        lossy_acks = run_transfer(
+            [200 * MSS],
+            bottleneck_mbps=5.0,
+            rtt_ms=60.0,
+            seed=9,
+            ack_loss_probability=0.2,
+        )
+        assert lossy_acks.total_bytes == clean.total_bytes
+        assert lossy_acks.completion_time > clean.completion_time
+
+    def test_ack_jitter_inflates_min_rtt(self):
+        # RTT is sampled at the sender, so reverse-path jitter must show up
+        # in MinRTT — exactly the asymmetry §3.2.5 worries about.
+        clean = run_transfer([100 * MSS], rtt_ms=60.0, seed=4)
+        jittery = run_transfer(
+            [100 * MSS], rtt_ms=60.0, seed=4, ack_jitter_ms=30.0
+        )
+        assert jittery.min_rtt_seconds >= clean.min_rtt_seconds
+
+    def test_ack_loss_probability_validated(self):
+        with pytest.raises(ValueError):
+            run_transfer([MSS], ack_loss_probability=1.5)
+
+
+class TestQuicIshTransfers:
+    """0-RTT handshakes and independent streams (the QUIC-ish variant)."""
+
+    def test_zero_rtt_saves_a_round_trip(self):
+        gated = run_transfer(
+            [50 * MSS], rtt_ms=80.0, handshake_bytes=500
+        )
+        zero_rtt = run_transfer(
+            [50 * MSS],
+            rtt_ms=80.0,
+            handshake_bytes=500,
+            zero_rtt_handshake=True,
+        )
+        assert zero_rtt.total_bytes == gated.total_bytes
+        # The first response no longer waits for the handshake ACK.
+        assert zero_rtt.completion_time < gated.completion_time
+        assert (
+            zero_rtt.records[0].first_byte_time
+            < gated.records[0].first_byte_time
+        )
+
+    def test_independent_streams_overlap(self):
+        serial = run_transfer(
+            [40 * MSS, 40 * MSS, 40 * MSS], bottleneck_mbps=5.0, rtt_ms=60.0
+        )
+        multiplexed = run_transfer(
+            [40 * MSS, 40 * MSS, 40 * MSS],
+            bottleneck_mbps=5.0,
+            rtt_ms=60.0,
+            independent_streams=True,
+        )
+        assert multiplexed.total_bytes == serial.total_bytes
+        # Serial transactions wait for the previous final ACK; independent
+        # streams share the connection from the start and finish sooner.
+        assert multiplexed.completion_time < serial.completion_time
+        first_bytes = [r.first_byte_time for r in multiplexed.records]
+        assert max(first_bytes) - min(first_bytes) < 0.5
+
+
+class TestEffectiveMinRtt:
+    """Regression tests: the sweep used ``measured or configured``, so a
+    legitimately measured 0.0 s MinRTT fell back to the configured path RTT."""
+
+    def test_measured_zero_is_respected(self):
+        assert effective_min_rtt(0.0, 20.0) == 0.0
+
+    def test_missing_measurement_falls_back_to_configured(self):
+        assert effective_min_rtt(None, 20.0) == pytest.approx(0.020)
+
+    def test_measured_value_wins_over_configured(self):
+        assert effective_min_rtt(0.055, 20.0) == pytest.approx(0.055)
+
+
 class TestValidationSweep:
     def test_small_sweep_properties(self):
         config = SweepConfig(
@@ -187,3 +292,22 @@ class TestValidationSweep:
         result = run_validation_sweep(config)
         assert not result.points[0].can_test_bottleneck
         assert result.points[0].relative_error is None
+
+    @pytest.mark.parametrize("cc", ["cubic", "bbr"])
+    def test_sweep_runs_per_congestion_control(self, cc):
+        config = SweepConfig(
+            bottleneck_mbps=(1.0, 2.5),
+            rtt_ms=(40.0,),
+            initial_cwnd_packets=(10,),
+            transfer_packets=(100, 200),
+        )
+        result = run_validation_sweep(config, congestion_control=cc)
+        assert result.congestion_control == cc
+        assert len(result.points) == config.count
+        assert result.testing_points
+        # The estimator must stay conservative regardless of the CC regime.
+        assert not result.overestimates
+
+    def test_unknown_congestion_control_rejected(self):
+        with pytest.raises(ValueError, match="unknown congestion control"):
+            run_validation_sweep(congestion_control="vegas")

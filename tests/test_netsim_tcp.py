@@ -9,6 +9,8 @@ from repro.netsim.link import Link
 from repro.netsim.scenarios import run_transfer
 from repro.netsim.tcp import TcpConnection, TcpParams
 
+pytestmark = pytest.mark.netsim
+
 MSS = 1500
 
 

@@ -9,6 +9,8 @@ from repro.netsim.link import Link
 from repro.netsim.tcp import TcpConnection, TcpParams
 from repro.netsim.trace import PacketTrace
 
+pytestmark = pytest.mark.netsim
+
 MSS = 1500
 
 

@@ -18,7 +18,12 @@ from repro.workload.events import (
     combine_events,
     local_hour,
 )
-from repro.workload.profiles import default_profiles
+from repro.workload.profiles import (
+    default_profiles,
+    lte_class,
+    mobile_profiles,
+    rail_class,
+)
 from repro.workload.sessions import WorkloadModel
 
 
@@ -60,6 +65,52 @@ class TestProfiles:
             return draws[1500]
 
         assert median_last_mile(Continent.ASIA) > median_last_mile(Continent.EUROPE)
+
+
+class TestMobileProfiles:
+    """LTE/high-mobility access classes with jitter and burst loss."""
+
+    def test_mobile_profiles_registered(self):
+        assert set(mobile_profiles()) == {"lte", "rail"}
+
+    def test_mobile_classes_sample_jitter_and_burst_loss(self):
+        rng = random.Random(7)
+        for access_class in (lte_class(), rail_class()):
+            for _ in range(100):
+                profile = access_class.sample(rng)
+                assert profile.jitter_ms > 0
+                assert 0 < profile.burst_loss_probability < 0.1
+
+    def test_default_classes_stay_jitter_free(self):
+        # The new fields must not perturb existing continent profiles: no
+        # jitter/burst draws, and the RNG stream is untouched.
+        rng_a = random.Random(11)
+        rng_b = random.Random(11)
+        mix = default_profiles()[Continent.EUROPE]
+        for _ in range(50):
+            profile = mix.sample(rng_a)
+            assert profile.jitter_ms == 0.0
+            assert profile.burst_loss_probability == 0.0
+        # Same draws as an identically seeded stream consumed three at a time.
+        reference = mix.sample(rng_b)
+        replay = default_profiles()[Continent.EUROPE].sample(random.Random(11))
+        assert replay.downlink_mbps == reference.downlink_mbps
+
+    def test_rail_harsher_than_lte(self):
+        rng = random.Random(13)
+        lte = [lte_class().sample(rng) for _ in range(2000)]
+        rail = [rail_class().sample(rng) for _ in range(2000)]
+
+        def median(values):
+            ordered = sorted(values)
+            return ordered[len(ordered) // 2]
+
+        assert median(p.last_mile_rtt_ms for p in rail) > median(
+            p.last_mile_rtt_ms for p in lte
+        )
+        assert median(p.burst_loss_probability for p in rail) > median(
+            p.burst_loss_probability for p in lte
+        )
 
 
 class TestWorkloadModel:
